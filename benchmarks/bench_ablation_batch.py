@@ -1,0 +1,39 @@
+"""Ablation: batching factor sweep (eq. 15 latency amortization).
+
+Sweeps B over the paper's 200x100 Poisson mesh and shows per-mesh time
+converging to the fill-free limit — the justification for Section IV-B.
+"""
+
+from repro.apps.poisson2d import poisson2d_app
+from repro.model.cycles import batched_cycles_per_mesh_2d
+from repro.util.tables import TextTable
+
+
+def test_ablation_batch_sweep(benchmark, once):
+    app = poisson2d_app()
+
+    def run():
+        table = TextTable(
+            ["batch", "cycles/mesh (eq. 15)", "sim runtime/mesh (s)", "efficiency"],
+            title="Ablation: batching factor sweep, Poisson 200x100, 60000 iters",
+        )
+        ideal = 25 * 100  # ceil(m/V) * n
+        series = []
+        for batch in (1, 10, 100, 1000):
+            per_mesh = batched_cycles_per_mesh_2d(200, 100, batch, app.V, app.p, 2)
+            w = app.workload((200, 100), 60000, batch)
+            sim = app.accelerator((200, 100)).estimate(w)
+            per_mesh_s = sim.seconds / batch
+            table.add_row([batch, per_mesh, per_mesh_s, ideal / per_mesh])
+            series.append((batch, per_mesh, per_mesh_s))
+        return table, series
+
+    table, series = once(benchmark, run)
+    print("\n" + table.render())
+    # per-mesh cost strictly decreases with batch size
+    per_mesh = [s[1] for s in series]
+    assert all(a > b for a, b in zip(per_mesh, per_mesh[1:]))
+    per_mesh_s = [s[2] for s in series]
+    assert all(a > b for a, b in zip(per_mesh_s, per_mesh_s[1:]))
+    # B=1000 is within 7% of the fill-free ideal (eq. 15 limit)
+    assert per_mesh[-1] < 1.07 * 2500

@@ -1,0 +1,51 @@
+"""Ablation: manual loop flattening vs nested loops.
+
+The paper flattens the mesh loops to one 1D loop because a nested pipeline
+flushes at every row end (Section III: "Retaining an outer loop can be
+costly due to the need to flush the unrolled inner loop pipeline").
+This ablation quantifies the cost: a nested-loop design pays the pipeline
+depth once per row instead of once per pass.
+"""
+
+from repro.apps.poisson2d import poisson2d_app
+from repro.util.rounding import ceil_div
+from repro.util.tables import TextTable
+
+#: compute pipeline depth in cycles (SP adder/multiplier chains, typical)
+PIPELINE_DEPTH = 70
+
+
+def _flattened_cycles(m, n, niter, V, p, D):
+    from repro.model.cycles import baseline_cycles_2d
+
+    return baseline_cycles_2d(m, n, niter, V, p, D)
+
+
+def _nested_cycles(m, n, niter, V, p, D):
+    # flush the compute pipeline at every row end
+    passes = ceil_div(niter, p)
+    per_row = ceil_div(m, V) + PIPELINE_DEPTH
+    return passes * per_row * (n + p * D // 2)
+
+
+def test_ablation_loop_flattening(benchmark, once):
+    app = poisson2d_app()
+
+    def run():
+        table = TextTable(
+            ["mesh", "flattened (s)", "nested (s)", "slowdown"],
+            title="Ablation: manual loop flattening (Section III)",
+        )
+        rows = []
+        for mesh in ((200, 100), (300, 300), (400, 400)):
+            flat = _flattened_cycles(*mesh, 60000, app.V, app.p, 2) / 250e6
+            nested = _nested_cycles(*mesh, 60000, app.V, app.p, 2) / 250e6
+            table.add_row([f"{mesh[0]}x{mesh[1]}", flat, nested, nested / flat])
+            rows.append((flat, nested))
+        return table, rows
+
+    table, rows = once(benchmark, run)
+    print("\n" + table.render())
+    for flat, nested in rows:
+        # flushing per row costs integer factors on narrow meshes
+        assert nested > 2.0 * flat

@@ -1,0 +1,55 @@
+"""Ablation: alternative numerical representations (paper future work).
+
+Replays the Table II analysis across half/float/double/fixed formats: each
+representation changes G_dsp (operator costs), the eq. (6) unroll bound and
+the eq. (4) bandwidth-limited V — and its quantization error on the Poisson
+solver is measured against a float64 reference.
+"""
+
+from repro.apps.poisson2d import poisson2d_app
+from repro.arch.device import ALVEO_U280
+from repro.mesh.mesh import Field, MeshSpec
+from repro.model.precision import (
+    ALL_PRECISIONS,
+    FLOAT,
+    gdsp_at_precision,
+    max_vectorization_at_precision,
+    precision_error,
+)
+from repro.model.resources import p_dsp
+from repro.util.tables import TextTable
+from repro.util.units import MHZ
+
+
+def test_ablation_precision(benchmark, once):
+    app = poisson2d_app((24, 20))
+    program = app.program_on((24, 20))
+    channel = ALVEO_U280.ddr4.channel_bandwidth
+    field = Field.random("U", MeshSpec((24, 20)), seed=5)
+
+    def run():
+        table = TextTable(
+            ["precision", "Gdsp", "pdsp (V=8)", "V max (eq.4)", "max err @10 iters"],
+            title="Ablation: numerical representations (Poisson-5pt-2D)",
+        )
+        rows = {}
+        for precision in ALL_PRECISIONS:
+            gdsp = gdsp_at_precision(program, precision)
+            p_bound = p_dsp(ALVEO_U280, 8, max(1, gdsp))
+            v_max = max_vectorization_at_precision(channel, 300 * MHZ, precision)
+            err = precision_error(program, {"U": field}, 10, precision)
+            table.add_row([precision.name, gdsp, p_bound, v_max, err])
+            rows[precision.name] = (gdsp, p_bound, v_max, err)
+        return table, rows
+
+    table, rows = once(benchmark, run)
+    print("\n" + table.render())
+    # float is the paper baseline
+    assert rows["float"][0] == 14
+    # narrower formats buy unroll depth and bandwidth headroom...
+    assert rows["half"][1] > rows["float"][1]
+    assert rows["half"][2] == 2 * rows["float"][2]
+    assert rows["fixed16"][1] > rows["float"][1]
+    # ...at the cost of numerical error
+    assert rows["half"][3] > rows["float"][3]
+    assert rows["double"][3] < rows["float"][3]

@@ -1,0 +1,37 @@
+"""Ablation: square vs non-square tiles (eq. 11 optimality).
+
+Eq. (11) predicts square transverse blocks maximize throughput for a fixed
+on-chip buffer budget. This sweep holds M*N constant for the Jacobi tiled
+design and confirms the square shape wins.
+"""
+
+from repro.apps.jacobi3d import jacobi3d_app
+from repro.model.tiling import tile_throughput
+from repro.util.tables import TextTable
+
+
+def test_ablation_tile_shape(benchmark, once):
+    app = jacobi3d_app()
+    V, p, D = 64, 3, 2
+    area = 768 * 768
+
+    def run():
+        table = TextTable(
+            ["M", "N", "T (cells/cycle)", "valid ratio"],
+            title="Ablation: tile aspect ratio at fixed M*N (Jacobi, Table III)",
+        )
+        results = []
+        for M in (192, 384, 768, 1536, 3072):
+            N = area // M
+            t = tile_throughput(M, N, 10**9, V, p, D)
+            from repro.model.tiling import valid_ratio
+
+            table.add_row([M, N, t, valid_ratio(M, N, p, D)])
+            results.append((M, t))
+        return table, results
+
+    table, results = once(benchmark, run)
+    print("\n" + table.render())
+    by_m = dict(results)
+    # the square tile beats every skewed aspect at the same area
+    assert by_m[768] >= max(t for m, t in results) - 1e-9

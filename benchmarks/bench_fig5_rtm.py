@@ -1,0 +1,21 @@
+"""Bench: Figure 5 — RTM forward pass baseline (a) and batching (b)."""
+
+from repro.harness.runner import run_fig5a, run_fig5b
+
+
+def test_fig5a_baseline(benchmark, once):
+    result = once(benchmark, run_fig5a)
+    print("\n" + result.render())
+    for rec in result.records:
+        # FPGA matches the GPU within ~1.6x either way across all meshes
+        assert 0.5 < rec["fpga_sim"] / rec["gpu_model"] < 1.6
+        assert 0.65 < rec["fpga_sim"] / rec["fpga_paper"] < 1.35
+
+
+def test_fig5b_batching(benchmark, once):
+    result = once(benchmark, run_fig5b)
+    print("\n" + result.render())
+    for rec in result.records:
+        # batched RTM: FPGA and GPU effectively match (paper Fig 5b)
+        assert 0.6 < rec["fpga_sim"] / rec["gpu_model"] < 1.7
+        assert 0.7 < rec["fpga_sim"] / rec["fpga_paper"] < 1.5

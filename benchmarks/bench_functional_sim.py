@@ -1,0 +1,52 @@
+"""Bench: functional simulator throughput on scaled-down workloads.
+
+Times the numerics-preserving paths (pipeline, tiler, batcher) that validate
+the architecture, on meshes small enough to run in milliseconds. These are
+the code paths the paper-scale estimates are anchored to.
+"""
+
+import numpy as np
+
+from repro.apps.jacobi3d import jacobi3d_app
+from repro.apps.poisson2d import poisson2d_app
+from repro.apps.rtm import rtm_app
+from repro.stencil.numpy_eval import run_program
+
+
+def test_functional_poisson_pipeline(benchmark):
+    app = poisson2d_app((64, 48))
+    fields = app.fields((64, 48), seed=1)
+    acc = app.accelerator((64, 48), app.design(p=5, V=4))
+
+    result, _ = benchmark(lambda: acc.run(fields, 20))
+    gold = run_program(app.program_on((64, 48)), fields, 20)
+    assert np.array_equal(result["U"].data, gold["U"].data)
+
+
+def test_functional_jacobi_tiled(benchmark):
+    app = jacobi3d_app((32, 28, 8))
+    fields = app.fields((32, 28, 8), seed=2)
+    acc = app.accelerator((32, 28, 8), app.design(tile=(16, 14), p=2, V=2))
+
+    result, _ = benchmark(lambda: acc.run(fields, 4))
+    gold = run_program(app.program_on((32, 28, 8)), fields, 4)
+    assert np.array_equal(result["U"].data, gold["U"].data)
+
+
+def test_functional_rtm_pipeline(benchmark):
+    app = rtm_app((16, 16, 12))
+    fields = app.fields((16, 16, 12), seed=3)
+    acc = app.accelerator((16, 16, 12))
+
+    result, _ = benchmark(lambda: acc.run(fields, 3))
+    gold = run_program(app.program_on((16, 16, 12)), fields, 3)
+    assert np.array_equal(result["Y"].data, gold["Y"].data)
+
+
+def test_functional_batched_poisson(benchmark):
+    app = poisson2d_app((32, 24))
+    acc = app.accelerator((32, 24), app.design(p=4, V=2))
+    batch = [app.fields((32, 24), seed=s) for s in range(8)]
+
+    results, _ = benchmark(lambda: acc.run_batch(batch, 8))
+    assert len(results) == 8

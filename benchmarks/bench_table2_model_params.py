@@ -1,0 +1,15 @@
+"""Bench: Table II — baseline/batching model parameters.
+
+Regenerates the paper's Table II (frequency, G_dsp, p_dssp per application)
+from first principles and asserts exact agreement.
+"""
+
+from repro.harness.runner import run_table2
+
+
+def test_table2_model_params(benchmark, once):
+    result = once(benchmark, run_table2)
+    print("\n" + result.render())
+    for rec in result.records:
+        assert rec["gdsp_ours"] == rec["gdsp_paper"]
+        assert rec["pdsp_ours"] == rec["pdsp_paper"]

@@ -1,0 +1,11 @@
+"""Bench: Table III — spatial blocking model parameters (eqs. 8-14)."""
+
+from repro.harness.runner import run_table3
+
+
+def test_table3_blocking_params(benchmark, once):
+    result = once(benchmark, run_table3)
+    print("\n" + result.render())
+    for rec in result.records:
+        assert abs(rec["throughput_ours"] - rec["throughput_paper"]) < 0.01 * rec["throughput_paper"]
+        assert abs(rec["valid_ours"] - rec["valid_paper"]) < 1e-3

@@ -1,0 +1,13 @@
+"""Bench: Table IV — Poisson bandwidth (GB/s) and energy (kJ)."""
+
+from repro.harness.runner import run_table4
+
+
+def test_table4_poisson_bw_energy(benchmark, once):
+    result = once(benchmark, run_table4)
+    print("\n" + result.render())
+    for rec in result.records:
+        assert 0.7 < rec["fpga_bw_ours"] / rec["fpga_bw_paper"] < 1.3
+        if rec["fpga_kj_ours"] is not None:
+            # FPGA several-fold more energy efficient on batched Poisson
+            assert rec["gpu_kj_ours"] / rec["fpga_kj_ours"] > 3.0

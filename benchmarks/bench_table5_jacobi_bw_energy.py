@@ -1,0 +1,13 @@
+"""Bench: Table V — Jacobi bandwidth (GB/s) and energy (kJ)."""
+
+from repro.harness.runner import run_table5
+
+
+def test_table5_jacobi_bw_energy(benchmark, once):
+    result = once(benchmark, run_table5)
+    print("\n" + result.render())
+    for rec in result.records:
+        assert 0.7 < rec["fpga_bw_ours"] / rec["fpga_bw_paper"] < 1.3
+        if rec["fpga_kj_ours"] is not None:
+            # paper: ~2x more energy efficient at 200^3/50B
+            assert rec["gpu_kj_ours"] / rec["fpga_kj_ours"] > 1.5

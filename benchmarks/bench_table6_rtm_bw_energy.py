@@ -1,0 +1,13 @@
+"""Bench: Table VI — RTM bandwidth (GB/s) and energy (kJ)."""
+
+from repro.harness.runner import run_table6
+
+
+def test_table6_rtm_bw_energy(benchmark, once):
+    result = once(benchmark, run_table6)
+    print("\n" + result.render())
+    for rec in result.records:
+        assert 0.7 < rec["fpga_bw_ours"] / rec["fpga_bw_paper"] < 1.3
+        if rec["fpga_kj_ours"] is not None:
+            # FPGA uses less energy on every batched RTM configuration
+            assert rec["fpga_kj_ours"] < rec["gpu_kj_ours"]

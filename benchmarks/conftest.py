@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one paper artifact: it times the full experiment
+evaluation (model + simulator estimates + GPU baseline over all the paper's
+workloads) and prints the same rows/series the paper reports. Run with
+``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` with a single measured round (experiments are deterministic)."""
+    return benchmark.pedantic(fn, rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

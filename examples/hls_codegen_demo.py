@@ -1,0 +1,42 @@
+"""Generate the Vivado HLS project for each paper application.
+
+Writes kernel.cpp / host.cpp / connectivity.cfg / Makefile — the sources a
+user would hand to Vitis — into ``generated_hls/<app>/`` and prints a short
+inventory of the architectural features each kernel contains.
+
+Run:  python examples/hls_codegen_demo.py
+"""
+
+from pathlib import Path
+
+from repro.apps.jacobi3d import jacobi3d_app
+from repro.apps.poisson2d import poisson2d_app
+from repro.apps.rtm import rtm_app
+from repro.hls.project import HLSProject
+
+
+def main() -> None:
+    out_root = Path("generated_hls")
+    apps = {
+        "poisson2d": poisson2d_app((4096, 4096)),
+        "jacobi3d": jacobi3d_app((128, 128, 128)),
+        "rtm": rtm_app((64, 64, 64)),
+    }
+    for name, app in apps.items():
+        project = HLSProject(app.program, app.design())
+        target = out_root / name
+        files = project.write_to(target)
+        kernel = (target / "kernel.cpp").read_text()
+        print(f"== {name}: wrote {len(files)} files to {target}/")
+        print(f"   design: V={app.design().V}, p={app.design().p}, "
+              f"{app.design().clock_mhz:.0f} MHz, {app.design().memory}")
+        print(f"   kernel.cpp: {len(kernel.splitlines())} lines, "
+              f"{kernel.count('#pragma HLS')} HLS pragmas, "
+              f"{kernel.count('compute_module(')} module instantiations, "
+              f"{kernel.count('hls::stream')} stream declarations")
+    print("\nInspect e.g. generated_hls/rtm/kernel.cpp for the fused "
+          "four-loop RTM pipeline with its 6-float element struct.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""RTM forward pass: the paper's largest application end to end.
+
+Builds the Algorithm 1 program (RK4 over a 25-point 8th-order stencil on
+6-component elements), checks the design constraints the paper reports
+(G_dsp = 2444, p_dsp = 3, one fused module per SLR, 64^2 plane limit), runs
+a functional simulation and reproduces the Fig 5(a) baseline series.
+
+Run:  python examples/rtm_forward.py
+"""
+
+import numpy as np
+
+from repro.apps.rtm import build_rtm_program, rtm_app
+from repro.arch.device import ALVEO_U280
+from repro.arch.floorplan import SLRFloorplan
+from repro.model.resources import gdsp_program, module_mem_bytes, p_dsp
+from repro.stencil.numpy_eval import run_program
+from repro.util.tables import TextTable
+
+
+def main() -> None:
+    # -- design constraints -------------------------------------------------
+    program = build_rtm_program((64, 64, 32))
+    gdsp = gdsp_program(program)
+    print(f"RTM G_dsp = {gdsp} (paper: 2444)")
+    print(f"p_dsp at V=1: {p_dsp(ALVEO_U280, 1, gdsp)} (paper: 3)")
+    plan = SLRFloorplan(
+        ALVEO_U280, modules=3, module_dsp=gdsp, module_mem_bytes=module_mem_bytes(program)
+    )
+    print(
+        f"Fused module fits one SLR: {plan.module_fits_one_slr}; "
+        f"chain occupies {plan.slrs_used} SLRs"
+    )
+
+    # -- functional simulation ----------------------------------------------
+    app = rtm_app((16, 16, 12))
+    fields = app.fields((16, 16, 12), seed=7)
+    result, report = app.accelerator((16, 16, 12)).run(fields, 6)
+    golden = run_program(app.program_on((16, 16, 12)), fields, 6)
+    print(
+        "\nFunctional 16x16x12 run (6 RK4 iterations): "
+        f"bit-identical to golden: {np.array_equal(result['Y'].data, golden['Y'].data)}"
+    )
+
+    # -- Fig 5(a) series -------------------------------------------------------
+    table = TextTable(
+        ["mesh", "FPGA sim (s)", "GPU model (s)", "FPGA/GPU"],
+        title="RTM baseline, 1800 iterations (paper Fig 5a)",
+    )
+    for mesh in ((32, 32, 32), (50, 50, 16), (50, 50, 50), (50, 50, 200), (50, 50, 400)):
+        scaled = rtm_app(mesh)
+        w = scaled.workload(mesh, 1800)
+        fpga = scaled.accelerator(mesh).estimate(w)
+        gpu = scaled.gpu_model().predict(w)
+        table.add_row(
+            ["x".join(map(str, mesh)), fpga.seconds, gpu.seconds, fpga.seconds / gpu.seconds]
+        )
+    print("\n" + table.render())
+
+    # -- the energy headline ----------------------------------------------------
+    app50 = rtm_app((50, 50, 32))
+    w = app50.workload((50, 50, 32), 180, batch=40)
+    fpga = app50.accelerator((50, 50, 32)).estimate(w)
+    gpu = app50.gpu_model().predict(w)
+    print(
+        f"\n40-batch 50x50x32: FPGA {fpga.energy_j / 1e3:.3f} kJ vs "
+        f"GPU {gpu.energy_j / 1e3:.3f} kJ "
+        f"({gpu.energy_j / fpga.energy_j:.2f}x energy saving)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — reproduction of *High-Level FPGA Accelerator Design for
+Structured-Mesh-Based Explicit Numerical Solvers* (Kamalakkannan, Mudalige,
+Reguly, Fahmy — IPDPS 2021, arXiv:2101.01177).
+
+The package implements the paper's full workflow in Python:
+
+* a stencil frontend (:mod:`repro.stencil`) describing explicit solvers as
+  expression trees over structured meshes (:mod:`repro.mesh`);
+* device models of the evaluation hardware (:mod:`repro.arch`);
+* the predictive analytic model — cycles, resources, bandwidth, tiling,
+  batching and energy (:mod:`repro.model`);
+* a cycle-approximate dataflow simulator of the proposed accelerator
+  template (:mod:`repro.dataflow`);
+* a Vivado HLS C++ code generator (:mod:`repro.hls`);
+* a V100 GPU baseline performance model (:mod:`repro.gpubaseline`);
+* the paper's three applications (:mod:`repro.apps`) and the experiment
+  harness reproducing every table and figure (:mod:`repro.harness`).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

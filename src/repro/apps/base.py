@@ -1,0 +1,132 @@
+"""Application presets: a program plus its paper-validated design parameters.
+
+A :class:`StencilApp` bundles everything the harness needs to reproduce one
+of the paper's applications: the stencil program, the synthesis outcomes
+from Table II (achieved frequency, chosen V and p), the GPU traffic profile
+and an initial-condition generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Callable, Mapping
+
+from repro.arch.device import ALVEO_U280, FPGADevice
+from repro.dataflow.accelerator import FPGAAccelerator
+from repro.gpubaseline.model import GPUPerformanceModel
+from repro.gpubaseline.traffic import GPUTraffic
+from repro.mesh.mesh import Field, MeshSpec
+from repro.model.design import DesignPoint, Workload
+from repro.model.runtime import RuntimePredictor
+from repro.model.tiling import TileDesign
+from repro.stencil.program import StencilProgram
+from repro.util.errors import ValidationError
+
+FieldMaker = Callable[[MeshSpec, int], Mapping[str, Field]]
+
+
+@dataclass(frozen=True)
+class StencilApp:
+    """One paper application with its validated design point."""
+
+    name: str
+    program: StencilProgram
+    #: achieved clock after place & route (Table II column 2)
+    paper_clock_mhz: float
+    #: vectorization factor of the paper design
+    V: int
+    #: iterative unroll factor actually synthesized (Table II column 5)
+    p: int
+    memory: str
+    gpu_traffic: GPUTraffic
+    make_fields: FieldMaker
+    initiation_interval: float = 1.0
+    #: tiled-design parameters from Table III, if the app was tiled
+    tiled_V: int | None = None
+    tiled_p: int | None = None
+    #: memory system feeding the tiled design (DDR4 suffices for Poisson's
+    #: p=60 reuse; Jacobi's p=3 needs HBM-class bandwidth)
+    tiled_memory: str = "DDR4"
+    notes: str = ""
+
+    # -- program/design helpers -------------------------------------------------
+    def program_on(self, mesh_shape: tuple[int, ...]) -> StencilProgram:
+        """The program re-bound to a concrete mesh shape."""
+        spec = MeshSpec(mesh_shape, self.program.mesh.components, self.program.mesh.dtype)
+        return self.program.with_mesh(spec)
+
+    def design(
+        self,
+        tile: tuple[int, ...] | None = None,
+        clock_mhz: float | None = None,
+        p: int | None = None,
+        V: int | None = None,
+    ) -> DesignPoint:
+        """The paper design point, optionally tiled or overridden."""
+        if tile is not None:
+            return DesignPoint(
+                V=V if V is not None else (self.tiled_V or self.V),
+                p=p if p is not None else (self.tiled_p or self.p),
+                clock_mhz=clock_mhz or self.paper_clock_mhz,
+                memory=self.tiled_memory,
+                tile=TileDesign(tile),
+                initiation_interval=self.initiation_interval,
+            )
+        return DesignPoint(
+            V=V if V is not None else self.V,
+            p=p if p is not None else self.p,
+            clock_mhz=clock_mhz or self.paper_clock_mhz,
+            memory=self.memory,
+            initiation_interval=self.initiation_interval,
+        )
+
+    def workload(self, mesh_shape: tuple[int, ...], niter: int, batch: int = 1) -> Workload:
+        """A workload on this app's element type."""
+        spec = MeshSpec(mesh_shape, self.program.mesh.components, self.program.mesh.dtype)
+        return Workload(spec, niter, batch)
+
+    # -- executable artefacts -----------------------------------------------------
+    def accelerator(
+        self,
+        mesh_shape: tuple[int, ...],
+        design: DesignPoint | None = None,
+        device: FPGADevice = ALVEO_U280,
+    ) -> FPGAAccelerator:
+        """A simulated accelerator configured for this app."""
+        program = self.program_on(mesh_shape)
+        return FPGAAccelerator(
+            program,
+            design or self.design(),
+            device,
+            logical_bytes_per_cell_iter=self.gpu_traffic.logical_bytes_per_cell_iter,
+        )
+
+    def predictor(
+        self,
+        mesh_shape: tuple[int, ...],
+        design: DesignPoint | None = None,
+        device: FPGADevice = ALVEO_U280,
+    ) -> RuntimePredictor:
+        """The analytic-model predictor for this app."""
+        program = self.program_on(mesh_shape)
+        return RuntimePredictor(
+            program,
+            device,
+            design or self.design(),
+            logical_bytes_per_cell_iter=self.gpu_traffic.logical_bytes_per_cell_iter,
+        )
+
+    def gpu_model(self) -> GPUPerformanceModel:
+        """The V100 baseline model for this app."""
+        return GPUPerformanceModel(self.gpu_traffic)
+
+    def fields(self, mesh_shape: tuple[int, ...], seed: int = 0) -> dict[str, Field]:
+        """Reproducible initial conditions on a given mesh."""
+        spec = MeshSpec(mesh_shape, self.program.mesh.components, self.program.mesh.dtype)
+        fields = dict(self.make_fields(spec, seed))
+        for name in self.program.external_reads():
+            if name not in fields:
+                raise ValidationError(
+                    f"app '{self.name}' field maker did not produce '{name}'"
+                )
+        return fields

@@ -1,0 +1,54 @@
+"""Jacobi-7pt-3D (paper Section V-B, eq. (18)).
+
+``U' = k1 U[i+1] + k2 U[i-1] + k3 U[j-1] + k4 U + k5 U[j+1] + k6 U[k+1] + k7 U[k-1]``
+
+Design point from Table II: V=8, p=29 (model bound p_dsp=28; the synthesized
+design squeezed 29 modules in), 246 MHz. G_dsp = 33. The baseline needs
+``D * m * n`` elements of plane buffer per module, which is what pushes this
+app to spatial blocking (Table III: V=64, p=3, 768x768 blocks) on large
+meshes.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import StencilApp
+from repro.gpubaseline.traffic import JACOBI_TRAFFIC
+from repro.mesh.mesh import Field, MeshSpec
+from repro.stencil.builders import jacobi3d_7pt
+from repro.stencil.program import single_kernel_program
+
+#: Table II parameters
+JACOBI_CLOCK_MHZ = 246.0
+JACOBI_V = 8
+JACOBI_P = 29
+#: Table III tiled parameters
+JACOBI_TILED_V = 64
+JACOBI_TILED_P = 3
+
+
+def _make_fields(spec: MeshSpec, seed: int) -> dict[str, Field]:
+    return {"U": Field.random("U", spec, seed=seed, lo=0.0, hi=1.0)}
+
+
+def jacobi3d_app(mesh_shape: tuple[int, int, int] = (50, 50, 50)) -> StencilApp:
+    """The Jacobi-7pt-3D application preset."""
+    program = single_kernel_program(
+        "jacobi_7pt_3d",
+        MeshSpec(mesh_shape),
+        jacobi3d_7pt(),
+        description="3D Jacobi iteration, 2nd-order 7-point star stencil (eq. 18)",
+    )
+    return StencilApp(
+        name="Jacobi-7pt-3D",
+        program=program,
+        paper_clock_mhz=JACOBI_CLOCK_MHZ,
+        V=JACOBI_V,
+        p=JACOBI_P,
+        memory="HBM",
+        gpu_traffic=JACOBI_TRAFFIC,
+        make_fields=_make_fields,
+        tiled_V=JACOBI_TILED_V,
+        tiled_p=JACOBI_TILED_P,
+        tiled_memory="HBM",  # p=3 reuse leaves ~80 GB/s of physical traffic
+        notes="Plane buffers of D*m*n elements per module bound the mesh size (eq. 7).",
+    )

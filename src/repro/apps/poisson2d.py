@@ -1,0 +1,51 @@
+"""Poisson-5pt-2D (paper Section V-A, eq. (16)).
+
+``U' = 1/8 (U[i-1,j] + U[i+1,j] + U[i,j-1] + U[i,j+1]) + 1/2 U[i,j]``
+
+Design point from Table II: V=8 (one DDR4 channel / two HBM channels at
+300 MHz, eq. (4)), p=60 synthesized at 250 MHz (routing congestion capped
+the clock below the 300 MHz default). G_dsp = 14. The spatially blocked
+variant (Table III) keeps the same pipeline (p=60, V=8) with 2D blocks of
+M = 8192 columns.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import StencilApp
+from repro.gpubaseline.traffic import POISSON_TRAFFIC
+from repro.mesh.mesh import Field, MeshSpec
+from repro.stencil.builders import jacobi2d_5pt
+from repro.stencil.program import single_kernel_program
+
+#: Table II parameters
+POISSON_CLOCK_MHZ = 250.0
+POISSON_V = 8
+POISSON_P = 60
+
+
+def _make_fields(spec: MeshSpec, seed: int) -> dict[str, Field]:
+    """A smooth reproducible initial condition (random interior, zero mean)."""
+    return {"U": Field.random("U", spec, seed=seed, lo=0.0, hi=1.0)}
+
+
+def poisson2d_app(mesh_shape: tuple[int, int] = (200, 100)) -> StencilApp:
+    """The Poisson-5pt-2D application preset."""
+    program = single_kernel_program(
+        "poisson_5pt_2d",
+        MeshSpec(mesh_shape),
+        jacobi2d_5pt(),
+        description="2D Poisson solver, 2nd-order 5-point star stencil (eq. 16)",
+    )
+    return StencilApp(
+        name="Poisson-5pt-2D",
+        program=program,
+        paper_clock_mhz=POISSON_CLOCK_MHZ,
+        V=POISSON_V,
+        p=POISSON_P,
+        memory="HBM",
+        gpu_traffic=POISSON_TRAFFIC,
+        make_fields=_make_fields,
+        tiled_V=POISSON_V,
+        tiled_p=POISSON_P,
+        notes="Baseline V from eq. (4) with one DDR4 channel; tiled design reuses the pipeline.",
+    )

@@ -1,0 +1,32 @@
+"""Application registry used by the harness and examples."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.base import StencilApp
+from repro.apps.jacobi3d import jacobi3d_app
+from repro.apps.poisson2d import poisson2d_app
+from repro.apps.rtm import rtm_app
+from repro.util.errors import ValidationError
+
+_FACTORIES: dict[str, Callable[[], StencilApp]] = {
+    "poisson2d": poisson2d_app,
+    "jacobi3d": jacobi3d_app,
+    "rtm": rtm_app,
+}
+
+
+def all_apps() -> dict[str, StencilApp]:
+    """Instantiate all three paper applications with default meshes."""
+    return {name: factory() for name, factory in _FACTORIES.items()}
+
+
+def app_by_name(name: str) -> StencilApp:
+    """Instantiate one application by registry name."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise ValidationError(
+            f"unknown app {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None

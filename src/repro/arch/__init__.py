@@ -1,0 +1,35 @@
+"""Hardware substrate models: FPGA devices, memory interfaces, clocking, GPUs."""
+
+from repro.arch.device import (
+    FPGADevice,
+    MemoryBank,
+    ALVEO_U280,
+    ALVEO_U250,
+    device_by_name,
+)
+from repro.arch.memory import (
+    AXIPort,
+    burst_cycles,
+    effective_bandwidth,
+    strided_transfer_efficiency,
+)
+from repro.arch.clocking import ClockModel, DEFAULT_CLOCK_MODEL
+from repro.arch.gpu import GPUDevice, NVIDIA_V100
+from repro.arch.floorplan import SLRFloorplan
+
+__all__ = [
+    "FPGADevice",
+    "MemoryBank",
+    "ALVEO_U280",
+    "ALVEO_U250",
+    "device_by_name",
+    "AXIPort",
+    "burst_cycles",
+    "effective_bandwidth",
+    "strided_transfer_efficiency",
+    "ClockModel",
+    "DEFAULT_CLOCK_MODEL",
+    "GPUDevice",
+    "NVIDIA_V100",
+    "SLRFloorplan",
+]

@@ -1,0 +1,65 @@
+"""Achievable-frequency model.
+
+The paper observes (Sections III-A and V-A) that Vivado HLS targets 300 MHz
+by default, but designs that occupy a large fraction of the device — in
+particular deep iterative pipelines spanning multiple SLRs — suffer routing
+congestion and close timing at a lower clock: Poisson with p=60 ran at
+250 MHz, Jacobi at 246 MHz, RTM at 261 MHz.
+
+No analytic model predicts placement-and-route exactly; the paper itself
+adjusts the frequency "by trial". We model the observed trend: full speed up
+to a utilization knee, then a linear derate with combined DSP/memory
+utilization, plus a fixed penalty per SLR crossing. Designs may override the
+model with a measured frequency, which is what the application presets do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_in_range, check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class ClockModel:
+    """Linear-derate clock estimate.
+
+    ``f = f_target * (1 - derate * max(0, util - knee)) - slr_penalty_mhz * crossings``
+    clamped to ``[f_floor, f_target]``.
+    """
+
+    target_mhz: float = 300.0
+    floor_mhz: float = 150.0
+    utilization_knee: float = 0.55
+    derate: float = 0.42
+    slr_penalty_mhz: float = 4.0
+
+    def __post_init__(self):
+        check_positive("target_mhz", self.target_mhz)
+        check_positive("floor_mhz", self.floor_mhz)
+        check_in_range("utilization_knee", self.utilization_knee, 0.0, 1.0)
+        check_non_negative("derate", self.derate)
+        check_non_negative("slr_penalty_mhz", self.slr_penalty_mhz)
+
+    def estimate_mhz(self, utilization: float, slr_crossings: int = 0) -> float:
+        """Estimated achievable clock for a given device utilization.
+
+        Parameters
+        ----------
+        utilization:
+            The binding resource utilization of the design in [0, 1] — the
+            max of DSP and on-chip-memory utilization.
+        slr_crossings:
+            Number of SLR boundaries the critical dataflow path crosses.
+        """
+        check_in_range("utilization", utilization, 0.0, 1.0)
+        check_non_negative("slr_crossings", slr_crossings)
+        f = self.target_mhz
+        over = max(0.0, utilization - self.utilization_knee)
+        f *= 1.0 - self.derate * over
+        f -= self.slr_penalty_mhz * slr_crossings
+        return min(self.target_mhz, max(self.floor_mhz, f))
+
+
+#: Calibrated so the three paper designs land in their measured 246-261 MHz band.
+DEFAULT_CLOCK_MODEL = ClockModel()

@@ -1,0 +1,187 @@
+"""FPGA device models.
+
+The inventory follows the paper's Table I for the Xilinx Alveo U280:
+
+=============  =====================================================
+DSP blocks     8490
+BRAM           6.6 MB (1487 x 36 Kb blocks)
+URAM           34.5 MB (960 x 288 Kb blocks)
+HBM            8 GB, 460 GB/s, 32 channels
+DDR4           32 GB, 38.4 GB/s in 2 banks (1 channel per bank)
+SLRs           3 (design spanning SLRs degrades routing/frequency)
+=============  =====================================================
+
+On-chip memory is quantized: BRAM in 36 Kb blocks (usable as 2 x 18 Kb) and
+URAM in 288 Kb blocks with fixed 72-bit native width. The paper notes this
+quantization plus routing slack limits practical utilization to 80-90% of
+the raw capacity, which :meth:`FPGADevice.usable_on_chip_bytes` models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from repro.util.errors import ValidationError
+from repro.util.units import GB, MHZ
+from repro.util.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class MemoryBank:
+    """One external/near-chip memory system (HBM stack or DDR4 bank group)."""
+
+    kind: str  # "HBM" or "DDR4"
+    capacity_bytes: int
+    total_bandwidth: float  # bytes/second, peak over all channels
+    channels: int
+
+    def __post_init__(self):
+        if self.kind not in ("HBM", "DDR4"):
+            raise ValidationError(f"memory kind must be HBM or DDR4, got {self.kind!r}")
+        check_positive("capacity_bytes", self.capacity_bytes)
+        check_positive("total_bandwidth", self.total_bandwidth)
+        check_positive("channels", self.channels)
+
+    @property
+    def channel_bandwidth(self) -> float:
+        """Peak bandwidth of a single channel (``BW_channel`` in eq. (4))."""
+        return self.total_bandwidth / self.channels
+
+
+#: bits per BRAM block (36 Kb true dual port)
+BRAM_BLOCK_BITS = 36 * 1024
+#: bits per URAM block (288 Kb)
+URAM_BLOCK_BITS = 288 * 1024
+#: native URAM word width in bits (fixed 72-bit)
+URAM_WIDTH_BITS = 72
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Resource inventory and interfaces of an FPGA accelerator card."""
+
+    name: str
+    dsp_blocks: int
+    bram_blocks: int
+    uram_blocks: int
+    slr_count: int
+    hbm: MemoryBank | None
+    ddr4: MemoryBank | None
+    default_clock_mhz: float = 300.0
+    axi_bus_bits: int = 512
+    #: fraction of raw on-chip memory practically usable (paper: 80-90%)
+    mem_utilization_target: float = 0.85
+    #: fraction of DSP blocks budgeted for compute (paper assumes 90%)
+    dsp_utilization_target: float = 0.90
+
+    def __post_init__(self):
+        check_positive("dsp_blocks", self.dsp_blocks)
+        check_positive("bram_blocks", self.bram_blocks)
+        check_positive("uram_blocks", self.uram_blocks)
+        check_positive("slr_count", self.slr_count)
+        check_positive("default_clock_mhz", self.default_clock_mhz)
+        check_in_range("mem_utilization_target", self.mem_utilization_target, 0.1, 1.0)
+        check_in_range("dsp_utilization_target", self.dsp_utilization_target, 0.1, 1.0)
+        if self.hbm is None and self.ddr4 is None:
+            raise ValidationError(f"device '{self.name}' has no external memory")
+
+    # -- on-chip memory -----------------------------------------------------------
+    @property
+    def bram_bytes(self) -> int:
+        """Raw BRAM capacity in bytes."""
+        return self.bram_blocks * BRAM_BLOCK_BITS // 8
+
+    @property
+    def uram_bytes(self) -> int:
+        """Raw URAM capacity in bytes."""
+        return self.uram_blocks * URAM_BLOCK_BITS // 8
+
+    @property
+    def on_chip_bytes(self) -> int:
+        """Raw combined BRAM + URAM capacity (``FPGA_mem`` in eq. (7))."""
+        return self.bram_bytes + self.uram_bytes
+
+    def usable_on_chip_bytes(self) -> int:
+        """On-chip bytes after the practical utilization target."""
+        return int(self.on_chip_bytes * self.mem_utilization_target)
+
+    def usable_dsp(self) -> int:
+        """DSP blocks after the utilization target (``FPGA_dsp`` in eq. (6))."""
+        return int(self.dsp_blocks * self.dsp_utilization_target)
+
+    # -- external memory ----------------------------------------------------------
+    def memory(self, target: str) -> MemoryBank:
+        """The memory bank for a named target ('HBM' or 'DDR4')."""
+        if target == "HBM":
+            bank = self.hbm
+        elif target == "DDR4":
+            bank = self.ddr4
+        else:
+            raise ValidationError(f"unknown memory target {target!r}")
+        if bank is None:
+            raise ValidationError(f"device '{self.name}' has no {target}")
+        return bank
+
+    @property
+    def memory_targets(self) -> tuple[str, ...]:
+        """Available external memory targets."""
+        targets = []
+        if self.hbm is not None:
+            targets.append("HBM")
+        if self.ddr4 is not None:
+            targets.append("DDR4")
+        return tuple(targets)
+
+    @property
+    def axi_bus_bytes(self) -> int:
+        """AXI data bus width in bytes (64 B for the 512-bit designs)."""
+        return self.axi_bus_bits // 8
+
+    # -- per-SLR resources ----------------------------------------------------
+    @property
+    def dsp_per_slr(self) -> int:
+        """DSP blocks per SLR (uniform split assumed)."""
+        return self.dsp_blocks // self.slr_count
+
+    @property
+    def on_chip_bytes_per_slr(self) -> int:
+        """On-chip memory per SLR (uniform split assumed)."""
+        return self.on_chip_bytes // self.slr_count
+
+
+#: The paper's evaluation device (Table I).
+ALVEO_U280 = FPGADevice(
+    name="Xilinx Alveo U280",
+    dsp_blocks=8490,
+    bram_blocks=1487,
+    uram_blocks=960,
+    slr_count=3,
+    hbm=MemoryBank("HBM", 8 * GB, 460.0 * GB, 32),
+    ddr4=MemoryBank("DDR4", 32 * GB, 38.4 * GB, 2),
+    default_clock_mhz=300.0,
+)
+
+#: A DDR-only sibling card, used by the design-space exploration examples.
+ALVEO_U250 = FPGADevice(
+    name="Xilinx Alveo U250",
+    dsp_blocks=12288,
+    bram_blocks=2000,
+    uram_blocks=1280,
+    slr_count=4,
+    hbm=None,
+    ddr4=MemoryBank("DDR4", 64 * GB, 77.0 * GB, 4),
+    default_clock_mhz=300.0,
+)
+
+_DEVICES = {d.name: d for d in (ALVEO_U280, ALVEO_U250)}
+_DEVICES.update({"U280": ALVEO_U280, "U250": ALVEO_U250})
+
+
+def device_by_name(name: str) -> FPGADevice:
+    """Look up a predefined device by full or short name."""
+    try:
+        return _DEVICES[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown device {name!r}; available: {sorted(_DEVICES)}"
+        ) from None

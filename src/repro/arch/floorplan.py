@@ -1,0 +1,81 @@
+"""SLR floorplanning heuristics.
+
+Modern Xilinx devices are split into Super Logic Regions; bandwidth within
+an SLR is abundant but inter-SLR connections are scarce, so a compute module
+that straddles a boundary congests routing and drops the clock (paper
+Sections II/V-C). The RTM design keeps each fused four-loop compute module
+inside one SLR by choosing V=1, giving p=3 on the U280's three SLRs.
+
+This module answers two floorplanning questions the workflow needs:
+
+* does one compute module fit within a single SLR's resources?
+* how many SLR boundaries does a chain of ``p`` modules cross?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.device import FPGADevice
+from repro.util.errors import ValidationError
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SLRFloorplan:
+    """Placement summary for a chain of identical compute modules."""
+
+    device: FPGADevice
+    modules: int
+    module_dsp: int
+    module_mem_bytes: int
+
+    def __post_init__(self):
+        check_positive("modules", self.modules)
+        if self.module_dsp < 0 or self.module_mem_bytes < 0:
+            raise ValidationError("module resources must be non-negative")
+
+    @property
+    def module_fits_one_slr(self) -> bool:
+        """True when a single module's resources fit within one SLR."""
+        return (
+            self.module_dsp <= self.device.dsp_per_slr
+            and self.module_mem_bytes <= self.device.on_chip_bytes_per_slr
+        )
+
+    @property
+    def modules_per_slr(self) -> int:
+        """How many whole modules one SLR can host (0 if none fit)."""
+        if self.module_dsp == 0 and self.module_mem_bytes == 0:
+            return self.modules
+        by_dsp = (
+            self.device.dsp_per_slr // self.module_dsp
+            if self.module_dsp
+            else self.modules
+        )
+        by_mem = (
+            self.device.on_chip_bytes_per_slr // self.module_mem_bytes
+            if self.module_mem_bytes
+            else self.modules
+        )
+        return int(min(by_dsp, by_mem))
+
+    @property
+    def slr_crossings(self) -> int:
+        """SLR boundaries crossed by the module chain.
+
+        If each module fits in an SLR, modules pack into SLRs and only the
+        chain links between SLRs cross; otherwise every module straddles and
+        the estimate is pessimistic (one crossing per module).
+        """
+        if self.modules_per_slr >= 1:
+            slrs_used = -(-self.modules // self.modules_per_slr)
+            return max(0, min(slrs_used, self.device.slr_count) - 1)
+        return self.modules
+
+    @property
+    def slrs_used(self) -> int:
+        """Number of SLRs occupied by the chain (capped at the device count)."""
+        if self.modules_per_slr >= 1:
+            return min(self.device.slr_count, -(-self.modules // self.modules_per_slr))
+        return self.device.slr_count

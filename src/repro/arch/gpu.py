@@ -1,0 +1,49 @@
+"""GPU device descriptions used by the baseline performance model.
+
+The paper's comparison platform is an Nvidia Tesla V100 PCIe (Table I):
+16 GB HBM2 at 900 GB/s peak. The baseline model additionally needs launch
+latency and power envelope figures; these are the commonly reported values
+for CUDA 9/V100-class systems and are calibrated against the paper's
+measured runtimes in :mod:`repro.gpubaseline.model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import GB
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """A GPU accelerator for the baseline comparison model."""
+
+    name: str
+    memory_bytes: int
+    peak_bandwidth: float  # bytes/second
+    sm_count: int
+    #: end-to-end kernel launch + dependency latency in an iterative loop (s)
+    launch_latency_s: float
+    idle_watts: float
+    max_watts: float
+
+    def __post_init__(self):
+        check_positive("memory_bytes", self.memory_bytes)
+        check_positive("peak_bandwidth", self.peak_bandwidth)
+        check_positive("sm_count", self.sm_count)
+        check_positive("launch_latency_s", self.launch_latency_s)
+        check_positive("idle_watts", self.idle_watts)
+        check_positive("max_watts", self.max_watts)
+
+
+#: The paper's comparison GPU (Table I).
+NVIDIA_V100 = GPUDevice(
+    name="Nvidia Tesla V100 PCIe",
+    memory_bytes=16 * GB,
+    peak_bandwidth=900.0 * GB,
+    sm_count=80,
+    launch_latency_s=7.0e-6,
+    idle_watts=40.0,
+    max_watts=250.0,
+)

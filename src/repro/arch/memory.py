@@ -1,0 +1,104 @@
+"""AXI memory-transaction model.
+
+The paper (Section IV-A) characterises the U280's memory interface with a
+concrete example: "it takes 16 clock cycles to transfer 1024 bytes via the
+512-bit wide AXI interface bus, but the latency of the transfer is about 14
+clock cycles" — so small or strided transfers must keep multiple requests in
+flight to hide the per-transaction latency, and tiled designs lose bandwidth
+when the contiguous run within a tile is short. This module models exactly
+that effect; the tiler and the tiling performance model both consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+from repro.util.rounding import ceil_div, round_up
+from repro.util.validation import check_positive
+
+#: per-transaction latency in clock cycles (paper Section IV-A)
+DEFAULT_TRANSACTION_LATENCY = 14
+#: maximum AXI burst payload modelled (paper: 4 KB transfer granularity)
+MAX_BURST_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class AXIPort:
+    """One AXI master port between the accelerator and a memory channel."""
+
+    bus_bits: int = 512
+    latency_cycles: int = DEFAULT_TRANSACTION_LATENCY
+    max_outstanding: int = 16
+    max_burst_bytes: int = MAX_BURST_BYTES
+
+    def __post_init__(self):
+        check_positive("bus_bits", self.bus_bits)
+        if self.bus_bits % 8:
+            raise ValidationError(f"bus_bits must be a multiple of 8, got {self.bus_bits}")
+        check_positive("latency_cycles", self.latency_cycles)
+        check_positive("max_outstanding", self.max_outstanding)
+        check_positive("max_burst_bytes", self.max_burst_bytes)
+
+    @property
+    def bus_bytes(self) -> int:
+        """Data bus width in bytes."""
+        return self.bus_bits // 8
+
+
+def burst_cycles(port: AXIPort, nbytes: int) -> int:
+    """Clock cycles to move one contiguous transfer of ``nbytes``.
+
+    The transfer is split into bursts of at most ``max_burst_bytes``. Beats
+    within a burst stream back to back; each burst pays the transaction
+    latency once (unless hidden, which :func:`stream_cycles` accounts for).
+    """
+    check_positive("nbytes", nbytes)
+    total = 0
+    remaining = nbytes
+    while remaining > 0:
+        chunk = min(remaining, port.max_burst_bytes)
+        total += ceil_div(chunk, port.bus_bytes) + port.latency_cycles
+        remaining -= chunk
+    return total
+
+
+def stream_cycles(port: AXIPort, chunk_bytes: int, num_chunks: int) -> int:
+    """Cycles to move ``num_chunks`` independent transfers of ``chunk_bytes``.
+
+    With enough outstanding requests the latency of one transaction hides
+    behind the data beats of others; throughput is then limited by
+    ``max(beats, latency / max_outstanding)`` per chunk. The pipeline always
+    pays one full latency at the start.
+    """
+    check_positive("chunk_bytes", chunk_bytes)
+    check_positive("num_chunks", num_chunks)
+    beats = ceil_div(min(chunk_bytes, port.max_burst_bytes), port.bus_bytes)
+    bursts_per_chunk = ceil_div(chunk_bytes, port.max_burst_bytes)
+    # effective issue interval per burst once the request window is full
+    per_burst = max(beats, ceil_div(port.latency_cycles, port.max_outstanding))
+    return port.latency_cycles + per_burst * bursts_per_chunk * num_chunks
+
+
+def effective_bandwidth(
+    port: AXIPort, clock_hz: float, chunk_bytes: int, num_chunks: int = 1024
+) -> float:
+    """Achievable bytes/second for a stream of ``chunk_bytes`` transfers."""
+    check_positive("clock_hz", clock_hz)
+    cycles = stream_cycles(port, chunk_bytes, num_chunks)
+    return chunk_bytes * num_chunks / (cycles / clock_hz)
+
+
+def strided_transfer_efficiency(port: AXIPort, run_bytes: int) -> float:
+    """Fraction of peak port bandwidth achieved with contiguous runs of ``run_bytes``.
+
+    Tiled access reads ``M``-element runs out of longer rows; the run is
+    aligned up to the bus width (512-bit alignment rule) and the per-burst
+    overhead is amortized over the run length.
+    """
+    check_positive("run_bytes", run_bytes)
+    aligned = round_up(run_bytes, port.bus_bytes)
+    cycles = stream_cycles(port, aligned, 1024) / 1024.0
+    ideal = aligned / port.bus_bytes
+    useful = run_bytes / aligned
+    return (ideal / cycles) * useful

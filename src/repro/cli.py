@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``apps``
+    List the three paper applications and their validated design points.
+``experiments [--id ID]``
+    Run one or all registered paper experiments and print the tables.
+``report [--output PATH]``
+    Regenerate EXPERIMENTS.md.
+``explore APP --mesh MxN[xL] [--niter N] [--tiled]``
+    Rank feasible design points for an application workload.
+``codegen APP [--out DIR] [--mesh MxN[xL]]``
+    Emit the Vivado HLS project for an application's paper design.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.apps.registry import all_apps, app_by_name
+from repro.util.errors import ReproError
+
+
+def _parse_mesh(text: str) -> tuple[int, ...]:
+    try:
+        shape = tuple(int(part) for part in text.lower().split("x"))
+    except ValueError:
+        raise ReproError(f"cannot parse mesh {text!r}; expected e.g. 400x400") from None
+    if len(shape) not in (2, 3):
+        raise ReproError(f"mesh must be 2D or 3D, got {text!r}")
+    return shape
+
+
+def _cmd_apps(_: argparse.Namespace) -> int:
+    from repro.model.resources import gdsp_program
+    from repro.util.tables import TextTable
+
+    table = TextTable(
+        ["name", "mesh", "V", "p", "clock MHz", "memory", "Gdsp", "II"],
+        title="Registered applications (paper Section V)",
+    )
+    for key, app in all_apps().items():
+        table.add_row(
+            [
+                key,
+                str(app.program.mesh),
+                app.V,
+                app.p,
+                app.paper_clock_mhz,
+                app.memory,
+                gdsp_program(app.program),
+                app.initiation_interval,
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import all_experiments, experiment_by_id
+
+    experiments = (
+        [experiment_by_id(args.id)] if args.id else list(all_experiments())
+    )
+    for exp in experiments:
+        print(exp.run().render())
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness.report import write_report
+
+    path = write_report(args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.arch.device import device_by_name
+    from repro.model.design import Workload, explore_designs
+    from repro.util.tables import TextTable
+    from repro.util.units import GB
+
+    app = app_by_name(args.app)
+    mesh = _parse_mesh(args.mesh) if args.mesh else app.program.mesh.shape
+    program = app.program_on(mesh)
+    device = device_by_name(args.device)
+    workload = Workload(program.mesh, args.niter, args.batch)
+    ranked = explore_designs(program, device, workload, tiled=args.tiled, top_k=args.top)
+    table = TextTable(
+        ["V", "p", "clock MHz", "tile", "runtime (s)", "GB/s", "W"],
+        title=f"{app.name} on {device.name}: {args.niter} iters, mesh {args.mesh or mesh}",
+    )
+    for design, metrics in ranked:
+        table.add_row(
+            [
+                design.V,
+                design.p,
+                f"{design.clock_mhz:.0f}",
+                design.tile.tile if design.tile else "-",
+                metrics.seconds,
+                metrics.logical_bandwidth / GB,
+                metrics.power_w,
+            ]
+        )
+    print(table.render())
+    if not ranked:
+        print("no feasible designs found — try --tiled for large meshes")
+        return 1
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    from repro.hls.project import HLSProject
+
+    app = app_by_name(args.app)
+    mesh = _parse_mesh(args.mesh) if args.mesh else app.program.mesh.shape
+    project = HLSProject(app.program_on(mesh), app.design())
+    written = project.write_to(args.out)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FPGA stencil-accelerator workflow (IPDPS 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list applications").set_defaults(fn=_cmd_apps)
+
+    p_exp = sub.add_parser("experiments", help="run paper experiments")
+    p_exp.add_argument("--id", help="one experiment id (e.g. fig3a)")
+    p_exp.set_defaults(fn=_cmd_experiments)
+
+    p_rep = sub.add_parser("report", help="write EXPERIMENTS.md")
+    p_rep.add_argument("--output", default="EXPERIMENTS.md")
+    p_rep.set_defaults(fn=_cmd_report)
+
+    p_explore = sub.add_parser("explore", help="design-space exploration")
+    p_explore.add_argument("app", help="app name (poisson2d | jacobi3d | rtm)")
+    p_explore.add_argument("--mesh", help="mesh shape, e.g. 400x400")
+    p_explore.add_argument("--niter", type=int, default=1000)
+    p_explore.add_argument("--batch", type=int, default=1)
+    p_explore.add_argument("--tiled", action="store_true")
+    p_explore.add_argument("--device", default="U280")
+    p_explore.add_argument("--top", type=int, default=5)
+    p_explore.set_defaults(fn=_cmd_explore)
+
+    p_gen = sub.add_parser("codegen", help="emit the Vivado HLS project")
+    p_gen.add_argument("app")
+    p_gen.add_argument("--out", default="hls_out")
+    p_gen.add_argument("--mesh")
+    p_gen.set_defaults(fn=_cmd_codegen)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Data movers: AXI read/write units between external memory and the pipeline.
+
+The paper's designs keep the memory interface busy with 512-bit burst
+transfers; contiguous full-mesh streams reach near-peak channel bandwidth
+while tiled (strided) streams pay per-run latency and alignment overhead
+(Section IV-A). :class:`DataMover` converts a transfer plan into cycles and
+bytes using the :mod:`repro.arch.memory` burst model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.device import FPGADevice, MemoryBank
+from repro.arch.memory import AXIPort, stream_cycles
+from repro.mesh.padding import aligned_row_bytes
+from repro.util.rounding import ceil_div
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    """Outcome of one planned transfer stream."""
+
+    bytes_useful: int
+    bytes_moved: int
+    cycles: int
+
+    @property
+    def efficiency(self) -> float:
+        """Useful fraction of moved bytes (alignment overhead excluded)."""
+        return self.bytes_useful / self.bytes_moved if self.bytes_moved else 1.0
+
+
+class DataMover:
+    """Plans contiguous and strided transfers for one memory channel."""
+
+    def __init__(self, device: FPGADevice, memory: str, clock_hz: float):
+        check_positive("clock_hz", clock_hz)
+        self.device = device
+        self.bank: MemoryBank = device.memory(memory)
+        self.clock_hz = clock_hz
+        self.port = AXIPort(bus_bits=device.axi_bus_bits)
+
+    def contiguous(self, nbytes: int) -> TransferStats:
+        """A single long contiguous stream (baseline/batched mesh traversal)."""
+        check_positive("nbytes", nbytes)
+        chunks = ceil_div(nbytes, self.port.max_burst_bytes)
+        cycles = stream_cycles(self.port, self.port.max_burst_bytes, chunks)
+        moved = chunks * self.port.max_burst_bytes
+        # the final chunk is short; count moved bytes exactly
+        moved = nbytes + (-nbytes) % self.port.bus_bytes
+        return TransferStats(nbytes, moved, cycles)
+
+    def strided_rows(self, row_bytes: int, num_rows: int) -> TransferStats:
+        """``num_rows`` fixed-length runs at a stride (tiled access).
+
+        Each run is aligned up to the 512-bit bus; runs are independent
+        transactions whose latency overlaps up to the outstanding limit.
+        """
+        check_positive("row_bytes", row_bytes)
+        check_positive("num_rows", num_rows)
+        aligned = aligned_row_bytes(1, row_bytes, self.port.bus_bytes)
+        cycles = stream_cycles(self.port, aligned, num_rows)
+        return TransferStats(row_bytes * num_rows, aligned * num_rows, cycles)
+
+    def channel_limited_cycles(self, nbytes: float, channels: int = 1) -> float:
+        """Cycles for ``nbytes`` at the channel's peak bandwidth (no overheads)."""
+        check_positive("channels", channels)
+        seconds = nbytes / (self.bank.channel_bandwidth * channels)
+        return seconds * self.clock_hz

@@ -1,0 +1,93 @@
+"""Iterative pipeline: ``p`` chained compute modules (paper Fig. 2).
+
+Unrolling the time loop feeds iteration ``k``'s output straight into
+iteration ``k+1`` without touching external memory; one *pass* through the
+pipeline advances the solution by ``p`` iterations at the cost of one mesh
+traversal plus the chained fill latency ``p * sum(D_i/2)`` lines.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.dataflow.module import StencilModule
+from repro.mesh.mesh import Field
+from repro.stencil.program import StencilProgram
+from repro.util.errors import ValidationError
+from repro.util.rounding import ceil_div
+from repro.util.validation import check_positive
+
+
+class IterativePipeline:
+    """A chain of ``p`` identical compute modules."""
+
+    def __init__(self, program: StencilProgram, V: int, p: int):
+        check_positive("p", p)
+        self.program = program
+        self.V = V
+        self.p = p
+        # modules are identical hardware; one functional instance suffices
+        self.module = StencilModule(program, V)
+
+    # -- functional ---------------------------------------------------------------
+    def run_pass(
+        self,
+        fields: Mapping[str, Field],
+        coefficients: Mapping[str, float] | None = None,
+    ) -> dict[str, Field]:
+        """One pass = ``p`` chained iterations."""
+        env: dict[str, Field] = dict(fields)
+        for _ in range(self.p):
+            env = self.module.process(env, coefficients)
+        return env
+
+    def run(
+        self,
+        fields: Mapping[str, Field],
+        niter: int,
+        coefficients: Mapping[str, float] | None = None,
+    ) -> dict[str, Field]:
+        """Run ``niter`` iterations (must be a multiple of ``p``).
+
+        The hardware pipeline always advances ``p`` iterations per pass; a
+        remainder would require a bypass datapath the paper's designs do not
+        implement.
+        """
+        check_positive("niter", niter)
+        if niter % self.p:
+            raise ValidationError(
+                f"niter={niter} is not a multiple of the unroll factor p={self.p}"
+            )
+        env: dict[str, Field] = dict(fields)
+        for _ in range(niter // self.p):
+            env = self.run_pass(env, coefficients)
+        return env
+
+    # -- structural cycle accounting ------------------------------------------
+    def pass_cycles(self, mesh_shape: tuple[int, ...], batch: int = 1, ii: float = 1.0) -> float:
+        """Cycles of one pass over a (possibly batched) mesh.
+
+        ``ceil(m/V)`` vectors per row; the stream is ``rows * batch`` rows
+        long plus the chained fill latency in rows/planes.
+        """
+        check_positive("batch", batch)
+        vectors_per_row = ceil_div(mesh_shape[0], self.V)
+        if len(mesh_shape) == 2:
+            stream_rows = mesh_shape[1] * batch
+            fill_rows = self.p * self.module.fill_lines()
+            return vectors_per_row * (stream_rows * ii + fill_rows)
+        rows_per_plane = mesh_shape[1]
+        stream_planes = mesh_shape[2] * batch
+        fill_planes = self.p * self.module.fill_lines()
+        return vectors_per_row * rows_per_plane * (stream_planes * ii + fill_planes)
+
+    def total_cycles(
+        self, mesh_shape: tuple[int, ...], niter: int, batch: int = 1, ii: float = 1.0
+    ) -> float:
+        """Cycles for the whole solve (``niter`` a multiple of ``p``)."""
+        passes = niter // self.p
+        if niter % self.p:
+            raise ValidationError(
+                f"niter={niter} is not a multiple of the unroll factor p={self.p}"
+            )
+        return passes * self.pass_cycles(mesh_shape, batch, ii)

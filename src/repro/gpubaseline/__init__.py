@@ -1,0 +1,25 @@
+"""V100 GPU baseline performance/power model.
+
+Stands in for the paper's measured Nvidia V100 runs (CUDA, nvidia-smi).
+Explicit stencil kernels on GPUs are memory-bandwidth bound; the model is a
+roofline with three calibrated ingredients:
+
+* per-iteration kernel-launch/dependency latency (dominates small meshes —
+  the paper's motivation for batching);
+* a mesh-size-dependent achievable-bandwidth curve (small grids underfill
+  the 80 SMs);
+* per-application DRAM traffic per cell per iteration (fused loop chains
+  move more than the 2x4 bytes of a simple ping-pong stencil).
+"""
+
+from repro.gpubaseline.traffic import GPUTraffic, POISSON_TRAFFIC, JACOBI_TRAFFIC, RTM_TRAFFIC
+from repro.gpubaseline.model import GPUPerformanceModel, GPUMetrics
+
+__all__ = [
+    "GPUTraffic",
+    "POISSON_TRAFFIC",
+    "JACOBI_TRAFFIC",
+    "RTM_TRAFFIC",
+    "GPUPerformanceModel",
+    "GPUMetrics",
+]

@@ -1,0 +1,85 @@
+"""V100 runtime/power/energy model.
+
+``runtime = niter * (kernels_per_iter * launch_latency + bytes / bw(cells))``
+
+with the achievable bandwidth following a Michaelis-Menten occupancy ramp::
+
+    bw(cells) = peak * peak_efficiency * cells / (cells + half)
+
+Batching multiplies the per-iteration payload by ``B`` without adding
+launches, which is exactly why the GPU, like the FPGA, gains so much from
+batched small meshes (paper Fig. 3(b)/4(b)/5(b)).
+
+Power follows the bandwidth utilization: ``P = idle + (max-idle) *
+(bw/peak)^0.5`` — calibrated so the paper's observed envelopes (40-210 W on
+Poisson, 77-240 W on Jacobi, 51-170 W on RTM) are recovered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.gpu import GPUDevice, NVIDIA_V100
+from repro.gpubaseline.traffic import GPUTraffic
+from repro.model.design import Workload
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class GPUMetrics:
+    """Model outputs for one GPU run."""
+
+    seconds: float
+    achieved_bandwidth: float
+    logical_bytes: float
+    power_w: float
+
+    @property
+    def energy_j(self) -> float:
+        """Energy over the run."""
+        return self.power_w * self.seconds
+
+    @property
+    def logical_bandwidth(self) -> float:
+        """Paper-convention bandwidth (logical bytes / runtime)."""
+        return self.logical_bytes / self.seconds
+
+
+class GPUPerformanceModel:
+    """Roofline + launch-latency model of an iterative stencil solve."""
+
+    def __init__(self, traffic: GPUTraffic, device: GPUDevice = NVIDIA_V100):
+        self.traffic = traffic
+        self.device = device
+
+    def achievable_bandwidth(self, cells: int) -> float:
+        """DRAM bandwidth achievable at a given total grid size."""
+        check_positive("cells", cells)
+        peak = self.device.peak_bandwidth * self.traffic.peak_efficiency
+        return peak * cells / (cells + self.traffic.saturation_half_cells)
+
+    def iteration_seconds(self, cells: int) -> float:
+        """Time of one time iteration over ``cells`` total mesh points."""
+        launch = self.traffic.kernels_per_iter * self.device.launch_latency_s
+        payload = self.traffic.bytes_per_cell_iter * cells
+        return launch + payload / self.achievable_bandwidth(cells)
+
+    def predict(self, workload: Workload) -> GPUMetrics:
+        """Runtime/bandwidth/power/energy for a (possibly batched) workload."""
+        cells = workload.total_points
+        seconds = workload.niter * self.iteration_seconds(cells)
+        bw = self.achievable_bandwidth(cells)
+        # power tracks how hard the memory system is driven
+        utilization = bw / self.device.peak_bandwidth
+        power = self.device.idle_watts + (
+            self.device.max_watts - self.device.idle_watts
+        ) * min(1.0, utilization) ** 0.5
+        logical = (
+            self.traffic.logical_bytes_per_cell_iter * cells * workload.niter
+        )
+        return GPUMetrics(
+            seconds=seconds,
+            achieved_bandwidth=bw,
+            logical_bytes=logical,
+            power_w=power,
+        )

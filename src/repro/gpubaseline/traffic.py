@@ -1,0 +1,73 @@
+"""Per-application GPU memory traffic accounting.
+
+``bytes_per_cell_iter`` is the DRAM traffic one mesh point generates per
+time iteration in the optimized GPU implementation (neighbour reads hit in
+cache, so a simple ping-pong stencil moves one read + one write of the
+state). ``kernels_per_iter`` is the number of kernel launches per time
+iteration (the RTM chain launches one fused kernel per stencil loop).
+
+``logical_bytes_per_cell_iter`` is the paper's reporting convention: all
+mesh arrays logically accessed by the loop chain, used for both FPGA and
+GPU bandwidth tables. For single-loop solvers the two coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class GPUTraffic:
+    """Traffic/launch profile of one application on the GPU."""
+
+    bytes_per_cell_iter: float
+    kernels_per_iter: int
+    logical_bytes_per_cell_iter: float
+    #: bandwidth-saturation half point in mesh cells (grid occupancy ramp)
+    saturation_half_cells: float
+    #: peak achievable fraction of device bandwidth for this kernel mix
+    peak_efficiency: float
+
+    def __post_init__(self):
+        check_positive("bytes_per_cell_iter", self.bytes_per_cell_iter)
+        check_positive("kernels_per_iter", self.kernels_per_iter)
+        check_positive("logical_bytes_per_cell_iter", self.logical_bytes_per_cell_iter)
+        check_positive("saturation_half_cells", self.saturation_half_cells)
+        check_positive("peak_efficiency", self.peak_efficiency)
+
+
+#: Poisson-5pt-2D: ping-pong scalar stencil, one kernel per iteration.
+#: 2D thread blocks fill the device quickly (half point ~100k cells); the
+#: best 2D stencil kernels reach ~65% of V100 peak (Table IV: 540-609 GB/s).
+POISSON_TRAFFIC = GPUTraffic(
+    bytes_per_cell_iter=8.0,
+    kernels_per_iter=1,
+    logical_bytes_per_cell_iter=8.0,
+    saturation_half_cells=1.0e5,
+    peak_efficiency=0.65,
+)
+
+#: Jacobi-7pt-3D: ping-pong scalar stencil; 3D grids ramp more slowly
+#: (Table V: 83 GB/s at 50^3 up to ~585 GB/s at 250^3).
+JACOBI_TRAFFIC = GPUTraffic(
+    bytes_per_cell_iter=8.0,
+    kernels_per_iter=1,
+    logical_bytes_per_cell_iter=8.0,
+    saturation_half_cells=2.5e5,
+    peak_efficiency=0.69,
+)
+
+#: RTM forward pass: four fused loops per iteration; intermediates
+#: K1..K3 and T spill to DRAM between loops, so physical ~= logical
+#: traffic (440 B/cell/iter over the chain). The complex 25-point kernel
+#: mix reaches a lower fraction of peak (paper: fpml ~180 GB/s, best single
+#: kernel ~340 GB/s).
+RTM_TRAFFIC = GPUTraffic(
+    bytes_per_cell_iter=440.0,
+    kernels_per_iter=4,
+    logical_bytes_per_cell_iter=440.0,
+    saturation_half_cells=6.0e4,
+    peak_efficiency=0.28,
+)

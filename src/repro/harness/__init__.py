@@ -1,0 +1,76 @@
+"""Experiment harness: one registered experiment per paper table and figure.
+
+Each experiment reproduces the corresponding artifact — same workloads, same
+rows/series — using the analytic model (the paper's "Pred" series), the
+dataflow simulator's structural estimate (the "measured-like" series) and
+the GPU baseline model, side by side with the paper's reported numbers from
+:mod:`repro.harness.paper_data`.
+"""
+
+from repro.harness.paper_data import (
+    TABLE2,
+    TABLE3,
+    FIG3A,
+    FIG4A,
+    FIG5A,
+    TABLE4_BASELINE,
+    TABLE4_TILED,
+    TABLE5_BASELINE,
+    TABLE5_TILED,
+    TABLE6,
+    Fig3aRow,
+)
+from repro.harness.experiments import (
+    Experiment,
+    all_experiments,
+    experiment_by_id,
+)
+from repro.harness.series import export_series, export_all_series, result_to_csv
+from repro.harness.runner import (
+    run_table2,
+    run_table3,
+    run_fig3a,
+    run_fig3b,
+    run_fig3c,
+    run_table4,
+    run_fig4a,
+    run_fig4b,
+    run_fig4c,
+    run_table5,
+    run_fig5a,
+    run_fig5b,
+    run_table6,
+)
+
+__all__ = [
+    "TABLE2",
+    "TABLE3",
+    "FIG3A",
+    "FIG4A",
+    "FIG5A",
+    "TABLE4_BASELINE",
+    "TABLE4_TILED",
+    "TABLE5_BASELINE",
+    "TABLE5_TILED",
+    "TABLE6",
+    "Fig3aRow",
+    "Experiment",
+    "all_experiments",
+    "experiment_by_id",
+    "export_series",
+    "export_all_series",
+    "result_to_csv",
+    "run_table2",
+    "run_table3",
+    "run_fig3a",
+    "run_fig3b",
+    "run_fig3c",
+    "run_table4",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig4c",
+    "run_table5",
+    "run_fig5a",
+    "run_fig5b",
+    "run_table6",
+]

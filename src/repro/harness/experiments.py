@@ -1,0 +1,53 @@
+"""Experiment registry: id -> runner, mirroring DESIGN.md's experiment index."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.harness import runner
+from repro.harness.runner import ExperimentResult
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered paper artifact reproduction."""
+
+    id: str
+    title: str
+    kind: str  # "table" | "figure"
+    run: Callable[[], ExperimentResult]
+
+
+_EXPERIMENTS = (
+    Experiment("table2", "Table II - model parameters", "table", runner.run_table2),
+    Experiment("table3", "Table III - spatial blocking parameters", "table", runner.run_table3),
+    Experiment("fig3a", "Fig 3(a) - Poisson baseline", "figure", runner.run_fig3a),
+    Experiment("fig3b", "Fig 3(b) - Poisson batching", "figure", runner.run_fig3b),
+    Experiment("fig3c", "Fig 3(c) - Poisson spatial blocking", "figure", runner.run_fig3c),
+    Experiment("table4", "Table IV - Poisson bandwidth & energy", "table", runner.run_table4),
+    Experiment("fig4a", "Fig 4(a) - Jacobi baseline", "figure", runner.run_fig4a),
+    Experiment("fig4b", "Fig 4(b) - Jacobi batching", "figure", runner.run_fig4b),
+    Experiment("fig4c", "Fig 4(c) - Jacobi spatial blocking", "figure", runner.run_fig4c),
+    Experiment("table5", "Table V - Jacobi bandwidth & energy", "table", runner.run_table5),
+    Experiment("fig5a", "Fig 5(a) - RTM baseline", "figure", runner.run_fig5a),
+    Experiment("fig5b", "Fig 5(b) - RTM batching", "figure", runner.run_fig5b),
+    Experiment("table6", "Table VI - RTM bandwidth & energy", "table", runner.run_table6),
+)
+
+
+def all_experiments() -> tuple[Experiment, ...]:
+    """Every registered experiment, in paper order."""
+    return _EXPERIMENTS
+
+
+def experiment_by_id(experiment_id: str) -> Experiment:
+    """Look up one experiment by its id (e.g. ``fig3a``)."""
+    for exp in _EXPERIMENTS:
+        if exp.id == experiment_id:
+            return exp
+    raise ValidationError(
+        f"unknown experiment {experiment_id!r}; "
+        f"available: {[e.id for e in _EXPERIMENTS]}"
+    )

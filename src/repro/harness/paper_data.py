@@ -1,0 +1,218 @@
+"""Digitized data from the paper's tables and figures.
+
+Sources:
+
+* Table II / Table III — printed verbatim in the paper.
+* Figures 3(a), 4(a), 5(a) — bar data labels printed in the figures.
+* Tables IV, V, VI — bandwidth (GB/s) and energy (kJ) tables.
+* Figures 3(b,c), 4(b,c), 5(b) — not labelled numerically in the text;
+  where needed, runtimes are derived from the corresponding bandwidth
+  tables via the paper's own convention
+  ``runtime = logical_bytes / bandwidth`` (noted per entry).
+
+All bandwidths are decimal GB/s, energies kJ, runtimes seconds, meshes in
+paper ``(m, n[, l])`` order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+# --------------------------------------------------------------------------- #
+# Table II: baseline/batching model parameters
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Table2Row:
+    """One application row of Table II."""
+
+    app: str
+    freq_mhz: float
+    gdsp: int
+    pdsp_model: int
+    pdsp_actual: int
+
+
+TABLE2 = (
+    Table2Row("Poisson-5pt-2D", 250.0, 14, 68, 60),
+    Table2Row("Jacobi-7pt-3D", 246.0, 33, 28, 29),
+    Table2Row("RTM-forward", 261.0, 2444, 3, 3),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Table III: spatial blocking model parameters
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Table3Row:
+    """One application row of Table III."""
+
+    app: str
+    p: int
+    V: int
+    M: int
+    N: int | None
+    throughput: float  # valid cells per clock
+    valid_ratio: float
+
+
+TABLE3 = (
+    Table3Row("Poisson-5pt-2D", 60, 8, 8192, None, 472.0, 0.985),
+    Table3Row("Jacobi-7pt-3D", 3, 64, 768, 768, 189.0, 0.984),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 3(a): Poisson baseline runtimes, 60000 iterations
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Fig3aRow:
+    """One mesh size of a baseline runtime figure."""
+
+    mesh: tuple[int, ...]
+    fpga_s: float
+    gpu_s: float
+
+
+POISSON_BASE_ITERS = 60000
+FIG3A = (
+    Fig3aRow((200, 100), 0.03, 0.51),
+    Fig3aRow((200, 200), 0.04, 0.56),
+    Fig3aRow((300, 150), 0.04, 0.43),
+    Fig3aRow((300, 300), 0.06, 0.59),
+    Fig3aRow((400, 200), 0.06, 0.58),
+    Fig3aRow((400, 400), 0.10, 0.62),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Table IV: Poisson bandwidth (GB/s) and energy (kJ)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BWRow:
+    """Bandwidths for one mesh across baseline and batched runs (GB/s)."""
+
+    mesh: tuple[int, ...]
+    fpga_base: float
+    gpu_base: float
+    fpga_batch_small: float | None  # 100B (Poisson) / 10B (Jacobi) / 20B (RTM)
+    gpu_batch_small: float | None
+    fpga_batch_large: float | None  # 1000B / 50B / 40B
+    gpu_batch_large: float | None
+    fpga_energy_kj: float | None  # at the large batch
+    gpu_energy_kj: float | None
+
+
+TABLE4_BASELINE = (
+    BWRow((200, 100), 384, 18, 857, 404, 867, 530, 0.77, 3.48),
+    BWRow((200, 200), 543, 32, 886, 465, 892, 540, 1.50, 6.74),
+    BWRow((300, 150), 535, 38, 901, 483, 907, 560, 1.66, 7.60),
+    BWRow((300, 300), 681, 69, 922, 530, None, None, None, None),
+    BWRow((400, 200), 612, 62, 889, 536, None, None, None, None),
+    BWRow((400, 400), 735, 116, 904, 560, None, None, None, None),
+)
+
+POISSON_BATCH_SMALL = 100
+POISSON_BATCH_LARGE = 1000
+
+
+@dataclass(frozen=True)
+class TiledRow:
+    """One (mesh, tile) point of a spatial-blocking table."""
+
+    mesh: tuple[int, ...]
+    tile: int
+    fpga_bw: float
+    gpu_bw: float | None
+    fpga_energy_kj: float | None
+    gpu_energy_kj: float | None
+
+
+POISSON_TILED_ITERS = 6000
+TABLE4_TILED = (
+    TiledRow((15000, 15000), 1024, 805, 607, 0.93, 2.91),
+    TiledRow((15000, 15000), 4096, 892, None, 0.84, None),
+    TiledRow((15000, 15000), 8000, 905, None, 0.83, None),
+    TiledRow((20000, 20000), 1024, 800, 609, 1.67, 4.96),
+    TiledRow((20000, 20000), 4096, 879, None, 1.52, None),
+    TiledRow((20000, 20000), 8000, 907, None, 1.48, None),
+)
+
+#: Fig 3(c) sweeps these tile sizes at 6000 iterations.
+POISSON_TILE_SWEEP = (512, 1024, 2048, 4096, 8000)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 4(a): Jacobi baseline runtimes, 29000 iterations
+# --------------------------------------------------------------------------- #
+JACOBI_BASE_ITERS = 29000
+FIG4A = (
+    Fig3aRow((50, 50, 50), 0.14, 0.32),
+    Fig3aRow((100, 100, 100), 0.77, 0.76),
+    Fig3aRow((150, 150, 150), 2.26, 1.61),
+    Fig3aRow((200, 200, 200), 4.97, 3.49),
+    Fig3aRow((250, 250, 250), 9.28, 6.04),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Table V: Jacobi bandwidth (GB/s) and energy (kJ)
+# --------------------------------------------------------------------------- #
+JACOBI_BATCH_ITERS = 2900
+JACOBI_BATCH_SMALL = 10
+JACOBI_BATCH_LARGE = 50
+
+TABLE5_BASELINE = (
+    BWRow((50, 50, 50), 202, 83, 307, 284, 323, 404, 0.04, 0.07),
+    BWRow((100, 100, 100), 301, 284, 378, 434, 387, 469, 0.27, 0.51),
+    BWRow((200, 200, 200), 374, 496, 421, 548, 426, 543, 1.96, 3.77),
+    BWRow((250, 250, 250), 391, 559, 431, 585, None, None, None, None),
+    BWRow((300, 300, 300), 403, 553, 438, 569, None, None, None, None),
+)
+
+JACOBI_TILED_ITERS = 120
+TABLE5_TILED = (
+    TiledRow((600, 600, 600), 256, 233, 392, 0.062, 0.106),
+    TiledRow((600, 600, 600), 512, 281, None, 0.051, None),
+    TiledRow((600, 600, 600), 640, 292, None, 0.049, None),
+    TiledRow((1800, 1800, 100), 256, 247, 363, 0.088, 0.143),
+    TiledRow((1800, 1800, 100), 512, 270, None, 0.080, None),
+    TiledRow((1800, 1800, 100), 640, 273, None, 0.079, None),
+)
+
+#: Fig 4(c) sweeps these tile sizes at 120 iterations.
+JACOBI_TILE_SWEEP = (256, 384, 512, 640, 768)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5(a): RTM baseline runtimes, 1800 iterations
+# --------------------------------------------------------------------------- #
+RTM_BASE_ITERS = 1800
+FIG5A = (
+    Fig3aRow((32, 32, 32), 0.28, 0.33),
+    Fig3aRow((32, 32, 50), 0.34, 0.40),
+    Fig3aRow((50, 50, 16), 0.35, 0.57),
+    Fig3aRow((50, 50, 32), 0.56, 0.69),
+    Fig3aRow((50, 50, 50), 0.76, 0.83),
+    Fig3aRow((50, 50, 200), 2.18, 2.00),
+    Fig3aRow((50, 50, 400), 4.12, 3.56),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Table VI: RTM bandwidth (GB/s) and energy (kJ)
+# --------------------------------------------------------------------------- #
+RTM_BATCH_ITERS = 180
+RTM_BATCH_SMALL = 20
+RTM_BATCH_LARGE = 40
+
+TABLE6 = (
+    BWRow((32, 32, 32), 108, 130, 225, 251, 232, 266, 0.043, 0.086),
+    BWRow((32, 32, 50), 141, 163, 247, 263, 253, 274, 0.062, 0.133),
+    BWRow((50, 50, 16), 77, 124, 210, 251, 220, 263, 0.055, 0.111),
+    BWRow((50, 50, 32), 127, 155, 262, 266, 270, 272, 0.091, 0.218),
+    BWRow((50, 50, 50), 165, 179, 287, 271, 293, 275, 0.130, 0.338),
+)
+
+#: Fig 5(b) uses the first five meshes of FIG5A at 180 iterations.
+FIG5B_MESHES = tuple(row.mesh for row in FIG5A[:5])

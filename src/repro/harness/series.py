@@ -1,0 +1,50 @@
+"""Figure-series export: the paper figures as machine-readable CSV.
+
+Each figure experiment's records become one CSV with the series as columns,
+so the exact bar/line data the benches print can be re-plotted or diffed
+externally. ``export_all_series`` writes one file per figure.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.harness.experiments import all_experiments
+from repro.harness.runner import ExperimentResult
+
+
+def result_to_csv(result: ExperimentResult) -> str:
+    """Render one experiment's records as CSV text."""
+    if not result.records:
+        return ""
+    fieldnames = list(result.records[0].keys())
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fieldnames)
+    writer.writeheader()
+    for rec in result.records:
+        row = {}
+        for key, value in rec.items():
+            if isinstance(value, tuple):
+                value = "x".join(str(v) for v in value)
+            row[key] = value
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def export_series(result: ExperimentResult, directory: str | Path) -> Path:
+    """Write one experiment's series to ``<directory>/<id>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.experiment_id}.csv"
+    path.write_text(result_to_csv(result))
+    return path
+
+
+def export_all_series(directory: str | Path = "series") -> list[Path]:
+    """Run every registered experiment and export its series; returns paths."""
+    paths = []
+    for exp in all_experiments():
+        paths.append(export_series(exp.run(), directory))
+    return paths

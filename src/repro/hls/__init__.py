@@ -1,0 +1,27 @@
+"""Vivado HLS C++ code generator.
+
+Emits the accelerator sources a user would hand to Vitis for the paper's
+template: window-buffer stencil stages with ``PIPELINE II=1`` flattened
+loops, a ``DATAFLOW`` region chaining ``p`` compute modules through
+``hls::stream`` FIFOs, 512-bit AXI masters per external field, an OpenCL
+host driver and the ``.cfg`` connectivity file mapping ports to HBM/DDR4
+channels.
+
+The generator consumes the same IR as the simulator and model, so the
+generated C++ mirrors exactly the architecture whose cycles were predicted.
+"""
+
+from repro.hls.cexpr import c_expr, c_type_for
+from repro.hls.codegen import HLSKernelGenerator
+from repro.hls.host import generate_host, generate_connectivity, generate_makefile
+from repro.hls.project import HLSProject
+
+__all__ = [
+    "c_expr",
+    "c_type_for",
+    "HLSKernelGenerator",
+    "generate_host",
+    "generate_connectivity",
+    "generate_makefile",
+    "HLSProject",
+]

@@ -1,0 +1,70 @@
+"""Expression-tree to C++ printing.
+
+Conventions used by the generated kernels:
+
+* a window access ``F[dx,dy(,dz)].c`` prints as
+  ``win_F[rz+dz][ry+dy][rx+dx].v[c]`` (axes present per rank; scalar fields
+  use component 0 of a one-float element struct);
+* an earlier same-kernel output read at the centre prints as the local
+  ``reg_<field>.v[c]`` register;
+* coefficients print as ``c_<name>`` (members of the coefficient struct);
+* constants print as float literals with an ``f`` suffix.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.stencil.expr import BinOp, Coef, Const, Expr, FieldAccess, Neg
+from repro.util.errors import ValidationError
+
+
+def c_type_for(components: int) -> str:
+    """The element struct type name for a field with ``components`` floats."""
+    if components <= 0:
+        raise ValidationError(f"components must be positive, got {components}")
+    return f"elem{components}_t"
+
+
+def c_expr(
+    expr: Expr,
+    radius: Sequence[int],
+    local_fields: Mapping[str, str] | None = None,
+) -> str:
+    """Print an expression as C++.
+
+    ``radius`` is the kernel's per-axis radius in paper order (used to bias
+    window indices to be non-negative). ``local_fields`` maps same-kernel
+    output names to their local register variable names.
+    """
+    locals_map = dict(local_fields or {})
+
+    def render(e: Expr) -> str:
+        if isinstance(e, Const):
+            value = e.value
+            if value == int(value) and abs(value) < 1e9:
+                return f"{value:.1f}f"
+            return f"{value!r}f"
+        if isinstance(e, Coef):
+            return f"c_{e.name}"
+        if isinstance(e, Neg):
+            return f"(-{render(e.operand)})"
+        if isinstance(e, FieldAccess):
+            if e.field in locals_map:
+                if any(e.offset):
+                    raise ValidationError(
+                        f"local field '{e.field}' accessed at non-zero offset"
+                    )
+                return f"{locals_map[e.field]}.v[{e.component}]"
+            idx = []
+            # window arrays index slowest axis first: [z][y][x]
+            for axis in reversed(range(len(e.offset))):
+                r = radius[axis]
+                d = e.offset[axis]
+                idx.append(f"[{r + d}]")
+            return f"win_{e.field}{''.join(idx)}.v[{e.component}]"
+        if isinstance(e, BinOp):
+            return f"({render(e.lhs)} {e.op} {render(e.rhs)})"
+        raise ValidationError(f"cannot print expression node {type(e).__name__}")
+
+    return render(expr)

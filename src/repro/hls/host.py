@@ -1,0 +1,119 @@
+"""Host driver, connectivity configuration and Makefile generation."""
+
+from __future__ import annotations
+
+from repro.model.design import DesignPoint
+from repro.stencil.program import StencilProgram
+
+
+def generate_host(program: StencilProgram, design: DesignPoint) -> str:
+    """OpenCL host source: buffer setup, kernel launch, timing."""
+    fields_in = program.external_reads()
+    fields_out = program.external_writes()
+    lines = [
+        "// Auto-generated OpenCL host for " + program.name,
+        "#include <CL/cl2.hpp>",
+        "#include <chrono>",
+        "#include <cstdio>",
+        "#include <fstream>",
+        "#include <vector>",
+        "",
+        "int main(int argc, char** argv) {",
+        '    const char* xclbin = argc > 1 ? argv[1] : "stencil_top.xclbin";',
+        "    int niter = argc > 2 ? atoi(argv[2]) : 100;",
+        f"    const int P = {design.p};  // iterative unroll factor",
+        "    int num_passes = niter / P;",
+        "    cl::Device device = cl::Device::getDefault();",
+        "    cl::Context context(device);",
+        "    cl::CommandQueue queue(context, device, CL_QUEUE_PROFILING_ENABLE);",
+        "    std::ifstream bin_file(xclbin, std::ifstream::binary);",
+        "    std::vector<unsigned char> binary(",
+        "        (std::istreambuf_iterator<char>(bin_file)),",
+        "        std::istreambuf_iterator<char>());",
+        "    cl::Program::Binaries bins{{binary.data(), binary.size()}};",
+        "    cl::Program prog(context, {device}, bins);",
+        '    cl::Kernel kernel(prog, "stencil_top");',
+        "",
+        f"    const size_t MESH_BYTES = {program.mesh.footprint_bytes}UL;",
+    ]
+    arg = 0
+    for f in fields_in:
+        lines += [
+            f"    cl::Buffer buf_{f}_in(context, CL_MEM_READ_ONLY, MESH_BYTES);",
+            f"    kernel.setArg({arg}, buf_{f}_in);",
+        ]
+        arg += 1
+    for f in fields_out:
+        lines += [
+            f"    cl::Buffer buf_{f}_out(context, CL_MEM_WRITE_ONLY, MESH_BYTES);",
+            f"    kernel.setArg({arg}, buf_{f}_out);",
+        ]
+        arg += 1
+    lines += [
+        f"    kernel.setArg({arg}, num_passes);",
+        "",
+        "    auto t0 = std::chrono::high_resolution_clock::now();",
+        "    queue.enqueueTask(kernel);",
+        "    queue.finish();",
+        "    auto t1 = std::chrono::high_resolution_clock::now();",
+        "    double secs = std::chrono::duration<double>(t1 - t0).count();",
+        '    printf("runtime: %.6f s for %d iterations\\n", secs, num_passes * P);',
+        "    return 0;",
+        "}",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def generate_connectivity(program: StencilProgram, design: DesignPoint) -> str:
+    """Vitis ``.cfg`` mapping each AXI bundle to an HBM/DDR channel (``sp=``)."""
+    lines = [
+        "# Auto-generated connectivity for " + program.name,
+        "[connectivity]",
+    ]
+    reads = program.external_reads()
+    writes = program.external_writes()
+    channel = 0
+    for i, f in enumerate(reads):
+        target = f"HBM[{channel}]" if design.memory == "HBM" else f"DDR[{channel % 2}]"
+        lines.append(f"sp=stencil_top_1.gmem_{f}_in:{target}")
+        channel += 1
+    for j, f in enumerate(writes):
+        target = f"HBM[{channel}]" if design.memory == "HBM" else f"DDR[{channel % 2}]"
+        lines.append(f"sp=stencil_top_1.gmem_{f}_out:{target}")
+        channel += 1
+    lines += [
+        "",
+        "[vivado]",
+        f"prop=run.impl_1.strategy=Performance_Explore",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def generate_makefile(program: StencilProgram, design: DesignPoint) -> str:
+    """A Vitis build Makefile (hw_emu and hw targets)."""
+    freq_khz = int(design.clock_mhz * 1000)
+    return f"""# Auto-generated Vitis Makefile for {program.name}
+PLATFORM ?= xilinx_u280_xdma_201920_3
+TARGET ?= hw
+FREQ_KHZ = {freq_khz}
+
+VXX = v++
+VXXFLAGS = -t $(TARGET) --platform $(PLATFORM) --kernel_frequency $(FREQ_KHZ) \\
+    --config connectivity.cfg -Ofast
+
+all: stencil_top.xclbin host
+
+stencil_top.xo: kernel.cpp
+\t$(VXX) $(VXXFLAGS) -c -k stencil_top -o $@ $<
+
+stencil_top.xclbin: stencil_top.xo
+\t$(VXX) $(VXXFLAGS) -l -o $@ $<
+
+host: host.cpp
+\t$(CXX) -std=c++14 -o $@ $< -lOpenCL
+
+clean:
+\trm -rf *.xo *.xclbin host _x .Xil
+
+.PHONY: all clean
+"""

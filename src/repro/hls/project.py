@@ -1,0 +1,40 @@
+"""HLS project facade: all generated files for one design."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+from repro.hls.codegen import HLSKernelGenerator
+from repro.hls.host import generate_connectivity, generate_host, generate_makefile
+from repro.model.design import DesignPoint
+from repro.stencil.program import StencilProgram
+
+
+class HLSProject:
+    """Generates the complete source tree a user would synthesize."""
+
+    def __init__(self, program: StencilProgram, design: DesignPoint):
+        self.program = program
+        self.design = design
+
+    def generate(self) -> Mapping[str, str]:
+        """All project files as ``{relative_path: contents}``."""
+        kernel = HLSKernelGenerator(self.program, self.design)
+        return {
+            "kernel.cpp": kernel.generate(),
+            "host.cpp": generate_host(self.program, self.design),
+            "connectivity.cfg": generate_connectivity(self.program, self.design),
+            "Makefile": generate_makefile(self.program, self.design),
+        }
+
+    def write_to(self, directory: str | Path) -> list[Path]:
+        """Write the project to a directory; returns the written paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = []
+        for rel, content in self.generate().items():
+            path = directory / rel
+            path.write_text(content)
+            written.append(path)
+        return written

@@ -1,0 +1,38 @@
+"""Structured-mesh substrate: mesh specifications, fields, batching and padding.
+
+Conventions
+-----------
+Mesh shapes follow the paper's ``m x n`` / ``m x n x l`` notation:
+
+* ``m`` — the innermost (fastest-varying, contiguous in memory) dimension;
+  rows of length ``m`` are what the accelerator streams ``V`` elements at a
+  time, so ``m`` is the dimension padded to a multiple of the vectorization
+  factor.
+* ``n`` — the second dimension (number of rows in 2D, rows per plane in 3D).
+* ``l`` — the outermost dimension in 3D (number of planes); batching stacks
+  independent meshes along the outermost dimension.
+
+NumPy storage is C-ordered with axes reversed relative to the paper notation
+(``arr[z, y, x, component]``), so ``m`` is contiguous.
+"""
+
+from repro.mesh.mesh import MeshSpec, Field
+from repro.mesh.batch import stack_fields, split_field, batched_spec
+from repro.mesh.padding import (
+    pad_to_vector,
+    padded_row_length,
+    aligned_row_bytes,
+    AXI_ALIGN_BYTES,
+)
+
+__all__ = [
+    "MeshSpec",
+    "Field",
+    "stack_fields",
+    "split_field",
+    "batched_spec",
+    "pad_to_vector",
+    "padded_row_length",
+    "aligned_row_bytes",
+    "AXI_ALIGN_BYTES",
+]

@@ -1,0 +1,68 @@
+"""Batching of independent meshes (paper Section IV-B).
+
+Batching stacks ``B`` meshes of identical shape along the outermost dimension
+(``n`` in 2D, ``l`` in 3D) so the accelerator pipeline processes them as one
+long stream and the pipeline fill latency is paid once per batch instead of
+once per mesh (eq. (15)).
+
+Note that a batched stream is *not* one large PDE problem: stencil updates
+must not couple neighbouring meshes across the stacking seam.  The functional
+simulator therefore evaluates each mesh independently; batching only changes
+the cycle accounting.  ``stack_fields`` / ``split_field`` provide the data
+layout used by the data movers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mesh.mesh import Field, MeshSpec
+from repro.util.errors import ValidationError
+from repro.util.validation import check_positive
+
+
+def batched_spec(spec: MeshSpec, batch: int) -> MeshSpec:
+    """The spec of ``batch`` meshes stacked along the outermost dimension."""
+    check_positive("batch", batch)
+    shape = list(spec.shape)
+    shape[-1] = shape[-1] * batch
+    return spec.with_shape(shape)
+
+
+def stack_fields(fields: Sequence[Field], name: str | None = None) -> Field:
+    """Stack same-shaped fields along the outermost dimension.
+
+    This is the host-side layout transformation the paper applies before a
+    batched solve: meshes become contiguous segments of one long stream.
+    """
+    if not fields:
+        raise ValidationError("stack_fields requires at least one field")
+    spec = fields[0].spec
+    for f in fields[1:]:
+        if f.spec != spec:
+            raise ValidationError(
+                f"cannot stack fields with differing specs: {f.spec} vs {spec}"
+            )
+    out_spec = batched_spec(spec, len(fields))
+    data = np.concatenate([f.data for f in fields], axis=0)
+    return Field(name or fields[0].name, out_spec, data)
+
+
+def split_field(field: Field, batch: int) -> list[Field]:
+    """Split a stacked field back into ``batch`` independent fields."""
+    check_positive("batch", batch)
+    outer = field.spec.shape[-1]
+    if outer % batch != 0:
+        raise ValidationError(
+            f"outer extent {outer} is not divisible by batch {batch}"
+        )
+    sub_shape = list(field.spec.shape)
+    sub_shape[-1] = outer // batch
+    sub_spec = field.spec.with_shape(sub_shape)
+    chunks = np.split(field.data, batch, axis=0)
+    return [
+        Field(f"{field.name}[{i}]", sub_spec, chunk.copy())
+        for i, chunk in enumerate(chunks)
+    ]

@@ -1,0 +1,65 @@
+"""Row padding and AXI alignment rules (paper Sections III & IV-A).
+
+Two padding rules govern the streamed layout:
+
+* each row is padded to a multiple of the vectorization factor ``V`` so that
+  ``ceil(m/V)`` full vectors are streamed per row (eq. (2));
+* memory transactions keep the 512-bit (64-byte) AXI bus alignment, which for
+  tiled (strided) access forces read/write windows to 64-byte boundaries and
+  adds redundant transfer at tile edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.mesh import Field, MeshSpec
+from repro.util.rounding import round_up
+from repro.util.validation import check_positive
+
+#: AXI4 data bus width used by the designs in the paper (512 bits).
+AXI_ALIGN_BYTES = 64
+
+
+def padded_row_length(m: int, vector_factor: int) -> int:
+    """Row length after padding to a multiple of the vectorization factor."""
+    check_positive("m", m)
+    check_positive("vector_factor", vector_factor)
+    return round_up(m, vector_factor)
+
+
+def aligned_row_bytes(m: int, elem_bytes: int, align: int = AXI_ALIGN_BYTES) -> int:
+    """Bytes occupied by one row after alignment to the AXI bus width."""
+    check_positive("elem_bytes", elem_bytes)
+    return round_up(m * elem_bytes, align)
+
+
+def pad_to_vector(field: Field, vector_factor: int, fill: float = 0.0) -> Field:
+    """Pad the innermost dimension of a field to a multiple of ``V``.
+
+    Padding cells are filled with ``fill`` and are never part of the valid
+    output; they exist so the streaming datapath always moves whole vectors.
+    """
+    m = field.spec.m
+    m_pad = padded_row_length(m, vector_factor)
+    if m_pad == m:
+        return field.copy()
+    spec = field.spec
+    new_spec = spec.with_shape((m_pad,) + spec.shape[1:])
+    pad_width = [(0, 0)] * field.data.ndim
+    # storage order (l, n, m, c): the m axis is the second-to-last
+    pad_width[-2] = (0, m_pad - m)
+    data = np.pad(field.data, pad_width, constant_values=fill)
+    return Field(field.name, new_spec, data)
+
+
+def unpad_from_vector(field: Field, original_m: int) -> Field:
+    """Strip vector padding, returning the field restricted to ``original_m``."""
+    check_positive("original_m", original_m)
+    if original_m > field.spec.m:
+        raise ValueError(
+            f"original_m {original_m} larger than padded extent {field.spec.m}"
+        )
+    spec = field.spec.with_shape((original_m,) + field.spec.shape[1:])
+    data = field.data[..., :original_m, :].copy()
+    return Field(field.name, spec, data)

@@ -1,0 +1,83 @@
+"""External-memory bandwidth bounds (paper eq. (4)).
+
+The baseline streams one read and one write of the state per pass, so a
+vectorization factor ``V`` at clock ``f`` requires::
+
+    BW_channel >= 2 * V * f * sizeof(t)            (eq. 4)
+
+per channel pair. Multi-field programs (RTM reads Y, rho, mu and writes Y)
+generalize the 2x factor to the program's per-cell external byte count.
+"""
+
+from __future__ import annotations
+
+from repro.arch.device import FPGADevice, MemoryBank
+from repro.stencil.program import StencilProgram
+from repro.util.rounding import ceil_div
+from repro.util.validation import check_positive
+
+
+def max_vectorization(channel_bandwidth: float, clock_hz: float, elem_bytes: int) -> int:
+    """Eq. (4) solved for ``V``: the largest V one channel's bandwidth feeds.
+
+    Assumes the classic one-read + one-write per cell of the single-field
+    baseline (the paper derives V=8 for Poisson from one DDR4 channel at
+    300 MHz and 4-byte elements).
+    """
+    check_positive("channel_bandwidth", channel_bandwidth)
+    check_positive("clock_hz", clock_hz)
+    check_positive("elem_bytes", elem_bytes)
+    return int(channel_bandwidth // (2.0 * clock_hz * elem_bytes))
+
+
+def bandwidth_required(
+    program: StencilProgram, V: int, clock_hz: float, batch: int = 1
+) -> float:
+    """Bytes/second of external traffic a (V, clock) design sustains at peak.
+
+    ``batch`` does not change the steady-state rate; it is accepted for API
+    symmetry with the cycle models.
+    """
+    check_positive("V", V)
+    check_positive("clock_hz", clock_hz)
+    check_positive("batch", batch)
+    return program.bytes_per_cell_pass() * V * clock_hz
+
+
+def channels_required(
+    program: StencilProgram, bank: MemoryBank, V: int, clock_hz: float
+) -> int:
+    """Memory channels needed to feed a (V, clock) design from ``bank``.
+
+    Read and write streams are mapped to separate channels (the designs use
+    independent AXI ports per stream), each channel supplying its share of
+    the per-cell traffic.
+    """
+    check_positive("V", V)
+    check_positive("clock_hz", clock_hz)
+    elem = 1  # computed per stream below
+    del elem
+    total_needed = bandwidth_required(program, V, clock_hz)
+    return max(1, ceil_div(int(total_needed), int(bank.channel_bandwidth)))
+
+
+def feasible_vectorization(
+    program: StencilProgram,
+    device: FPGADevice,
+    memory: str,
+    clock_hz: float,
+    max_channels: int | None = None,
+) -> int:
+    """Largest power-of-two V the chosen memory system can feed.
+
+    ``max_channels`` caps how many channels the design may consume (HBM has
+    32; DDR4 on the U280 has one channel per bank).
+    """
+    bank = device.memory(memory)
+    channels = bank.channels if max_channels is None else min(max_channels, bank.channels)
+    budget = bank.channel_bandwidth * channels
+    per_cell = program.bytes_per_cell_pass()
+    v = 1
+    while per_cell * (v * 2) * clock_hz <= budget:
+        v *= 2
+    return v

@@ -1,0 +1,173 @@
+"""Clock-cycle models for the baseline and batched designs (paper III-A, IV-B).
+
+The compute pipeline outputs ``V`` mesh points per clock once full. For a 2D
+``m x n`` mesh (rows of length ``m``, padded to a multiple of ``V``) the
+baseline design takes (eq. (2))::
+
+    Clks_2D = niter/p * ceil(m/V) * (n + p*D/2)
+
+and for 3D ``m x n x l`` (eq. (3))::
+
+    Clks_3D = niter/p * ceil(m/V) * n * (l + p*D/2)
+
+where ``D`` is the stencil order and ``p`` the iterative unroll factor: each
+of the ``p`` chained compute modules adds ``D/2`` rows (2D) or planes (3D)
+of fill latency. Batching ``B`` meshes stacks them along the outer dimension
+so the fill is paid once per batch (eq. (15)).
+
+Programs with several fused stencil stages per iteration (RTM) pay the sum
+of the stages' ``D_i/2`` latencies per unrolled iteration;
+:func:`pipeline_fill_rows` generalizes ``D/2`` accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.util.errors import ValidationError
+from repro.util.rounding import ceil_div
+from repro.util.validation import check_positive
+
+
+def _check_order(D: int) -> None:
+    if D <= 0 or D % 2:
+        raise ValidationError(f"stencil order D must be a positive even integer, got {D}")
+
+
+def pipeline_fill_rows(stage_orders: Sequence[int], p: int) -> int:
+    """Rows (2D) / planes (3D) of fill latency for ``p`` chained iterations.
+
+    Each unrolled iteration chains the program's fused stages back to back,
+    so one iteration contributes ``sum(D_i / 2)`` and the ``p``-deep chain
+    contributes ``p`` times that (the ``p * D/2`` term of eqs. (2)/(3) for a
+    single-stage program).
+    """
+    check_positive("p", p)
+    if not stage_orders:
+        raise ValidationError("stage_orders must be non-empty")
+    total = 0
+    for D in stage_orders:
+        _check_order(D)
+        total += D // 2
+    return p * total
+
+
+def baseline_cycles_2d(m: int, n: int, niter: int, V: int, p: int, D: int) -> int:
+    """Eq. (2): total clock cycles for the baseline 2D design."""
+    check_positive("m", m)
+    check_positive("n", n)
+    check_positive("niter", niter)
+    check_positive("V", V)
+    check_positive("p", p)
+    _check_order(D)
+    passes = ceil_div(niter, p)
+    return passes * ceil_div(m, V) * (n + p * D // 2)
+
+
+def baseline_cycles_3d(m: int, n: int, l: int, niter: int, V: int, p: int, D: int) -> int:
+    """Eq. (3): total clock cycles for the baseline 3D design."""
+    check_positive("l", l)
+    check_positive("n", n)
+    check_positive("m", m)
+    check_positive("niter", niter)
+    check_positive("V", V)
+    check_positive("p", p)
+    _check_order(D)
+    passes = ceil_div(niter, p)
+    return passes * ceil_div(m, V) * n * (l + p * D // 2)
+
+
+def cycles_per_cell_2d(n: int, V: int, p: int, D: int) -> float:
+    """Eq. (5): average clock cycles per mesh point per iteration (2D).
+
+    ``1/V`` is the ideal; the ``p*D/(2*n*V)`` term is pipeline-fill idling,
+    which grows for narrow meshes and deep pipelines — the motivation for
+    batching (Section IV-B).
+    """
+    check_positive("n", n)
+    check_positive("V", V)
+    check_positive("p", p)
+    _check_order(D)
+    return 1.0 / V + (p * D) / (2.0 * n * V)
+
+
+def batched_cycles_2d(m: int, n: int, batch: int, niter: int, V: int, p: int, D: int) -> int:
+    """Total cycles for ``batch`` stacked 2D meshes (fill paid once per pass)."""
+    check_positive("batch", batch)
+    check_positive("m", m)
+    check_positive("n", n)
+    check_positive("niter", niter)
+    check_positive("V", V)
+    check_positive("p", p)
+    _check_order(D)
+    passes = ceil_div(niter, p)
+    return passes * ceil_div(m, V) * (n * batch + p * D // 2)
+
+
+def batched_cycles_3d(
+    m: int, n: int, l: int, batch: int, niter: int, V: int, p: int, D: int
+) -> int:
+    """Total cycles for ``batch`` stacked 3D meshes."""
+    check_positive("batch", batch)
+    check_positive("l", l)
+    passes = ceil_div(niter, p)
+    check_positive("m", m)
+    check_positive("n", n)
+    check_positive("niter", niter)
+    check_positive("V", V)
+    check_positive("p", p)
+    _check_order(D)
+    return passes * ceil_div(m, V) * n * (l * batch + p * D // 2)
+
+
+def batched_cycles_per_mesh_2d(m: int, n: int, batch: int, V: int, p: int, D: int) -> float:
+    """Eq. (15): cycles attributable to one mesh within a batched pass.
+
+    ``ceil(m/V) * (n + p*D/(2*B))`` — the fill latency term is shared by the
+    ``B`` meshes of the batch.
+    """
+    check_positive("batch", batch)
+    check_positive("m", m)
+    check_positive("n", n)
+    check_positive("V", V)
+    check_positive("p", p)
+    _check_order(D)
+    return ceil_div(m, V) * (n + p * D / (2.0 * batch))
+
+
+def pipeline_cycles(
+    mesh_shape: Sequence[int],
+    niter: int,
+    V: int,
+    p: int,
+    stage_orders: Sequence[int],
+    batch: int = 1,
+    ii: float = 1.0,
+) -> float:
+    """Generalized eqs. (2)/(3)/(15): cycles for a multi-stage fused program.
+
+    ``mesh_shape`` is the paper-order shape of *one* mesh; ``batch`` meshes
+    are stacked along the outer dimension. ``ii`` is the sustained
+    initiation interval (cycles per output vector); it scales the streaming
+    term but not the fill latency.
+    """
+    check_positive("niter", niter)
+    check_positive("V", V)
+    check_positive("p", p)
+    check_positive("batch", batch)
+    if ii < 1.0:
+        raise ValidationError(f"ii must be >= 1, got {ii}")
+    fill = pipeline_fill_rows(stage_orders, p)
+    passes = ceil_div(niter, p)
+    if len(mesh_shape) == 2:
+        m, n = mesh_shape
+        check_positive("m", m)
+        check_positive("n", n)
+        return passes * ceil_div(m, V) * (n * batch * ii + fill)
+    if len(mesh_shape) == 3:
+        m, n, l = mesh_shape
+        check_positive("m", m)
+        check_positive("n", n)
+        check_positive("l", l)
+        return passes * ceil_div(m, V) * n * (l * batch * ii + fill)
+    raise ValidationError(f"mesh_shape must be 2D or 3D, got {tuple(mesh_shape)}")

@@ -1,0 +1,297 @@
+"""Design points and design-space exploration.
+
+A :class:`DesignPoint` fixes everything the workflow must choose before
+synthesis: vectorization factor ``V``, iterative unroll depth ``p``, target
+clock, external memory system and (optionally) a spatial-blocking tile.
+:func:`explore_designs` enumerates feasible points for a program/workload on
+a device and ranks them by predicted runtime — the "model significantly
+narrows the design space" step of the paper (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from repro.arch.clocking import DEFAULT_CLOCK_MODEL, ClockModel
+from repro.arch.device import FPGADevice
+from repro.mesh.mesh import MeshSpec
+from repro.model.bandwidth import feasible_vectorization
+from repro.model.resources import (
+    DEFAULT_DSP_COSTS,
+    DSPCostModel,
+    gdsp_program,
+    max_unroll,
+    module_mem_bytes,
+    resource_report,
+)
+from repro.model.tiling import TileDesign, optimal_tile_m, p_max_for_tile
+from repro.stencil.program import StencilProgram
+from repro.util.errors import InfeasibleDesignError, ValidationError
+from repro.util.units import MHZ
+from repro.util.validation import check_one_of, check_positive
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """A fully specified accelerator configuration.
+
+    ``initiation_interval`` is the sustained cycles per vector of output once
+    the pipeline is full. The simple scalar designs achieve II=1; the RTM
+    design's wide (6-float) element struct contends for HBM channel slots
+    and sustains II ~ 1.6 (calibrated from the paper's Fig. 5 runtimes).
+    """
+
+    V: int
+    p: int
+    clock_mhz: float
+    memory: str = "HBM"
+    tile: TileDesign | None = None
+    initiation_interval: float = 1.0
+
+    def __post_init__(self):
+        check_positive("V", self.V)
+        check_positive("p", self.p)
+        check_positive("clock_mhz", self.clock_mhz)
+        check_one_of("memory", self.memory, ("HBM", "DDR4"))
+        if self.initiation_interval < 1.0:
+            raise ValidationError(
+                f"initiation_interval must be >= 1, got {self.initiation_interval}"
+            )
+
+    @property
+    def clock_hz(self) -> float:
+        """Clock in Hz."""
+        return self.clock_mhz * MHZ
+
+    @property
+    def is_tiled(self) -> bool:
+        """True for spatially blocked designs."""
+        return self.tile is not None
+
+    def with_clock(self, clock_mhz: float) -> "DesignPoint":
+        """The same design at a different clock."""
+        return replace(self, clock_mhz=clock_mhz)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """What is being solved: a mesh (possibly batched) for ``niter`` iterations."""
+
+    mesh: MeshSpec
+    niter: int
+    batch: int = 1
+
+    def __post_init__(self):
+        check_positive("niter", self.niter)
+        check_positive("batch", self.batch)
+
+    @property
+    def total_points(self) -> int:
+        """Mesh points over the whole batch."""
+        return self.mesh.num_points * self.batch
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Bytes of one state field over the whole batch."""
+        return self.mesh.footprint_bytes * self.batch
+
+
+class DesignSpace:
+    """Feasibility-pruned enumeration of design points for one program."""
+
+    def __init__(
+        self,
+        program: StencilProgram,
+        device: FPGADevice,
+        clock_model: ClockModel = DEFAULT_CLOCK_MODEL,
+        costs: DSPCostModel = DEFAULT_DSP_COSTS,
+    ):
+        self.program = program
+        self.device = device
+        self.clock_model = clock_model
+        self.costs = costs
+        self.gdsp = gdsp_program(program, costs)
+
+    # -- feasibility ------------------------------------------------------------
+    def check(self, design: DesignPoint, workload: Workload) -> None:
+        """Raise :class:`InfeasibleDesignError` if the design cannot be built.
+
+        Checks, in order: external capacity, line-buffer capacity (eq. (7)),
+        DSP capacity (eq. (6)) and memory-bandwidth feasibility (eq. (4)).
+        """
+        bank = self.device.memory(design.memory)
+        # all external fields resident
+        n_fields = len(set(self.program.external_reads()) | set(self.program.external_writes()))
+        resident = workload.footprint_bytes * (n_fields + 1)  # +1 for ping-pong copy
+        if resident > bank.capacity_bytes:
+            raise InfeasibleDesignError(
+                f"workload needs {resident} bytes resident, {design.memory} has "
+                f"{bank.capacity_bytes}"
+            )
+        shape = self._buffer_shape(design, workload)
+        module_bytes = module_mem_bytes(self.program, shape)
+        budget = self.device.usable_on_chip_bytes()
+        if design.p * module_bytes > budget:
+            raise InfeasibleDesignError(
+                f"p={design.p} needs {design.p * module_bytes} on-chip bytes, "
+                f"budget is {budget} (eq. 7 bound: p_mem="
+                f"{budget // module_bytes})"
+            )
+        # feasibility uses the hard device limit; eq. (6)'s 90% budget is a
+        # planning guide the synthesized designs may slightly exceed (the
+        # paper's Jacobi landed at p=29 against a model bound of 28)
+        dsp_needed = design.V * design.p * self.gdsp
+        if dsp_needed > self.device.dsp_blocks:
+            raise InfeasibleDesignError(
+                f"V*p*Gdsp = {dsp_needed} DSPs exceeds the device's "
+                f"{self.device.dsp_blocks} (eq. 6 planning bound: "
+                f"p_dsp={self.device.usable_dsp() // (design.V * self.gdsp)})"
+            )
+        v_max = feasible_vectorization(
+            self.program, self.device, design.memory, design.clock_hz
+        )
+        if design.V > v_max:
+            raise InfeasibleDesignError(
+                f"V={design.V} needs more bandwidth than {design.memory} supplies "
+                f"(eq. 4 bound: V<={v_max})"
+            )
+
+    def is_feasible(self, design: DesignPoint, workload: Workload) -> bool:
+        """True when :meth:`check` passes."""
+        try:
+            self.check(design, workload)
+            return True
+        except InfeasibleDesignError:
+            return False
+
+    def _buffer_shape(self, design: DesignPoint, workload: Workload) -> tuple[int, ...]:
+        """The shape whose rows/planes the window buffers must hold."""
+        shape = workload.mesh.shape
+        if design.tile is None:
+            return shape
+        if len(shape) == 2:
+            return (design.tile.M, shape[1])
+        if design.tile.N is None:
+            raise ValidationError("3D tiled designs need an (M, N) tile")
+        return (design.tile.M, design.tile.N, shape[2])
+
+    # -- enumeration --------------------------------------------------------------
+    def candidates(
+        self,
+        workload: Workload,
+        memories: Sequence[str] | None = None,
+        v_values: Sequence[int] | None = None,
+        tiled: bool = False,
+    ) -> Iterable[DesignPoint]:
+        """Yield feasible design points (clock from the clock model)."""
+        memories = memories or self.device.memory_targets
+        for memory in memories:
+            vs = v_values or self._default_v_sweep(memory)
+            for V in vs:
+                if tiled:
+                    yield from self._tiled_candidates(workload, memory, V)
+                else:
+                    yield from self._baseline_candidates(workload, memory, V)
+
+    def _default_v_sweep(self, memory: str) -> list[int]:
+        target = self.device.default_clock_mhz * MHZ
+        v_max = feasible_vectorization(self.program, self.device, memory, target)
+        vs = []
+        v = 1
+        while v <= v_max:
+            vs.append(v)
+            v *= 2
+        return vs or [1]
+
+    def _baseline_candidates(
+        self, workload: Workload, memory: str, V: int
+    ) -> Iterable[DesignPoint]:
+        module_bytes = module_mem_bytes(self.program, workload.mesh.shape)
+        p_cap = max_unroll(self.device, V, self.gdsp, module_bytes)
+        for p in _p_sweep(p_cap):
+            design = DesignPoint(V, p, self.device.default_clock_mhz, memory)
+            design = self._with_estimated_clock(design, workload)
+            if self.is_feasible(design, workload):
+                yield design
+
+    def _tiled_candidates(
+        self, workload: Workload, memory: str, V: int
+    ) -> Iterable[DesignPoint]:
+        mem_budget = self.device.usable_on_chip_bytes()
+        k = workload.mesh.elem_bytes
+        D = self.program.order
+        ndim = workload.mesh.ndim
+        p_cap = max(1, self.device.usable_dsp() // (V * self.gdsp))
+        for p in _p_sweep(p_cap):
+            if ndim == 3:
+                M = optimal_tile_m(mem_budget // p, k, 1, D)
+                tile = TileDesign((M, M))
+            else:
+                # 2D blocks are M x n: the buffer holds D rows of M
+                M = mem_budget // (p * k * D)
+                tile = TileDesign((M,))
+            if min(tile.tile) <= p * D:
+                continue
+            design = DesignPoint(V, p, self.device.default_clock_mhz, memory, tile)
+            design = self._with_estimated_clock(design, workload)
+            if self.is_feasible(design, workload):
+                yield design
+
+    def _with_estimated_clock(self, design: DesignPoint, workload: Workload) -> DesignPoint:
+        shape = self._buffer_shape(design, workload)
+        report = resource_report(
+            self.program, self.device, design.V, design.p, shape, self.costs
+        )
+        from repro.arch.floorplan import SLRFloorplan
+
+        plan = SLRFloorplan(
+            self.device,
+            design.p,
+            design.V * self.gdsp,
+            module_mem_bytes(self.program, shape),
+        )
+        mhz = self.clock_model.estimate_mhz(
+            min(1.0, report.binding_utilization), plan.slr_crossings
+        )
+        return design.with_clock(mhz)
+
+
+def _p_sweep(p_cap: int) -> list[int]:
+    """A dense-at-the-top sweep of unroll factors up to ``p_cap``."""
+    if p_cap < 1:
+        return []
+    values = {1, p_cap}
+    v = 2
+    while v < p_cap:
+        values.add(v)
+        v *= 2
+    # densify near the cap, where the optimum usually lives
+    for delta in (1, 2, 4, 8):
+        if p_cap - delta >= 1:
+            values.add(p_cap - delta)
+    return sorted(values)
+
+
+def explore_designs(
+    program: StencilProgram,
+    device: FPGADevice,
+    workload: Workload,
+    tiled: bool = False,
+    top_k: int = 5,
+    clock_model: ClockModel = DEFAULT_CLOCK_MODEL,
+) -> list[tuple[DesignPoint, "object"]]:
+    """Enumerate feasible designs and rank by predicted runtime.
+
+    Returns ``[(design, PredictedMetrics), ...]`` sorted fastest first.
+    """
+    from repro.model.runtime import RuntimePredictor
+
+    space = DesignSpace(program, device, clock_model)
+    ranked = []
+    for design in space.candidates(workload, tiled=tiled):
+        predictor = RuntimePredictor(program, device, design)
+        metrics = predictor.predict(workload)
+        ranked.append((design, metrics))
+    ranked.sort(key=lambda pair: pair[1].seconds)
+    return ranked[:top_k]

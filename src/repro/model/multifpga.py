@@ -1,0 +1,143 @@
+"""Multi-FPGA scaling model (extension; related work [16], [20], [24]).
+
+Several of the paper's cited systems scale stencil pipelines across FPGAs.
+Two established strategies map directly onto this package's models:
+
+* **temporal scaling** — chain the iterative pipelines of ``n`` boards so
+  the effective unroll becomes ``n * p``; inter-board links carry the full
+  mesh stream once per chained pass (Sano et al.'s constant-bandwidth
+  scalable streaming array);
+* **spatial scaling** — partition the mesh's outer dimension across boards,
+  each solving its slab and exchanging ``D/2``-deep halos per iteration
+  (classic distributed-stencil decomposition).
+
+Both are modelled analytically on top of the single-board cycle model, with
+a serial inter-board link (e.g. QSFP28 at 100 Gb/s in each direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.cycles import pipeline_cycles
+from repro.model.design import DesignPoint, Workload
+from repro.stencil.program import StencilProgram
+from repro.util.errors import ValidationError
+from repro.util.validation import check_positive
+
+#: usable payload bandwidth of one QSFP28 network port, bytes/second
+QSFP28_BYTES_PER_S = 100.0e9 / 8 * 0.9
+
+
+@dataclass(frozen=True)
+class MultiFPGAConfig:
+    """A cluster of identical boards running one program."""
+
+    boards: int
+    link_bandwidth: float = QSFP28_BYTES_PER_S
+
+    def __post_init__(self):
+        check_positive("boards", self.boards)
+        check_positive("link_bandwidth", self.link_bandwidth)
+
+
+def temporal_scaling_seconds(
+    program: StencilProgram,
+    design: DesignPoint,
+    workload: Workload,
+    config: MultiFPGAConfig,
+) -> float:
+    """Runtime with ``boards`` pipelines chained into one deep pipeline.
+
+    The effective unroll is ``boards * p``; ``niter`` must divide by it.
+    The stream crosses ``boards - 1`` links once per pass; a link slower
+    than the pipeline's ingest rate becomes the bottleneck.
+    """
+    effective_p = design.p * config.boards
+    if workload.niter % effective_p:
+        raise ValidationError(
+            f"niter={workload.niter} is not a multiple of boards*p={effective_p}"
+        )
+    cycles = pipeline_cycles(
+        workload.mesh.shape,
+        workload.niter,
+        design.V,
+        effective_p,
+        program.fused_stage_orders,
+        workload.batch,
+        design.initiation_interval,
+    )
+    compute_s = cycles / design.clock_hz
+    # per pass the whole stream transits each of the boards-1 links
+    passes = workload.niter // effective_p
+    stream_bytes = workload.footprint_bytes * len(program.state_fields)
+    link_s = 0.0
+    if config.boards > 1:
+        per_pass = stream_bytes / config.link_bandwidth
+        link_s = passes * per_pass
+    # links and pipelines stream concurrently: the slower one gates the pass
+    return max(compute_s, link_s)
+
+
+def spatial_scaling_seconds(
+    program: StencilProgram,
+    design: DesignPoint,
+    workload: Workload,
+    config: MultiFPGAConfig,
+) -> float:
+    """Runtime with the outer mesh dimension partitioned across boards.
+
+    Each board solves a slab of ``l / boards`` planes (2D: ``n / boards``
+    rows) and exchanges a ``D/2``-deep halo with each neighbour once per
+    unrolled pass (deeper unrolls exchange ``p * D/2``).
+    """
+    shape = list(workload.mesh.shape)
+    outer = shape[-1]
+    if outer < config.boards:
+        raise ValidationError(
+            f"cannot split outer extent {outer} across {config.boards} boards"
+        )
+    shape[-1] = -(-outer // config.boards)  # ceil split
+    slab_cycles = pipeline_cycles(
+        tuple(shape),
+        workload.niter,
+        design.V,
+        design.p,
+        program.fused_stage_orders,
+        workload.batch,
+        design.initiation_interval,
+    )
+    compute_s = slab_cycles / design.clock_hz
+    if config.boards == 1:
+        return compute_s
+    # halo exchange: p*D/2 planes (rows) in each direction per pass
+    halo_lines = design.p * sum(d // 2 for d in program.fused_stage_orders)
+    if workload.mesh.ndim == 3:
+        line_bytes = workload.mesh.m * workload.mesh.n * workload.mesh.elem_bytes
+    else:
+        line_bytes = workload.mesh.m * workload.mesh.elem_bytes
+    passes = -(-workload.niter // design.p)
+    exchange_s = passes * 2 * halo_lines * line_bytes / config.link_bandwidth
+    return compute_s + exchange_s
+
+
+def scaling_efficiency(
+    program: StencilProgram,
+    design: DesignPoint,
+    workload: Workload,
+    boards: int,
+    strategy: str = "spatial",
+) -> float:
+    """Parallel efficiency vs a single board: ``t1 / (n * tn)``."""
+    check_positive("boards", boards)
+    single = MultiFPGAConfig(1)
+    multi = MultiFPGAConfig(boards)
+    if strategy == "spatial":
+        t1 = spatial_scaling_seconds(program, design, workload, single)
+        tn = spatial_scaling_seconds(program, design, workload, multi)
+    elif strategy == "temporal":
+        t1 = temporal_scaling_seconds(program, design, workload, single)
+        tn = temporal_scaling_seconds(program, design, workload, multi)
+    else:
+        raise ValidationError(f"unknown strategy {strategy!r}")
+    return t1 / (boards * tn)

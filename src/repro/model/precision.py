@@ -1,0 +1,161 @@
+"""Alternative numerical representations (paper Section VI future work).
+
+The paper evaluates single precision throughout and names "alternative
+numerical representations" as future work. This module implements that
+direction within the same model: per-precision DSP operator costs, the
+derived Table-II-style parameters (``G_dsp``, ``p_dsp``, eq. (4) ``V``
+bounds all scale with element width), and a quantization-error harness for
+judging whether a narrower representation is numerically acceptable for a
+given solver.
+
+Operator costs are the typical Vivado HLS figures for DSP48E2 devices:
+
+=============  ====  ====  ===========================================
+representation add   mul   notes
+=============  ====  ====  ===========================================
+half  (FP16)    1     1    native DSP floating-point support
+float (FP32)    2     3    the paper's baseline
+double(FP64)    3    11    multi-DSP mantissa multiplier
+fixed16 (Q8.8)  0     1    adds in fabric; one DSP per multiply
+fixed32 (Q16)   0     4    32x32 multiply = 4 DSP48
+=============  ====  ====  ===========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.resources import DSPCostModel
+from repro.stencil.program import StencilProgram
+from repro.util.errors import ValidationError
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PrecisionSpec:
+    """One numerical representation usable by the workflow."""
+
+    name: str
+    bytes_per_scalar: int
+    costs: DSPCostModel
+    #: None for floating point; fractional bits for fixed-point formats
+    fixed_frac_bits: int | None = None
+    #: the NumPy dtype arithmetic is emulated in (fixed point uses float64
+    #: plus explicit quantization after every kernel application)
+    numpy_dtype: str = "float32"
+
+    def __post_init__(self):
+        check_positive("bytes_per_scalar", self.bytes_per_scalar)
+        if self.fixed_frac_bits is not None and self.fixed_frac_bits <= 0:
+            raise ValidationError("fixed_frac_bits must be positive when set")
+
+    @property
+    def is_fixed_point(self) -> bool:
+        """True for fixed-point representations."""
+        return self.fixed_frac_bits is not None
+
+
+HALF = PrecisionSpec("half", 2, DSPCostModel(add=1, mul=1), numpy_dtype="float16")
+FLOAT = PrecisionSpec("float", 4, DSPCostModel(add=2, mul=3), numpy_dtype="float32")
+DOUBLE = PrecisionSpec("double", 8, DSPCostModel(add=3, mul=11), numpy_dtype="float64")
+FIXED16 = PrecisionSpec(
+    "fixed16", 2, DSPCostModel(add=0, mul=1), fixed_frac_bits=8, numpy_dtype="float64"
+)
+FIXED32 = PrecisionSpec(
+    "fixed32", 4, DSPCostModel(add=0, mul=4), fixed_frac_bits=16, numpy_dtype="float64"
+)
+
+ALL_PRECISIONS = (HALF, FLOAT, DOUBLE, FIXED16, FIXED32)
+
+
+def precision_by_name(name: str) -> PrecisionSpec:
+    """Look up one of the predefined representations."""
+    for spec in ALL_PRECISIONS:
+        if spec.name == name:
+            return spec
+    raise ValidationError(
+        f"unknown precision {name!r}; available: {[p.name for p in ALL_PRECISIONS]}"
+    )
+
+
+def gdsp_at_precision(program: StencilProgram, precision: PrecisionSpec) -> int:
+    """``G_dsp`` of the program's iteration body at a given representation."""
+    from repro.model.resources import gdsp_program
+
+    return gdsp_program(program, precision.costs)
+
+
+def max_vectorization_at_precision(
+    channel_bandwidth: float,
+    clock_hz: float,
+    precision: PrecisionSpec,
+    components: int = 1,
+) -> int:
+    """Eq. (4) with the representation's element width."""
+    from repro.model.bandwidth import max_vectorization
+
+    return max_vectorization(
+        channel_bandwidth, clock_hz, precision.bytes_per_scalar * components
+    )
+
+
+def quantize_fixed(values: np.ndarray, frac_bits: int) -> np.ndarray:
+    """Round values to a signed fixed-point grid with ``frac_bits`` fraction bits."""
+    check_positive("frac_bits", frac_bits)
+    scale = float(1 << frac_bits)
+    return np.round(values * scale) / scale
+
+
+def quantization_step(precision: PrecisionSpec) -> float:
+    """The representable step (ulp near 1.0 for floats; LSB for fixed point)."""
+    if precision.is_fixed_point:
+        return 2.0 ** (-precision.fixed_frac_bits)
+    return float(np.finfo(np.dtype(precision.numpy_dtype)).eps)
+
+
+def precision_error(
+    program: StencilProgram,
+    fields,
+    niter: int,
+    precision: PrecisionSpec,
+) -> float:
+    """Max-norm error of a reduced-precision solve vs a float64 reference.
+
+    Floating-point formats run the golden evaluator in the format's dtype;
+    fixed-point formats run in float64 with quantization after every kernel
+    application (matching a datapath that rounds at each register stage).
+    """
+    from repro.mesh.mesh import Field, MeshSpec
+    from repro.stencil.numpy_eval import apply_kernel
+
+    def cast_env(env, dtype):
+        out = {}
+        for name, f in env.items():
+            spec = MeshSpec(f.spec.shape, f.spec.components, dtype)
+            out[name] = Field(name, spec, f.data.astype(dtype))
+        return out
+
+    reference = cast_env(fields, np.float64)
+    test_dtype = np.dtype(precision.numpy_dtype)
+    test = cast_env(fields, test_dtype)
+    if precision.is_fixed_point:
+        for f in test.values():
+            f.data[:] = quantize_fixed(f.data, precision.fixed_frac_bits)
+
+    for _ in range(niter):
+        for group in program.groups:
+            for loop in group.loops:
+                reference.update(apply_kernel(loop.kernel, reference))
+                outputs = apply_kernel(loop.kernel, test)
+                if precision.is_fixed_point:
+                    for f in outputs.values():
+                        f.data[:] = quantize_fixed(f.data, precision.fixed_frac_bits)
+                test.update(outputs)
+
+    state = program.state_fields[0]
+    diff = np.abs(
+        reference[state].data.astype(np.float64) - test[state].data.astype(np.float64)
+    )
+    return float(diff.max())

@@ -1,0 +1,226 @@
+"""Spatial/temporal blocking theory (paper Section IV-A, eqs. (8)-(14)).
+
+Large meshes exceed the line-buffer bound (eq. (7)); the design then streams
+overlapping *blocks* through the same pipeline. A ``p``-deep pipeline on a
+``D``-order stencil invalidates a ``p*D``-wide ring of each block, so blocks
+overlap by ``p*D`` and the redundant compute is the price of temporal reuse.
+
+Dimension conventions (matching Table III):
+
+* 3D: blocks of ``M x N x l`` over an ``m x n x l`` mesh — both transverse
+  dimensions are split, the outer dimension ``l`` is streamed.
+* 2D: blocks of ``M x n`` over an ``m x n`` mesh — only the row dimension is
+  split (the window buffer needs ``D`` rows of ``M``), rows are streamed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+from repro.util.rounding import ceil_div
+from repro.util.validation import check_positive
+
+
+def _check_block(M: int, p: int, D: int) -> None:
+    check_positive("M", M)
+    check_positive("p", p)
+    if D <= 0 or D % 2:
+        raise ValidationError(f"stencil order D must be positive and even, got {D}")
+    if M <= p * D:
+        raise ValidationError(
+            f"block extent {M} leaves no valid points at p*D overlap {p * D}"
+        )
+
+
+def block_valid_points(
+    M: int, N: int | None, l_or_n: int, p: int, D: int
+) -> int:
+    """Eq. (8): valid (non-redundant) mesh points per block.
+
+    3D: pass ``N`` and ``l_or_n = l`` -> ``(M - pD) * (N - pD) * l``.
+    2D: pass ``N=None`` and ``l_or_n = n`` -> ``(M - pD) * n``.
+    """
+    _check_block(M, p, D)
+    check_positive("l_or_n", l_or_n)
+    if N is None:
+        return (M - p * D) * l_or_n
+    _check_block(N, p, D)
+    return (M - p * D) * (N - p * D) * l_or_n
+
+
+def block_cycles(M: int, N: int | None, l_or_n: int, V: int, p: int, D: int) -> float:
+    """Eq. (9): average cycles to process one block through ``p`` iterations.
+
+    3D: ``ceil(M/V) * N * (l + p*D/2) / p``; 2D: ``ceil(M/V) * (n + p*D/2) / p``.
+    """
+    _check_block(M, p, D)
+    check_positive("V", V)
+    check_positive("l_or_n", l_or_n)
+    if N is None:
+        return ceil_div(M, V) * (l_or_n + p * D / 2.0) / p
+    _check_block(N, p, D)
+    return ceil_div(M, V) * N * (l_or_n + p * D / 2.0) / p
+
+
+def tile_throughput(M: int, N: int | None, l_or_n: int, V: int, p: int, D: int) -> float:
+    """Eq. (10): valid mesh points per clock cycle of the blocked design."""
+    valid = block_valid_points(M, N, l_or_n, p, D)
+    cycles = block_cycles(M, N, l_or_n, V, p, D)
+    return valid / cycles
+
+
+def valid_ratio(M: int, N: int | None, p: int, D: int) -> float:
+    """Fraction of computed points that are valid (Table III last column)."""
+    _check_block(M, p, D)
+    ratio = 1.0 - (p * D) / M
+    if N is not None:
+        _check_block(N, p, D)
+        ratio *= 1.0 - (p * D) / N
+    return ratio
+
+
+def optimal_tile_m(mem_bytes: int, k: int, p: int, D: int) -> int:
+    """Eq. (11): the square-block edge maximizing throughput for given ``p``.
+
+    ``M = sqrt(FPGA_mem / (k * p * D))`` — the block transverse area that
+    exactly fills the on-chip buffer budget.
+    """
+    check_positive("mem_bytes", mem_bytes)
+    check_positive("k", k)
+    check_positive("p", p)
+    check_positive("D", D)
+    return int(math.sqrt(mem_bytes / (k * p * D)))
+
+
+def p_max_for_tile(M: int, D: int) -> int:
+    """Eq. (12): the throughput-maximizing unroll depth for block edge ``M``."""
+    check_positive("M", M)
+    check_positive("D", D)
+    return max(1, M // (3 * D))
+
+
+def throughput_full_dsp_3d(
+    M: int, p: int, D: int, fpga_dsp: int, gdsp: int, l: int
+) -> float:
+    """Eq. (13): 3D blocked throughput assuming all DSP capacity is used.
+
+    Substitutes ``p*V = FPGA_dsp / G_dsp`` into eq. (10) with square blocks.
+    """
+    _check_block(M, p, D)
+    check_positive("fpga_dsp", fpga_dsp)
+    check_positive("gdsp", gdsp)
+    check_positive("l", l)
+    edge = 1.0 - (p * D) / M
+    return edge * edge * (fpga_dsp / gdsp) * (l / (l + p * D / 2.0))
+
+
+def throughput_full_dsp_2d(
+    M: int, p: int, D: int, fpga_dsp: int, gdsp: int, n: int
+) -> float:
+    """Eq. (14): 2D blocked throughput assuming all DSP capacity is used."""
+    _check_block(M, p, D)
+    check_positive("fpga_dsp", fpga_dsp)
+    check_positive("gdsp", gdsp)
+    check_positive("n", n)
+    return (1.0 - (p * D) / M) * (fpga_dsp / gdsp) * (n / (n + p * D / 2.0))
+
+
+@dataclass(frozen=True)
+class BlockPlan:
+    """One block along one axis: extents and valid write-back range."""
+
+    start: int
+    end: int
+    valid_start: int
+    valid_end: int
+
+    @property
+    def extent(self) -> int:
+        """Block extent along this axis."""
+        return self.end - self.start
+
+
+def plan_blocks(extent: int, block: int, halo: int) -> list[BlockPlan]:
+    """Plan overlapping blocks covering ``[0, extent)`` along one axis.
+
+    Blocks are at most ``block`` wide, overlap by ``2*halo``, and their
+    valid regions tile the axis exactly. Edge blocks shrink instead of
+    re-covering already-valid cells — the paper's "variable sized tiling"
+    extension, which avoids paying full-block cycles for a sliver of new
+    valid cells at the mesh edge.
+    """
+    check_positive("extent", extent)
+    check_positive("block", block)
+    if halo < 0:
+        raise ValidationError(f"halo must be non-negative, got {halo}")
+    if block <= 2 * halo and block < extent:
+        raise ValidationError(
+            f"block extent {block} leaves no valid cells at halo {halo}"
+        )
+    plans: list[BlockPlan] = []
+    v = 0  # next uncovered valid index
+    while v < extent:
+        start = max(0, v - halo)
+        end = min(extent, start + block)
+        valid_start = v
+        valid_end = extent if end == extent else end - halo
+        if valid_end <= valid_start:
+            raise ValidationError(
+                f"no forward progress planning blocks (extent={extent}, "
+                f"block={block}, halo={halo})"
+            )
+        plans.append(BlockPlan(start, end, valid_start, valid_end))
+        v = valid_end
+    return plans
+
+
+@dataclass(frozen=True)
+class TileDesign:
+    """A chosen blocking configuration.
+
+    ``tile`` is ``(M,)`` for 2D designs or ``(M, N)`` for 3D designs, in
+    paper axis order (``M`` splits the contiguous ``m`` dimension).
+    """
+
+    tile: tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.tile) not in (1, 2):
+            raise ValidationError(
+                f"tile must be (M,) for 2D or (M, N) for 3D, got {self.tile!r}"
+            )
+        for t in self.tile:
+            check_positive("tile extent", t)
+        object.__setattr__(self, "tile", tuple(int(t) for t in self.tile))
+
+    @property
+    def M(self) -> int:
+        """Block extent along the contiguous dimension."""
+        return self.tile[0]
+
+    @property
+    def N(self) -> int | None:
+        """Block extent along the second dimension (3D only)."""
+        return self.tile[1] if len(self.tile) == 2 else None
+
+    def num_blocks(self, mesh_shape: tuple[int, ...], p: int, D: int) -> int:
+        """Number of overlapping blocks covering the mesh.
+
+        Blocks advance by their valid extent (``M - pD``); edge blocks are
+        clipped. A block must keep at least one valid point.
+        """
+        overlap = p * D
+        if len(mesh_shape) == 2:
+            m, _ = mesh_shape
+            _check_block(self.M, p, D)
+            return ceil_div(max(1, m - overlap), self.M - overlap)
+        m, n, _ = mesh_shape
+        if self.N is None:
+            raise ValidationError("3D meshes need an (M, N) tile")
+        _check_block(self.M, p, D)
+        _check_block(self.N, p, D)
+        blocks_m = ceil_div(max(1, m - overlap), self.M - overlap)
+        blocks_n = ceil_div(max(1, n - overlap), self.N - overlap)
+        return blocks_m * blocks_n

@@ -1,0 +1,67 @@
+"""Stencil frontend: expression IR, kernels, programs and the NumPy golden model.
+
+This is the "high-level" entry point of the workflow: users describe stencil
+loops as arithmetic expressions over relative mesh accesses, and the rest of
+the library (analytic model, dataflow simulator, HLS code generator) consumes
+the same intermediate representation.
+"""
+
+from repro.stencil.expr import (
+    Expr,
+    Const,
+    Coef,
+    FieldAccess,
+    BinOp,
+    Neg,
+    as_expr,
+    walk,
+    count_ops,
+    OpCounts,
+    field_accesses,
+    coefficient_names,
+    field_names,
+)
+from repro.stencil.spec import StencilSpec, AccessPattern
+from repro.stencil.kernel import StencilKernel, KernelOutput
+from repro.stencil.program import StencilLoop, FusedGroup, StencilProgram
+from repro.stencil.builders import (
+    star_offsets,
+    box_offsets,
+    weighted_star_kernel,
+    jacobi2d_5pt,
+    jacobi3d_7pt,
+    high_order_star_1d_terms,
+)
+from repro.stencil.numpy_eval import apply_kernel, run_group, run_program
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Coef",
+    "FieldAccess",
+    "BinOp",
+    "Neg",
+    "as_expr",
+    "walk",
+    "count_ops",
+    "OpCounts",
+    "field_accesses",
+    "coefficient_names",
+    "field_names",
+    "StencilSpec",
+    "AccessPattern",
+    "StencilKernel",
+    "KernelOutput",
+    "StencilLoop",
+    "FusedGroup",
+    "StencilProgram",
+    "star_offsets",
+    "box_offsets",
+    "weighted_star_kernel",
+    "jacobi2d_5pt",
+    "jacobi3d_7pt",
+    "high_order_star_1d_terms",
+    "apply_kernel",
+    "run_group",
+    "run_program",
+]

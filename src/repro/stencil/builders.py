@@ -1,0 +1,167 @@
+"""Convenience builders for common stencil shapes.
+
+These construct the expression trees for star/box stencils and the two simple
+paper applications; the RTM program has its own module under ``repro.apps``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.stencil.expr import Coef, Const, Expr, FieldAccess, as_expr
+from repro.stencil.kernel import StencilKernel, single_output_kernel
+from repro.util.errors import ValidationError
+from repro.util.validation import check_positive
+
+
+def star_offsets(ndim: int, radius: int) -> list[tuple[int, ...]]:
+    """Offsets of a star (axis-aligned cross) stencil: centre + 2*ndim*radius points."""
+    check_positive("radius", radius)
+    if ndim not in (2, 3):
+        raise ValidationError(f"ndim must be 2 or 3, got {ndim}")
+    offsets: list[tuple[int, ...]] = [(0,) * ndim]
+    for axis in range(ndim):
+        for r in range(1, radius + 1):
+            for sign in (-1, 1):
+                off = [0] * ndim
+                off[axis] = sign * r
+                offsets.append(tuple(off))
+    return offsets
+
+
+def box_offsets(ndim: int, radius: int) -> list[tuple[int, ...]]:
+    """Offsets of a dense box stencil: ``(2r+1)^ndim`` points."""
+    check_positive("radius", radius)
+    if ndim not in (2, 3):
+        raise ValidationError(f"ndim must be 2 or 3, got {ndim}")
+    ranges = [range(-radius, radius + 1)] * ndim
+    out: list[tuple[int, ...]] = []
+
+    def rec(prefix: tuple[int, ...], depth: int) -> None:
+        if depth == ndim:
+            out.append(prefix)
+            return
+        for v in ranges[depth]:
+            rec(prefix + (v,), depth + 1)
+
+    rec((), 0)
+    return out
+
+
+def weighted_star_kernel(
+    name: str,
+    field: str,
+    ndim: int,
+    radius: int,
+    weights: Mapping[tuple[int, ...], float] | None = None,
+    coef_prefix: str | None = None,
+) -> StencilKernel:
+    """A star-stencil update with per-point weights.
+
+    If ``weights`` is given, points are multiplied by literal constants; if
+    ``coef_prefix`` is given, each point gets a named runtime coefficient
+    (``<prefix>0``, ``<prefix>1``, ...) defaulting to a normalized average.
+    """
+    offsets = star_offsets(ndim, radius)
+    if weights is not None and coef_prefix is not None:
+        raise ValidationError("pass either weights or coef_prefix, not both")
+    terms: list[Expr] = []
+    coeffs: dict[str, float] = {}
+    if coef_prefix is not None:
+        default = 1.0 / len(offsets)
+        for i, off in enumerate(offsets):
+            cname = f"{coef_prefix}{i}"
+            coeffs[cname] = default
+            terms.append(Coef(cname) * FieldAccess(field, off))
+    else:
+        weights = dict(weights or {})
+        for off in offsets:
+            w = weights.pop(tuple(off), None)
+            if w is None:
+                raise ValidationError(f"missing weight for offset {off}")
+            terms.append(Const(w) * FieldAccess(field, off))
+        if weights:
+            raise ValidationError(f"weights given for non-star offsets: {sorted(weights)}")
+    expr = terms[0]
+    for t in terms[1:]:
+        expr = expr + t
+    return single_output_kernel(name, field, expr, coeffs)
+
+
+def jacobi2d_5pt(field: str = "U") -> StencilKernel:
+    """The paper's Poisson-5pt-2D update (eq. (16)).
+
+    ``U' = 1/8 (U[-1,0] + U[1,0] + U[0,-1] + U[0,1]) + 1/2 U[0,0]``
+
+    Built exactly as written — four adds, one multiply by 1/8 and one by 1/2 —
+    so the op counts match the paper's ``G_dsp = 14`` with the standard SP
+    costs (add: 2 DSP, mul: 3 DSP): 4*2 + 2*3 = 14.
+    """
+    U = lambda dx, dy: FieldAccess(field, (dx, dy))
+    expr = Const(0.125) * (U(-1, 0) + U(1, 0) + U(0, -1) + U(0, 1)) + Const(0.5) * U(0, 0)
+    return single_output_kernel("poisson_5pt_2d", field, expr)
+
+
+def jacobi3d_7pt(field: str = "U", coefficients: Sequence[float] | None = None) -> StencilKernel:
+    """The paper's Jacobi-7pt-3D update (eq. (18)).
+
+    ``U' = k1 U[+1,0,0] + k2 U[-1,0,0] + k3 U[0,-1,0] + k4 U[0,0,0]
+         + k5 U[0,+1,0] + k6 U[0,0,+1] + k7 U[0,0,-1]``
+
+    6 adds + 7 muls = 6*2 + 7*3 = 33 DSP, matching Table II.
+    """
+    U = lambda dx, dy, dz: FieldAccess(field, (dx, dy, dz))
+    points = [
+        U(1, 0, 0),
+        U(-1, 0, 0),
+        U(0, -1, 0),
+        U(0, 0, 0),
+        U(0, 1, 0),
+        U(0, 0, 1),
+        U(0, 0, -1),
+    ]
+    if coefficients is None:
+        # diffusion-like defaults: stable explicit scheme, sums to 1
+        coefficients = [0.1, 0.1, 0.1, 0.4, 0.1, 0.1, 0.1]
+    if len(coefficients) != 7:
+        raise ValidationError(f"jacobi3d_7pt needs 7 coefficients, got {len(coefficients)}")
+    coeffs = {f"k{i+1}": float(c) for i, c in enumerate(coefficients)}
+    expr: Expr = Coef("k1") * points[0]
+    for i, p in enumerate(points[1:], start=2):
+        expr = expr + Coef(f"k{i}") * p
+    return single_output_kernel("jacobi_7pt_3d", field, expr, coeffs)
+
+
+def high_order_star_1d_terms(
+    field: str,
+    axis: int,
+    ndim: int,
+    radius: int,
+    coef_prefix: str,
+    component: int = 0,
+) -> tuple[Expr, dict[str, float]]:
+    """Symmetric high-order central-difference terms along one axis.
+
+    Returns ``sum_r c_r * (f[+r] + f[-r])`` plus a centre term ``c_0 * f[0]``
+    and the coefficient defaults — the building block of the RTM 25-point
+    8th-order stencil (radius 4 on each of 3 axes).
+    """
+    check_positive("radius", radius)
+    coeffs: dict[str, float] = {}
+
+    def acc(r: int) -> Expr:
+        off = [0] * ndim
+        off[axis] = r
+        return FieldAccess(field, tuple(off), component)
+
+    centre_name = f"{coef_prefix}0"
+    coeffs[centre_name] = -2.5  # 8th-order second-derivative centre weight approx
+    expr: Expr = Coef(centre_name) * acc(0)
+    # classic 8th-order second-derivative weights (scaled); exact values are
+    # irrelevant to performance modelling but keep the scheme symmetric.
+    defaults = {1: 1.6, 2: -0.2, 3: 8.0 / 315.0, 4: -1.0 / 560.0}
+    for r in range(1, radius + 1):
+        cname = f"{coef_prefix}{r}"
+        coeffs[cname] = defaults.get(r, 1.0 / (r * r))
+        expr = expr + Coef(cname) * (acc(r) + acc(-r))
+    return expr, coeffs

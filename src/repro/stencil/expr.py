@@ -1,0 +1,228 @@
+"""Arithmetic expression IR for stencil kernels.
+
+Expressions are immutable trees built with normal Python operators:
+
+>>> U = lambda dx, dy: FieldAccess("U", (dx, dy))
+>>> expr = 0.125 * (U(-1, 0) + U(1, 0) + U(0, -1) + U(0, 1)) + 0.5 * U(0, 0)
+
+The same tree serves three consumers:
+
+* the NumPy golden evaluator (:mod:`repro.stencil.numpy_eval`);
+* the resource model, which counts floating-point operations to estimate the
+  DSP cost ``G_dsp`` of one mesh-point update (paper eq. (6) and Table II);
+* the HLS code generator, which prints it as C++.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.util.errors import ValidationError
+
+Number = Union[int, float]
+
+#: Binary operators supported by the IR.
+_BINOPS = ("+", "-", "*", "/")
+
+
+class Expr:
+    """Base class for expression nodes. Instances are immutable and hashable."""
+
+    __slots__ = ()
+
+    # -- operator sugar -------------------------------------------------------
+    def __add__(self, other) -> "Expr":
+        return BinOp("+", self, as_expr(other))
+
+    def __radd__(self, other) -> "Expr":
+        return BinOp("+", as_expr(other), self)
+
+    def __sub__(self, other) -> "Expr":
+        return BinOp("-", self, as_expr(other))
+
+    def __rsub__(self, other) -> "Expr":
+        return BinOp("-", as_expr(other), self)
+
+    def __mul__(self, other) -> "Expr":
+        return BinOp("*", self, as_expr(other))
+
+    def __rmul__(self, other) -> "Expr":
+        return BinOp("*", as_expr(other), self)
+
+    def __truediv__(self, other) -> "Expr":
+        return BinOp("/", self, as_expr(other))
+
+    def __rtruediv__(self, other) -> "Expr":
+        return BinOp("/", as_expr(other), self)
+
+    def __neg__(self) -> "Expr":
+        return Neg(self)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant (compiled into the datapath, not a runtime input)."""
+
+    value: float
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", float(self.value))
+
+    def __str__(self) -> str:
+        return f"{self.value:g}"
+
+
+@dataclass(frozen=True)
+class Coef(Expr):
+    """A named scalar coefficient, bound at run/configure time (a, b, ... in eq. (1))."""
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise ValidationError(f"coefficient name must be a non-empty string, got {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FieldAccess(Expr):
+    """A relative access ``field[x+dx, y+dy(, z+dz)][component]``.
+
+    ``offset`` is given in paper axis order ``(dx, dy[, dz])`` where ``x``
+    indexes the contiguous ``m`` dimension.
+    """
+
+    field: str
+    offset: tuple[int, ...]
+    component: int = 0
+
+    def __post_init__(self):
+        if not self.field:
+            raise ValidationError("field name must be non-empty")
+        offset = tuple(int(o) for o in self.offset)
+        if len(offset) not in (2, 3):
+            raise ValidationError(f"offset must be 2D or 3D, got {offset!r}")
+        object.__setattr__(self, "offset", offset)
+        if self.component < 0:
+            raise ValidationError(f"component must be non-negative, got {self.component}")
+
+    def __str__(self) -> str:
+        off = ",".join(f"{o:+d}" for o in self.offset)
+        comp = f".{self.component}" if self.component else ""
+        return f"{self.field}[{off}]{comp}"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary arithmetic operation."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self):
+        if self.op not in _BINOPS:
+            raise ValidationError(f"unsupported operator {self.op!r}")
+        if not isinstance(self.lhs, Expr) or not isinstance(self.rhs, Expr):
+            raise ValidationError("BinOp operands must be Expr instances")
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    """Unary negation (free on FPGA datapaths: folded into the adder)."""
+
+    operand: Expr
+
+    def __post_init__(self):
+        if not isinstance(self.operand, Expr):
+            raise ValidationError("Neg operand must be an Expr instance")
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+def as_expr(value) -> Expr:
+    """Coerce a number to :class:`Const`; pass expressions through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(float(value))
+    raise ValidationError(f"cannot convert {type(value).__name__} to Expr")
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Depth-first pre-order traversal of an expression tree."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, BinOp):
+            stack.append(node.rhs)
+            stack.append(node.lhs)
+        elif isinstance(node, Neg):
+            stack.append(node.operand)
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Floating-point operation counts of an expression or kernel."""
+
+    adds: int = 0
+    muls: int = 0
+    divs: int = 0
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            self.adds + other.adds,
+            self.muls + other.muls,
+            self.divs + other.divs,
+        )
+
+    @property
+    def total(self) -> int:
+        """Total floating-point operations."""
+        return self.adds + self.muls + self.divs
+
+    @property
+    def flops(self) -> int:
+        """Alias for :attr:`total` (1 FLOP per add/mul/div)."""
+        return self.total
+
+
+def count_ops(expr: Expr) -> OpCounts:
+    """Count add/sub, mul and div nodes.
+
+    Unary negation is not counted: on the FPGA it folds into the adjacent
+    adder, and the GPU fuses it similarly.
+    """
+    adds = muls = divs = 0
+    for node in walk(expr):
+        if isinstance(node, BinOp):
+            if node.op in ("+", "-"):
+                adds += 1
+            elif node.op == "*":
+                muls += 1
+            else:
+                divs += 1
+    return OpCounts(adds, muls, divs)
+
+
+def field_accesses(expr: Expr) -> list[FieldAccess]:
+    """All field accesses in the expression, in traversal order."""
+    return [n for n in walk(expr) if isinstance(n, FieldAccess)]
+
+
+def coefficient_names(expr: Expr) -> set[str]:
+    """Names of all runtime coefficients referenced by the expression."""
+    return {n.name for n in walk(expr) if isinstance(n, Coef)}
+
+
+def field_names(expr: Expr) -> set[str]:
+    """Names of all fields referenced by the expression."""
+    return {n.field for n in walk(expr) if isinstance(n, FieldAccess)}

@@ -1,0 +1,64 @@
+"""Shared utilities: error types, validation, units, rounding and table formatting."""
+
+from repro.util.errors import (
+    ReproError,
+    ValidationError,
+    InfeasibleDesignError,
+    ResourceExceededError,
+    SimulationError,
+)
+from repro.util.rounding import ceil_div, round_up, round_down, is_power_of_two
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    KB,
+    MB,
+    GB,
+    MHZ,
+    GHZ,
+    bytes_to_mib,
+    bytes_to_gib,
+    fmt_bytes,
+    fmt_seconds,
+    fmt_bandwidth,
+)
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+    check_one_of,
+)
+from repro.util.tables import TextTable
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "InfeasibleDesignError",
+    "ResourceExceededError",
+    "SimulationError",
+    "ceil_div",
+    "round_up",
+    "round_down",
+    "is_power_of_two",
+    "KIB",
+    "MIB",
+    "GIB",
+    "KB",
+    "MB",
+    "GB",
+    "MHZ",
+    "GHZ",
+    "bytes_to_mib",
+    "bytes_to_gib",
+    "fmt_bytes",
+    "fmt_seconds",
+    "fmt_bandwidth",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+    "check_one_of",
+    "TextTable",
+]

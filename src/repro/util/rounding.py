@@ -1,0 +1,33 @@
+"""Integer rounding helpers used throughout the cycle and resource models."""
+
+from __future__ import annotations
+
+from repro.util.errors import ValidationError
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Return ``ceil(a / b)`` for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValidationError(f"ceil_div divisor must be positive, got {b}")
+    if a < 0:
+        raise ValidationError(f"ceil_div numerator must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``multiple``."""
+    return ceil_div(value, multiple) * multiple
+
+
+def round_down(value: int, multiple: int) -> int:
+    """Round ``value`` down to the nearest multiple of ``multiple``."""
+    if multiple <= 0:
+        raise ValidationError(f"round_down multiple must be positive, got {multiple}")
+    if value < 0:
+        raise ValidationError(f"round_down value must be non-negative, got {value}")
+    return (value // multiple) * multiple
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0

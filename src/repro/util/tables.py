@@ -1,0 +1,67 @@
+"""Minimal fixed-width text table formatter for benchmark / harness output.
+
+Kept dependency-free (no tabulate) because the benchmark harness prints the
+paper's tables verbatim into log files.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.util.errors import ValidationError
+
+
+class TextTable:
+    """A fixed-width text table with a header row.
+
+    >>> t = TextTable(["mesh", "runtime"])
+    >>> t.add_row(["200x100", 0.03])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        if not columns:
+            raise ValidationError("TextTable requires at least one column")
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        """Append a data row; values are stringified with sensible float formatting."""
+        row = [self._fmt(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValidationError(
+                f"row has {len(row)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, bool) or value is None:
+            return str(value)
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 1e-3:
+                return f"{value:.3g}"
+            return f"{value:.4g}"
+        return str(value)
+
+    def render(self) -> str:
+        """Render the table with column-aligned cells."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

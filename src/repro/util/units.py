@@ -1,0 +1,53 @@
+"""Unit constants and human-readable formatting.
+
+Memory sizes follow the usual hardware convention: datasheet capacities
+(HBM/DDR4) are powers of ten, on-chip block sizes (BRAM 18/36 Kb, URAM 288 Kb)
+are powers of two of *bits*.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+MHZ = 1.0e6
+GHZ = 1.0e9
+
+
+def bytes_to_mib(nbytes: float) -> float:
+    """Convert bytes to MiB."""
+    return nbytes / MIB
+
+
+def bytes_to_gib(nbytes: float) -> float:
+    """Convert bytes to GiB."""
+    return nbytes / GIB
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Format a byte count with a binary suffix, e.g. ``34.5 MiB``."""
+    value = float(nbytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            return f"{value:.4g} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Format a duration, choosing between s / ms / us."""
+    if seconds >= 1.0:
+        return f"{seconds:.3g} s"
+    if seconds >= 1.0e-3:
+        return f"{seconds * 1e3:.3g} ms"
+    return f"{seconds * 1e6:.3g} us"
+
+
+def fmt_bandwidth(bytes_per_second: float) -> str:
+    """Format a bandwidth in GB/s (decimal, as in the paper's tables)."""
+    return f"{bytes_per_second / GB:.1f} GB/s"

@@ -1,0 +1,63 @@
+"""Lightweight argument validation helpers.
+
+These raise :class:`~repro.util.errors.ValidationError` with a message naming
+the offending parameter, so API misuse is diagnosed at the boundary rather
+than deep inside the models.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.util.errors import ValidationError
+
+
+def check_positive(name: str, value: float) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
+    """Require ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValidationError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_type(name: str, value: Any, types: type | tuple[type, ...]) -> None:
+    """Require ``isinstance(value, types)``."""
+    if not isinstance(value, types):
+        expected = (
+            types.__name__
+            if isinstance(types, type)
+            else " | ".join(t.__name__ for t in types)
+        )
+        raise ValidationError(
+            f"{name} must be of type {expected}, got {type(value).__name__}"
+        )
+
+
+def check_one_of(name: str, value: Any, allowed: Iterable[Any]) -> None:
+    """Require that ``value`` is a member of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValidationError(f"{name} must be one of {allowed!r}, got {value!r}")
+
+
+def check_shape(name: str, shape: Sequence[int], ndim: int | None = None) -> tuple[int, ...]:
+    """Validate a mesh shape: all positive integers, optionally fixed rank."""
+    shape = tuple(int(s) for s in shape)
+    if ndim is not None and len(shape) != ndim:
+        raise ValidationError(f"{name} must have {ndim} dimensions, got {shape!r}")
+    if not shape:
+        raise ValidationError(f"{name} must be non-empty")
+    for s in shape:
+        if s <= 0:
+            raise ValidationError(f"{name} entries must be positive, got {shape!r}")
+    return shape

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.jacobi3d import jacobi3d_app
+from repro.apps.poisson2d import poisson2d_app
+from repro.apps.rtm import rtm_app
+from repro.mesh.mesh import Field, MeshSpec
+from repro.stencil.builders import jacobi2d_5pt, jacobi3d_7pt
+from repro.stencil.program import single_kernel_program
+
+
+@pytest.fixture
+def spec2d() -> MeshSpec:
+    return MeshSpec((12, 10))
+
+
+@pytest.fixture
+def spec3d() -> MeshSpec:
+    return MeshSpec((8, 7, 6))
+
+
+@pytest.fixture
+def field2d(spec2d) -> Field:
+    return Field.random("U", spec2d, seed=11)
+
+
+@pytest.fixture
+def field3d(spec3d) -> Field:
+    return Field.random("U", spec3d, seed=12)
+
+
+@pytest.fixture
+def poisson_kernel():
+    return jacobi2d_5pt()
+
+
+@pytest.fixture
+def jacobi_kernel():
+    return jacobi3d_7pt()
+
+
+@pytest.fixture
+def poisson_program(spec2d, poisson_kernel):
+    return single_kernel_program("poisson", spec2d, poisson_kernel)
+
+
+@pytest.fixture
+def jacobi_program(spec3d, jacobi_kernel):
+    return single_kernel_program("jacobi", spec3d, jacobi_kernel)
+
+
+@pytest.fixture
+def poisson_app():
+    return poisson2d_app()
+
+
+@pytest.fixture
+def jacobi_app():
+    return jacobi3d_app()
+
+
+@pytest.fixture
+def rtm_small_app():
+    return rtm_app((12, 12, 10))

@@ -1,0 +1,47 @@
+"""Unit tests for the achievable-clock model."""
+
+import pytest
+
+from repro.arch.clocking import DEFAULT_CLOCK_MODEL, ClockModel
+from repro.util.errors import ValidationError
+
+
+class TestClockModel:
+    def test_low_utilization_full_speed(self):
+        assert DEFAULT_CLOCK_MODEL.estimate_mhz(0.2) == 300.0
+
+    def test_derates_above_knee(self):
+        high = DEFAULT_CLOCK_MODEL.estimate_mhz(0.95)
+        low = DEFAULT_CLOCK_MODEL.estimate_mhz(0.60)
+        assert high < low < 300.0 or low == 300.0
+
+    def test_paper_band_for_big_designs(self):
+        # the three paper designs closed timing at 246-261 MHz with
+        # utilizations in the 0.8-0.95 range
+        for util in (0.80, 0.85, 0.90, 0.95):
+            mhz = DEFAULT_CLOCK_MODEL.estimate_mhz(util, slr_crossings=2)
+            assert 230.0 <= mhz <= 275.0
+
+    def test_slr_penalty(self):
+        base = DEFAULT_CLOCK_MODEL.estimate_mhz(0.9, 0)
+        crossed = DEFAULT_CLOCK_MODEL.estimate_mhz(0.9, 2)
+        assert crossed == base - 2 * DEFAULT_CLOCK_MODEL.slr_penalty_mhz
+
+    def test_floor(self):
+        model = ClockModel(floor_mhz=200.0, derate=10.0)
+        assert model.estimate_mhz(1.0, 10) == 200.0
+
+    def test_never_exceeds_target(self):
+        assert DEFAULT_CLOCK_MODEL.estimate_mhz(0.0) <= 300.0
+
+    def test_utilization_validated(self):
+        with pytest.raises(ValidationError):
+            DEFAULT_CLOCK_MODEL.estimate_mhz(1.5)
+        with pytest.raises(ValidationError):
+            DEFAULT_CLOCK_MODEL.estimate_mhz(0.5, -1)
+
+    def test_model_validation(self):
+        with pytest.raises(ValidationError):
+            ClockModel(target_mhz=-1)
+        with pytest.raises(ValidationError):
+            ClockModel(utilization_knee=2.0)

@@ -1,0 +1,84 @@
+"""Unit tests for FPGA device models (Table I inventory)."""
+
+import pytest
+
+from repro.arch.device import ALVEO_U250, ALVEO_U280, FPGADevice, MemoryBank, device_by_name
+from repro.util.errors import ValidationError
+from repro.util.units import GB, MIB
+
+
+class TestU280TableI:
+    def test_dsp_blocks(self):
+        assert ALVEO_U280.dsp_blocks == 8490
+
+    def test_bram_capacity_6_6_mb(self):
+        # Table I: 6.6 MB in 1487 blocks of 36 Kb
+        assert ALVEO_U280.bram_blocks == 1487
+        assert abs(ALVEO_U280.bram_bytes / MIB - 6.53) < 0.1
+
+    def test_uram_capacity_34_5_mb(self):
+        assert ALVEO_U280.uram_blocks == 960
+        assert abs(ALVEO_U280.uram_bytes / MIB - 33.75) < 0.1
+
+    def test_hbm(self):
+        hbm = ALVEO_U280.hbm
+        assert hbm.capacity_bytes == 8 * GB
+        assert hbm.total_bandwidth == 460 * GB
+        assert hbm.channels == 32
+        assert abs(hbm.channel_bandwidth - 14.375 * GB) < 1e6
+
+    def test_ddr4(self):
+        ddr = ALVEO_U280.ddr4
+        assert ddr.capacity_bytes == 32 * GB
+        assert ddr.total_bandwidth == 38.4 * GB
+        assert ddr.channels == 2
+
+    def test_three_slrs(self):
+        assert ALVEO_U280.slr_count == 3
+
+    def test_axi_bus_512_bits(self):
+        assert ALVEO_U280.axi_bus_bytes == 64
+
+    def test_usable_dsp_90_percent(self):
+        # the paper assumes a 90% DSP budget: 7641 usable
+        assert ALVEO_U280.usable_dsp() == 7641
+
+    def test_usable_memory_within_bounds(self):
+        assert 0 < ALVEO_U280.usable_on_chip_bytes() < ALVEO_U280.on_chip_bytes
+
+
+class TestDeviceAPI:
+    def test_memory_lookup(self):
+        assert ALVEO_U280.memory("HBM").kind == "HBM"
+        assert ALVEO_U280.memory("DDR4").kind == "DDR4"
+
+    def test_memory_lookup_unknown(self):
+        with pytest.raises(ValidationError):
+            ALVEO_U280.memory("SRAM")
+
+    def test_u250_has_no_hbm(self):
+        assert ALVEO_U250.hbm is None
+        with pytest.raises(ValidationError):
+            ALVEO_U250.memory("HBM")
+
+    def test_memory_targets(self):
+        assert ALVEO_U280.memory_targets == ("HBM", "DDR4")
+        assert ALVEO_U250.memory_targets == ("DDR4",)
+
+    def test_per_slr_resources(self):
+        assert ALVEO_U280.dsp_per_slr == 8490 // 3
+        assert ALVEO_U280.on_chip_bytes_per_slr == ALVEO_U280.on_chip_bytes // 3
+
+    def test_by_name(self):
+        assert device_by_name("U280") is ALVEO_U280
+        assert device_by_name("Xilinx Alveo U250") is ALVEO_U250
+        with pytest.raises(ValidationError):
+            device_by_name("U999")
+
+    def test_device_requires_memory(self):
+        with pytest.raises(ValidationError):
+            FPGADevice("x", 100, 100, 100, 1, None, None)
+
+    def test_memory_bank_validation(self):
+        with pytest.raises(ValidationError):
+            MemoryBank("FLASH", 1, 1.0, 1)

@@ -1,0 +1,51 @@
+"""Unit tests for SLR floorplanning heuristics."""
+
+import pytest
+
+from repro.arch.device import ALVEO_U280
+from repro.arch.floorplan import SLRFloorplan
+from repro.util.errors import ValidationError
+
+
+class TestRTMFloorplan:
+    def test_one_module_per_slr(self):
+        # RTM: V=1, Gdsp=2444 per module -> each module fits one SLR
+        plan = SLRFloorplan(ALVEO_U280, modules=3, module_dsp=2444, module_mem_bytes=4 * 2**20)
+        assert plan.module_fits_one_slr
+        assert plan.modules_per_slr == 1
+        assert plan.slrs_used == 3
+        assert plan.slr_crossings == 2
+
+    def test_v2_would_not_fit(self):
+        # doubling V doubles the module DSP beyond one SLR's 2830
+        plan = SLRFloorplan(ALVEO_U280, modules=3, module_dsp=4888, module_mem_bytes=0)
+        assert not plan.module_fits_one_slr
+
+
+class TestPacking:
+    def test_small_modules_pack_into_one_slr(self):
+        plan = SLRFloorplan(ALVEO_U280, modules=10, module_dsp=112, module_mem_bytes=1024)
+        assert plan.modules_per_slr >= 10
+        assert plan.slr_crossings == 0
+        assert plan.slrs_used == 1
+
+    def test_poisson_design_spans_slrs(self):
+        # 60 modules of V=8*Gdsp=14 -> 112 DSP each: 6720 total > 2 SLRs
+        plan = SLRFloorplan(ALVEO_U280, modules=60, module_dsp=112, module_mem_bytes=3200)
+        assert plan.slrs_used >= 3
+        assert plan.slr_crossings == 2
+
+    def test_straddling_module_pessimistic(self):
+        plan = SLRFloorplan(ALVEO_U280, modules=2, module_dsp=9000, module_mem_bytes=0)
+        assert plan.modules_per_slr == 0
+        assert plan.slr_crossings == 2
+
+    def test_zero_resource_modules(self):
+        plan = SLRFloorplan(ALVEO_U280, modules=5, module_dsp=0, module_mem_bytes=0)
+        assert plan.slr_crossings == 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SLRFloorplan(ALVEO_U280, modules=0, module_dsp=1, module_mem_bytes=1)
+        with pytest.raises(ValidationError):
+            SLRFloorplan(ALVEO_U280, modules=1, module_dsp=-1, module_mem_bytes=1)

@@ -1,0 +1,92 @@
+"""Unit tests for the AXI burst/latency model (paper Section IV-A)."""
+
+import pytest
+
+from repro.arch.memory import (
+    AXIPort,
+    burst_cycles,
+    effective_bandwidth,
+    stream_cycles,
+    strided_transfer_efficiency,
+)
+from repro.util.errors import ValidationError
+
+
+class TestPaperCalibration:
+    def test_1024_bytes_takes_16_beats_plus_14_latency(self):
+        # paper: "16 clock cycles to transfer 1024 bytes via the 512-bit
+        # bus, but the latency of the transfer is about 14 clock cycles"
+        port = AXIPort()
+        assert burst_cycles(port, 1024) == 16 + 14
+
+    def test_4k_single_burst(self):
+        port = AXIPort()
+        assert burst_cycles(port, 4096) == 64 + 14
+
+    def test_large_transfer_splits_into_4k_bursts(self):
+        port = AXIPort()
+        assert burst_cycles(port, 8192) == 2 * (64 + 14)
+
+
+class TestStreamCycles:
+    def test_latency_hidden_with_outstanding_requests(self):
+        port = AXIPort()
+        # 1000 chunks of 1 KB: per-chunk cost approaches the 16 beats
+        cycles = stream_cycles(port, 1024, 1000)
+        assert cycles < 1000 * (16 + 14)
+        assert cycles >= 1000 * 16
+
+    def test_tiny_chunks_pay_issue_interval(self):
+        port = AXIPort(max_outstanding=2)
+        # 64-byte chunks: 1 beat each but latency/2 = 7 cycle issue interval
+        cycles = stream_cycles(port, 64, 100)
+        assert cycles >= 100 * 7
+
+    def test_validation(self):
+        port = AXIPort()
+        with pytest.raises(ValidationError):
+            stream_cycles(port, 0, 1)
+        with pytest.raises(ValidationError):
+            burst_cycles(port, -1)
+
+
+class TestEffectiveBandwidth:
+    def test_4k_reaches_near_bus_limit(self):
+        port = AXIPort()
+        clock = 300e6
+        bw = effective_bandwidth(port, clock, 4096)
+        bus_peak = 64 * clock
+        assert bw > 0.95 * bus_peak
+
+    def test_small_transfers_lose_bandwidth(self):
+        port = AXIPort(max_outstanding=1)
+        clock = 300e6
+        assert effective_bandwidth(port, clock, 64) < effective_bandwidth(
+            port, clock, 4096
+        )
+
+
+class TestStridedEfficiency:
+    def test_long_runs_efficient(self):
+        port = AXIPort()
+        assert strided_transfer_efficiency(port, 32768) > 0.9
+
+    def test_unaligned_run_wastes_alignment(self):
+        port = AXIPort()
+        # a 36-byte run occupies a full 64-byte bus word
+        eff = strided_transfer_efficiency(port, 36)
+        assert eff <= 36 / 64 + 1e-9
+
+    def test_monotone_in_run_length_for_aligned(self):
+        port = AXIPort()
+        effs = [strided_transfer_efficiency(port, 64 * k) for k in (1, 4, 16, 64)]
+        assert all(a <= b + 1e-9 for a, b in zip(effs, effs[1:]))
+
+
+class TestPortValidation:
+    def test_bus_bits_multiple_of_8(self):
+        with pytest.raises(ValidationError):
+            AXIPort(bus_bits=100)
+
+    def test_bus_bytes(self):
+        assert AXIPort(bus_bits=512).bus_bytes == 64

@@ -1,0 +1,64 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_mesh, main
+from repro.util.errors import ReproError
+
+
+class TestParseMesh:
+    def test_2d(self):
+        assert _parse_mesh("400x400") == (400, 400)
+
+    def test_3d_uppercase(self):
+        assert _parse_mesh("50X50X200") == (50, 50, 200)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ReproError):
+            _parse_mesh("400")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            _parse_mesh("4ax3")
+
+
+class TestCommands:
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "poisson2d" in out and "rtm" in out
+        assert "2444" in out  # RTM Gdsp in the listing
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "--id", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+    def test_explore(self, capsys):
+        assert main(["explore", "poisson2d", "--mesh", "200x100", "--niter", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime" in out
+
+    def test_explore_tiled(self, capsys):
+        code = main(
+            ["explore", "poisson2d", "--mesh", "15000x15000", "--niter", "60", "--tiled"]
+        )
+        assert code == 0
+        assert "tile" in capsys.readouterr().out
+
+    def test_explore_unknown_app(self, capsys):
+        assert main(["explore", "navier"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_codegen(self, tmp_path, capsys):
+        assert main(["codegen", "poisson2d", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "kernel.cpp").exists()
+
+    def test_report(self, tmp_path, capsys):
+        out_file = tmp_path / "EXP.md"
+        assert main(["report", "--output", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "Table II" in out_file.read_text()
+
+    def test_bad_mesh_via_cli(self, capsys):
+        assert main(["explore", "poisson2d", "--mesh", "bogus"]) == 2

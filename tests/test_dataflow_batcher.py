@@ -1,0 +1,61 @@
+"""Unit tests for batched execution."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.batcher import BatchRunner
+from repro.mesh.mesh import Field, MeshSpec
+from repro.model.design import DesignPoint
+from repro.stencil.numpy_eval import run_program
+from repro.util.errors import ValidationError
+
+
+class TestBatchRunner:
+    def _runner(self, program, V=2, p=3):
+        return BatchRunner(program, DesignPoint(V, p, 250.0))
+
+    def test_each_mesh_solved_independently(self, poisson_program, spec2d):
+        runner = self._runner(poisson_program)
+        batch = [{"U": Field.random("U", spec2d, seed=i)} for i in range(5)]
+        results = runner.run(batch, 6)
+        for env, res in zip(batch, results):
+            gold = run_program(poisson_program, env, 6)
+            assert np.array_equal(res["U"].data, gold["U"].data)
+
+    def test_no_cross_mesh_contamination(self, poisson_program, spec2d):
+        runner = self._runner(poisson_program)
+        a = {"U": Field.full("U", spec2d, 1.0)}
+        b = {"U": Field.full("U", spec2d, 100.0)}
+        res_pair = runner.run([a, b], 3)
+        res_solo = runner.run([a], 3)
+        assert np.array_equal(res_pair[0]["U"].data, res_solo[0]["U"].data)
+
+    def test_rejects_empty_batch(self, poisson_program):
+        with pytest.raises(ValidationError):
+            self._runner(poisson_program).run([], 3)
+
+    def test_rejects_mixed_specs(self, poisson_program, spec2d):
+        other = MeshSpec((6, 6))
+        batch = [
+            {"U": Field.random("U", spec2d, seed=1)},
+            {"U": Field.random("U", other, seed=2)},
+        ]
+        with pytest.raises(ValidationError, match="same spec"):
+            self._runner(poisson_program).run(batch, 3)
+
+    def test_rejects_missing_field(self, poisson_program):
+        with pytest.raises(ValidationError, match="missing field"):
+            self._runner(poisson_program).run([{}], 3)
+
+    def test_cycles_match_batched_model(self, poisson_program):
+        from repro.model.cycles import batched_cycles_2d
+
+        runner = self._runner(poisson_program, V=8, p=60)
+        cycles = runner.total_cycles(60000, 1000, (200, 100))
+        assert cycles == batched_cycles_2d(200, 100, 1000, 60000, 8, 60, 2)
+
+    def test_batched_cheaper_than_sequential(self, poisson_program):
+        runner = self._runner(poisson_program, V=8, p=60)
+        batched = runner.total_cycles(60, 100, (200, 100))
+        sequential = 100 * runner.total_cycles(60, 1, (200, 100))
+        assert batched < sequential

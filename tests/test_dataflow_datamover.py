@@ -1,0 +1,54 @@
+"""Unit tests for the AXI data movers."""
+
+import pytest
+
+from repro.arch.device import ALVEO_U280
+from repro.dataflow.datamover import DataMover, TransferStats
+from repro.util.errors import ValidationError
+
+
+class TestContiguous:
+    def test_full_mesh_stream_efficiency(self):
+        mover = DataMover(ALVEO_U280, "HBM", 300e6)
+        stats = mover.contiguous(4 * 10**6)
+        # long contiguous streams approach one bus word per cycle
+        assert stats.cycles < 1.05 * (4 * 10**6 / 64)
+        assert stats.efficiency > 0.99
+
+    def test_small_transfer_latency_visible(self):
+        mover = DataMover(ALVEO_U280, "HBM", 300e6)
+        stats = mover.contiguous(64)
+        assert stats.cycles >= 14
+
+    def test_rejects_zero(self):
+        mover = DataMover(ALVEO_U280, "HBM", 300e6)
+        with pytest.raises(ValidationError):
+            mover.contiguous(0)
+
+
+class TestStrided:
+    def test_row_alignment_counted(self):
+        mover = DataMover(ALVEO_U280, "DDR4", 250e6)
+        stats = mover.strided_rows(36, 100)
+        assert stats.bytes_useful == 3600
+        assert stats.bytes_moved == 6400  # 64 B per row after alignment
+        assert stats.efficiency == pytest.approx(36 / 64)
+
+    def test_long_runs_amortize(self):
+        mover = DataMover(ALVEO_U280, "DDR4", 250e6)
+        short = mover.strided_rows(256, 1000)
+        long = mover.strided_rows(32768, 1000)
+        per_byte_short = short.cycles / short.bytes_useful
+        per_byte_long = long.cycles / long.bytes_useful
+        assert per_byte_long < per_byte_short
+
+    def test_channel_limited_cycles(self):
+        mover = DataMover(ALVEO_U280, "HBM", 250e6)
+        one = mover.channel_limited_cycles(1e9, channels=1)
+        four = mover.channel_limited_cycles(1e9, channels=4)
+        assert one == pytest.approx(4 * four)
+
+
+class TestTransferStats:
+    def test_efficiency_empty(self):
+        assert TransferStats(0, 0, 0).efficiency == 1.0

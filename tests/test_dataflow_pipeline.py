@@ -1,0 +1,89 @@
+"""Unit tests for compute units, modules and the iterative pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.compute import ComputeUnit
+from repro.dataflow.module import StencilModule
+from repro.dataflow.pipeline import IterativePipeline
+from repro.stencil.builders import jacobi2d_5pt
+from repro.stencil.numpy_eval import run_program
+from repro.util.errors import ValidationError
+
+
+class TestComputeUnit:
+    def test_stream_cycles_vectorized(self):
+        cu = ComputeUnit(jacobi2d_5pt(), V=8)
+        assert cu.stream_cycles((200, 100)) == 25 * 100
+
+    def test_stream_cycles_padding(self):
+        cu = ComputeUnit(jacobi2d_5pt(), V=8)
+        assert cu.stream_cycles((201, 100)) == 26 * 100
+
+    def test_fill_lines_is_half_order(self):
+        assert ComputeUnit(jacobi2d_5pt(), 1).fill_lines() == 1
+
+    def test_flops(self):
+        assert ComputeUnit(jacobi2d_5pt(), 1).flops_per_cell == 6
+
+    def test_process_matches_golden(self, field2d):
+        from repro.stencil.numpy_eval import apply_kernel
+
+        cu = ComputeUnit(jacobi2d_5pt(), 4)
+        out = cu.process({"U": field2d})["U"]
+        gold = apply_kernel(jacobi2d_5pt(), {"U": field2d})["U"]
+        assert np.array_equal(out.data, gold.data)
+
+
+class TestStencilModule:
+    def test_fill_sums_stages(self, rtm_small_app):
+        module = StencilModule(rtm_small_app.program, V=1)
+        assert module.fill_lines() == 16  # 4 stages x D/2=4
+
+    def test_single_stage_fill(self, poisson_program):
+        assert StencilModule(poisson_program, 8).fill_lines() == 1
+
+    def test_dsp_cost(self, poisson_program):
+        assert StencilModule(poisson_program, 8).dsp_cost == 8 * 14
+
+
+class TestIterativePipeline:
+    def test_run_equals_golden(self, poisson_program, field2d):
+        pipe = IterativePipeline(poisson_program, V=2, p=4)
+        out = pipe.run({"U": field2d}, 8)
+        gold = run_program(poisson_program, {"U": field2d}, 8)
+        assert np.array_equal(out["U"].data, gold["U"].data)
+
+    def test_rejects_non_multiple_niter(self, poisson_program, field2d):
+        pipe = IterativePipeline(poisson_program, V=2, p=4)
+        with pytest.raises(ValidationError, match="multiple"):
+            pipe.run({"U": field2d}, 6)
+
+    def test_pass_cycles_matches_eq2(self, poisson_program):
+        from repro.model.cycles import baseline_cycles_2d
+
+        pipe = IterativePipeline(poisson_program, V=8, p=60)
+        per_pass = pipe.pass_cycles((200, 100))
+        total = pipe.total_cycles((200, 100), 60000)
+        assert total == 1000 * per_pass
+        assert total == baseline_cycles_2d(200, 100, 60000, 8, 60, 2)
+
+    def test_pass_cycles_matches_eq3(self, jacobi_program):
+        from repro.model.cycles import baseline_cycles_3d
+
+        pipe = IterativePipeline(jacobi_program, V=8, p=29)
+        assert pipe.total_cycles((250, 250, 250), 29000) == baseline_cycles_3d(
+            250, 250, 250, 29000, 8, 29, 2
+        )
+
+    def test_batched_cycles_share_fill(self, poisson_program):
+        pipe = IterativePipeline(poisson_program, V=8, p=60)
+        one = pipe.pass_cycles((200, 100), batch=1)
+        ten = pipe.pass_cycles((200, 100), batch=10)
+        assert ten < 10 * one
+
+    def test_ii_scaling(self, rtm_small_app):
+        pipe = IterativePipeline(rtm_small_app.program, V=1, p=3)
+        base = pipe.pass_cycles((64, 64, 32), ii=1.0)
+        slow = pipe.pass_cycles((64, 64, 32), ii=1.6)
+        assert slow > base

@@ -1,0 +1,42 @@
+"""Harness tests: registry completeness and report generation."""
+
+import pytest
+
+from repro.harness.experiments import all_experiments, experiment_by_id
+from repro.harness.report import result_markdown
+from repro.util.errors import ValidationError
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        ids = {e.id for e in all_experiments()}
+        expected = {
+            "table2", "table3", "table4", "table5", "table6",
+            "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig4c",
+            "fig5a", "fig5b",
+        }
+        assert ids == expected
+
+    def test_lookup(self):
+        assert experiment_by_id("fig3a").kind == "figure"
+        assert experiment_by_id("table2").kind == "table"
+
+    def test_unknown_id(self):
+        with pytest.raises(ValidationError):
+            experiment_by_id("fig9z")
+
+
+class TestExecution:
+    @pytest.mark.parametrize("exp_id", ["table2", "table3", "fig3a"])
+    def test_experiments_run_and_render(self, exp_id):
+        result = experiment_by_id(exp_id).run()
+        text = result.render()
+        assert result.experiment_id == exp_id
+        assert result.records
+        assert len(text.splitlines()) >= 3
+
+    def test_markdown_section(self):
+        result = experiment_by_id("table2").run()
+        md = result_markdown(result)
+        assert md.startswith("## ")
+        assert "```" in md

@@ -1,0 +1,56 @@
+"""Unit tests for the EXPERIMENTS.md report generator."""
+
+from repro.harness.report import _ratio_note, result_markdown, write_report
+from repro.harness.runner import ExperimentResult, run_table2
+from repro.util.tables import TextTable
+
+
+class TestRatioNote:
+    def test_geometric_mean(self):
+        records = [
+            {"a": 2.0, "b": 1.0},
+            {"a": 0.5, "b": 1.0},
+        ]
+        note = _ratio_note(records, "a", "b")
+        assert "geometric mean 1.00" in note
+        assert "n=2" in note
+
+    def test_skips_missing(self):
+        records = [{"a": 2.0, "b": None}, {"a": None, "b": 1.0}]
+        assert _ratio_note(records, "a", "b") == ""
+
+    def test_range_reported(self):
+        records = [{"a": 1.2, "b": 1.0}, {"a": 0.9, "b": 1.0}]
+        note = _ratio_note(records, "a", "b")
+        assert "0.90" in note and "1.20" in note
+
+
+class TestMarkdown:
+    def test_section_structure(self):
+        result = run_table2()
+        md = result_markdown(result)
+        assert md.startswith("## Table II")
+        assert md.count("```") == 2
+
+    def test_notes_included(self):
+        table = TextTable(["x"])
+        table.add_row([1])
+        result = ExperimentResult("x1", "X", table, [], notes="a caveat")
+        assert "a caveat" in result_markdown(result)
+
+    def test_accuracy_line_present_when_ratios_exist(self):
+        table = TextTable(["x"])
+        result = ExperimentResult(
+            "x1", "X", table, [{"fpga_pred": 1.0, "fpga_paper": 1.1}]
+        )
+        assert "Accuracy:" in result_markdown(result)
+
+
+class TestWriteReport:
+    def test_full_report(self, tmp_path):
+        path = write_report(tmp_path / "EXP.md")
+        text = path.read_text()
+        # one section per registered artifact
+        for artifact in ("Table II", "Table III", "Fig 3(a)", "Fig 4(c)", "Fig 5(b)", "Table VI"):
+            assert artifact in text
+        assert text.count("## ") == 13

@@ -1,0 +1,37 @@
+"""Unit tests for the CSV figure-series exporter."""
+
+import csv
+
+from repro.harness.experiments import experiment_by_id
+from repro.harness.series import export_series, result_to_csv
+
+
+class TestCsvRendering:
+    def test_header_and_rows(self):
+        result = experiment_by_id("table2").run()
+        text = result_to_csv(result)
+        rows = list(csv.DictReader(text.splitlines()))
+        assert len(rows) == 3
+        assert rows[0]["app"] == "Poisson-5pt-2D"
+        assert int(rows[2]["gdsp_ours"]) == 2444
+
+    def test_mesh_tuples_flattened(self):
+        result = experiment_by_id("fig3a").run()
+        text = result_to_csv(result)
+        rows = list(csv.DictReader(text.splitlines()))
+        assert rows[0]["mesh"] == "200x100"
+
+    def test_numeric_columns_parse(self):
+        result = experiment_by_id("fig3a").run()
+        rows = list(csv.DictReader(result_to_csv(result).splitlines()))
+        for row in rows:
+            assert float(row["fpga_sim"]) > 0
+            assert float(row["gpu_paper"]) > 0
+
+
+class TestExport:
+    def test_export_one(self, tmp_path):
+        result = experiment_by_id("table3").run()
+        path = export_series(result, tmp_path)
+        assert path.name == "table3.csv"
+        assert path.read_text().startswith("app,")

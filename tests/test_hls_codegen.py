@@ -1,0 +1,153 @@
+"""Unit tests for the HLS C++ code generator."""
+
+import pytest
+
+from repro.apps.jacobi3d import jacobi3d_app
+from repro.apps.poisson2d import poisson2d_app
+from repro.apps.rtm import rtm_app
+from repro.hls.cexpr import c_expr, c_type_for
+from repro.hls.codegen import HLSKernelGenerator
+from repro.hls.host import generate_connectivity, generate_host, generate_makefile
+from repro.hls.project import HLSProject
+from repro.stencil.expr import Coef, Const, FieldAccess
+from repro.util.errors import ValidationError
+
+
+def _balanced(text: str) -> bool:
+    return text.count("{") == text.count("}") and text.count("(") == text.count(")")
+
+
+class TestCExpr:
+    def test_window_indexing_2d(self):
+        e = FieldAccess("U", (-1, 0))
+        assert c_expr(e, (1, 1)) == "win_U[1][0].v[0]"
+
+    def test_window_indexing_3d(self):
+        e = FieldAccess("Y", (0, 1, -2), component=3)
+        # radius (4,4,4): z index 4-2=2, y 4+1=5, x 4
+        assert c_expr(e, (4, 4, 4)) == "win_Y[2][5][4].v[3]"
+
+    def test_coefficient_prefix(self):
+        assert c_expr(Coef("dt"), (1, 1)) == "c_dt"
+
+    def test_const_float_suffix(self):
+        assert c_expr(Const(0.5), (1, 1)) == "0.5f"
+        assert c_expr(Const(2.0), (1, 1)) == "2.0f"
+
+    def test_local_register(self):
+        e = FieldAccess("K1", (0, 0, 0), 2)
+        out = c_expr(e, (4, 4, 4), local_fields={"K1": "reg_K1"})
+        assert out == "reg_K1.v[2]"
+
+    def test_local_nonzero_offset_rejected(self):
+        e = FieldAccess("K1", (1, 0, 0))
+        with pytest.raises(ValidationError):
+            c_expr(e, (4, 4, 4), local_fields={"K1": "reg_K1"})
+
+    def test_elem_type_names(self):
+        assert c_type_for(1) == "elem1_t"
+        assert c_type_for(6) == "elem6_t"
+        with pytest.raises(ValidationError):
+            c_type_for(0)
+
+
+class TestKernelGeneration:
+    @pytest.fixture(params=["poisson", "jacobi", "rtm"])
+    def app(self, request):
+        return {
+            "poisson": lambda: poisson2d_app((64, 64)),
+            "jacobi": lambda: jacobi3d_app((32, 32, 32)),
+            "rtm": lambda: rtm_app((16, 16, 16)),
+        }[request.param]()
+
+    def test_braces_balanced(self, app):
+        code = HLSKernelGenerator(app.program, app.design()).generate()
+        assert _balanced(code)
+
+    def test_pipeline_pragma_present(self, app):
+        code = HLSKernelGenerator(app.program, app.design()).generate()
+        assert "#pragma HLS PIPELINE II=1" in code
+
+    def test_dataflow_region(self, app):
+        code = HLSKernelGenerator(app.program, app.design()).generate()
+        assert "#pragma HLS DATAFLOW" in code
+
+    def test_one_stage_per_kernel(self, app):
+        code = HLSKernelGenerator(app.program, app.design()).generate()
+        for kernel in app.program.kernels():
+            assert f"void stage_{kernel.name}(" in code
+
+    def test_p_module_instances(self, app):
+        code = HLSKernelGenerator(app.program, app.design()).generate()
+        assert code.count("compute_module(") >= app.design().p
+
+    def test_axi_interfaces_per_external_field(self, app):
+        code = HLSKernelGenerator(app.program, app.design()).generate()
+        for f in app.program.external_reads():
+            assert f"gmem_{f}_in" in code
+        for f in app.program.external_writes():
+            assert f"gmem_{f}_out" in code
+
+    def test_uram_binding_for_window_buffers(self, app):
+        code = HLSKernelGenerator(app.program, app.design()).generate()
+        assert "impl=uram" in code
+
+
+class TestRTMSpecifics:
+    def test_vector_element_struct(self):
+        app = rtm_app((16, 16, 16))
+        code = HLSKernelGenerator(app.program, app.design()).generate()
+        assert "struct elem6_t { float v[6]; };" in code
+
+    def test_coefficients_emitted(self):
+        app = rtm_app((16, 16, 16))
+        code = HLSKernelGenerator(app.program, app.design()).generate()
+        assert "static const float c_dt" in code
+        assert "static const float c_l0" in code
+
+    def test_intermediate_fifos(self):
+        app = rtm_app((16, 16, 16))
+        code = HLSKernelGenerator(app.program, app.design()).generate()
+        for f in ("K1", "K2", "K3", "T"):
+            assert f"s_{f}_fifo" in code
+
+
+class TestHostAndConfig:
+    def test_host_compilable_shape(self, poisson_app):
+        host = generate_host(poisson_app.program, poisson_app.design())
+        assert _balanced(host)
+        assert "enqueueTask" in host
+        assert "stencil_top" in host
+
+    def test_host_unroll_constant(self, poisson_app):
+        host = generate_host(poisson_app.program, poisson_app.design())
+        assert "const int P = 60;" in host
+
+    def test_connectivity_maps_channels(self, poisson_app):
+        cfg = generate_connectivity(poisson_app.program, poisson_app.design())
+        assert "sp=stencil_top_1.gmem_U_in:HBM[0]" in cfg
+        assert "sp=stencil_top_1.gmem_U_out:HBM[1]" in cfg
+
+    def test_connectivity_ddr4(self, poisson_app):
+        design = poisson_app.design(tile=(8000,))
+        cfg = generate_connectivity(poisson_app.program, design)
+        assert "DDR[" in cfg
+
+    def test_makefile_frequency(self, poisson_app):
+        mk = generate_makefile(poisson_app.program, poisson_app.design())
+        assert "FREQ_KHZ = 250000" in mk
+        assert "v++" in mk
+
+
+class TestProject:
+    def test_generate_all_files(self, poisson_app):
+        proj = HLSProject(poisson_app.program, poisson_app.design())
+        files = proj.generate()
+        assert set(files) == {"kernel.cpp", "host.cpp", "connectivity.cfg", "Makefile"}
+
+    def test_write_to_disk(self, tmp_path, poisson_app):
+        proj = HLSProject(poisson_app.program, poisson_app.design())
+        written = proj.write_to(tmp_path)
+        assert len(written) == 4
+        for path in written:
+            assert path.exists() and path.stat().st_size > 0

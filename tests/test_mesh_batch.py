@@ -1,0 +1,61 @@
+"""Unit tests for mesh batching (stacking along the outer dimension)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.batch import batched_spec, split_field, stack_fields
+from repro.mesh.mesh import Field, MeshSpec
+from repro.util.errors import ValidationError
+
+
+class TestBatchedSpec:
+    def test_2d_extends_n(self):
+        spec = MeshSpec((200, 100))
+        assert batched_spec(spec, 10).shape == (200, 1000)
+
+    def test_3d_extends_l(self):
+        spec = MeshSpec((50, 50, 50))
+        assert batched_spec(spec, 4).shape == (50, 50, 200)
+
+    def test_preserves_components(self):
+        spec = MeshSpec((8, 8, 8), components=6)
+        assert batched_spec(spec, 2).components == 6
+
+
+class TestStackSplit:
+    def test_roundtrip(self):
+        spec = MeshSpec((6, 4))
+        fields = [Field.random("U", spec, seed=i) for i in range(3)]
+        stacked = stack_fields(fields)
+        assert stacked.spec.shape == (6, 12)
+        parts = split_field(stacked, 3)
+        for orig, part in zip(fields, parts):
+            assert np.array_equal(orig.data, part.data)
+
+    def test_stack_order_is_contiguous_segments(self):
+        spec = MeshSpec((2, 2))
+        a = Field.full("U", spec, 1.0)
+        b = Field.full("U", spec, 2.0)
+        stacked = stack_fields([a, b])
+        assert np.all(stacked.data[:2] == 1.0)
+        assert np.all(stacked.data[2:] == 2.0)
+
+    def test_stack_rejects_mixed_specs(self):
+        a = Field.zeros("U", MeshSpec((4, 4)))
+        b = Field.zeros("U", MeshSpec((4, 5)))
+        with pytest.raises(ValidationError):
+            stack_fields([a, b])
+
+    def test_stack_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            stack_fields([])
+
+    def test_split_rejects_indivisible(self):
+        f = Field.zeros("U", MeshSpec((4, 9)))
+        with pytest.raises(ValidationError):
+            split_field(f, 2)
+
+    def test_split_names(self):
+        f = Field.zeros("U", MeshSpec((4, 8)))
+        parts = split_field(f, 2)
+        assert [p.name for p in parts] == ["U[0]", "U[1]"]

@@ -1,0 +1,72 @@
+"""Unit tests for vector padding and AXI alignment."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.mesh import Field, MeshSpec
+from repro.mesh.padding import (
+    AXI_ALIGN_BYTES,
+    aligned_row_bytes,
+    pad_to_vector,
+    padded_row_length,
+    unpad_from_vector,
+)
+
+
+class TestPaddedRowLength:
+    def test_multiple_unchanged(self):
+        assert padded_row_length(200, 8) == 200
+
+    def test_pads_up(self):
+        assert padded_row_length(201, 8) == 208
+
+    def test_v1_never_pads(self):
+        assert padded_row_length(37, 1) == 37
+
+
+class TestAlignedRowBytes:
+    def test_512bit_alignment(self):
+        assert AXI_ALIGN_BYTES == 64
+        assert aligned_row_bytes(16, 4) == 64
+        assert aligned_row_bytes(17, 4) == 128
+
+    def test_rtm_vector_rows(self):
+        # 32 elements of 24 bytes = 768 B, already 64-aligned
+        assert aligned_row_bytes(32, 24) == 768
+
+
+class TestPadUnpadRoundtrip:
+    def test_roundtrip_2d(self):
+        spec = MeshSpec((10, 4))
+        f = Field.random("U", spec, seed=1)
+        padded = pad_to_vector(f, 8)
+        assert padded.spec.m == 16
+        restored = unpad_from_vector(padded, 10)
+        assert np.array_equal(restored.data, f.data)
+
+    def test_padding_cells_filled(self):
+        spec = MeshSpec((5, 2))
+        f = Field.full("U", spec, 3.0)
+        padded = pad_to_vector(f, 4, fill=-1.0)
+        assert padded.spec.m == 8
+        assert np.all(padded.data[:, 5:, 0] == -1.0)
+
+    def test_no_copy_semantics_when_aligned(self):
+        spec = MeshSpec((8, 2))
+        f = Field.random("U", spec, seed=2)
+        padded = pad_to_vector(f, 8)
+        assert padded.spec == f.spec
+        padded.data[0, 0, 0] += 1
+        assert f.data[0, 0, 0] != padded.data[0, 0, 0]  # still a copy
+
+    def test_unpad_rejects_larger(self):
+        f = Field.zeros("U", MeshSpec((8, 2)))
+        with pytest.raises(ValueError):
+            unpad_from_vector(f, 16)
+
+    def test_3d_pad(self):
+        spec = MeshSpec((6, 3, 2), components=2)
+        f = Field.random("Y", spec, seed=3)
+        padded = pad_to_vector(f, 4)
+        assert padded.spec.shape == (8, 3, 2)
+        assert padded.spec.components == 2

@@ -1,0 +1,102 @@
+"""Unit tests for MeshSpec."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.mesh import MeshSpec
+from repro.util.errors import ValidationError
+
+
+class TestMeshSpecBasics:
+    def test_2d_accessors(self):
+        spec = MeshSpec((200, 100))
+        assert spec.ndim == 2
+        assert spec.m == 200
+        assert spec.n == 100
+        assert spec.num_points == 20000
+
+    def test_3d_accessors(self):
+        spec = MeshSpec((50, 60, 70))
+        assert spec.ndim == 3
+        assert (spec.m, spec.n, spec.l) == (50, 60, 70)
+        assert spec.num_points == 50 * 60 * 70
+
+    def test_l_undefined_for_2d(self):
+        with pytest.raises(ValidationError):
+            _ = MeshSpec((4, 4)).l
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            MeshSpec((10,))
+
+    def test_rejects_4d(self):
+        with pytest.raises(ValidationError):
+            MeshSpec((2, 2, 2, 2))
+
+    def test_rejects_zero_extent(self):
+        with pytest.raises(ValidationError):
+            MeshSpec((0, 5))
+
+
+class TestSizes:
+    def test_elem_bytes_scalar_f32(self):
+        assert MeshSpec((4, 4)).elem_bytes == 4
+
+    def test_elem_bytes_rtm_vector(self):
+        # RTM: 6-float vector elements = 24 bytes (k in eq. 7)
+        assert MeshSpec((4, 4, 4), components=6).elem_bytes == 24
+
+    def test_footprint(self):
+        spec = MeshSpec((100, 100), components=2)
+        assert spec.footprint_bytes == 100 * 100 * 8
+
+    def test_storage_shape_is_reversed_paper_order(self):
+        spec = MeshSpec((5, 6, 7), components=3)
+        assert spec.storage_shape == (7, 6, 5, 3)
+
+    def test_plane_points(self):
+        assert MeshSpec((5, 6, 7)).plane_points == 30
+        assert MeshSpec((5, 6)).plane_points == 5
+
+
+class TestInteriorSlices:
+    def test_2d_radius(self):
+        spec = MeshSpec((10, 8))
+        slices = spec.interior_slices((2, 1))
+        # storage order (n, m): n gets radius 1, m gets radius 2
+        assert slices == (slice(1, 7), slice(2, 8))
+
+    def test_scalar_radius_broadcast(self):
+        spec = MeshSpec((10, 8))
+        assert spec.interior_slices(1) == (slice(1, 7), slice(1, 9))
+
+    def test_rejects_radius_too_large(self):
+        with pytest.raises(ValidationError):
+            MeshSpec((4, 4)).interior_slices(2)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValidationError):
+            MeshSpec((4, 4)).interior_slices((1, 1, 1))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            MeshSpec((8, 8)).interior_slices((-1, 0))
+
+
+class TestEqualityAndRebind:
+    def test_frozen_equality(self):
+        assert MeshSpec((4, 4)) == MeshSpec((4, 4))
+        assert MeshSpec((4, 4)) != MeshSpec((4, 4), components=2)
+
+    def test_with_shape(self):
+        spec = MeshSpec((4, 4), components=6)
+        other = spec.with_shape((8, 8))
+        assert other.shape == (8, 8)
+        assert other.components == 6
+
+    def test_dtype_normalized(self):
+        spec = MeshSpec((4, 4), dtype="float32")
+        assert spec.dtype == np.dtype(np.float32)
+
+    def test_str(self):
+        assert "4x5" in str(MeshSpec((4, 5)))

@@ -1,0 +1,69 @@
+"""Unit tests for bandwidth bounds (paper eq. 4)."""
+
+import pytest
+
+from repro.arch.device import ALVEO_U280
+from repro.model.bandwidth import (
+    bandwidth_required,
+    channels_required,
+    feasible_vectorization,
+    max_vectorization,
+)
+from repro.util.errors import ValidationError
+from repro.util.units import GB, MHZ
+
+
+class TestEq4:
+    def test_paper_poisson_v8_from_one_ddr4_channel(self):
+        # "a value of 8 for V is calculated when using a single DDR4
+        # channel ... with a frequency of 300MHz"
+        channel = ALVEO_U280.ddr4.channel_bandwidth  # 19.2 GB/s
+        assert max_vectorization(channel, 300 * MHZ, 4) == 8
+
+    def test_two_hbm_channels_also_feed_v8(self):
+        two_channels = 2 * ALVEO_U280.hbm.channel_bandwidth  # 28.75 GB/s
+        assert max_vectorization(two_channels, 300 * MHZ, 4) >= 8
+
+    def test_wider_elements_reduce_v(self):
+        channel = 19.2 * GB
+        assert max_vectorization(channel, 300 * MHZ, 24) < max_vectorization(
+            channel, 300 * MHZ, 4
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            max_vectorization(0, 300 * MHZ, 4)
+
+
+class TestProgramBandwidth:
+    def test_poisson_requirement(self, poisson_program):
+        # 8 B/cell/pass at V=8, 300 MHz -> 19.2 GB/s
+        req = bandwidth_required(poisson_program, 8, 300 * MHZ)
+        assert req == pytest.approx(19.2 * GB)
+
+    def test_rtm_requirement(self, rtm_small_app):
+        # 56 B/cell/pass at V=1, 261 MHz -> 14.6 GB/s
+        req = bandwidth_required(rtm_small_app.program, 1, 261 * MHZ)
+        assert req == pytest.approx(56 * 261e6)
+
+    def test_channels_required_poisson(self, poisson_program):
+        n = channels_required(poisson_program, ALVEO_U280.hbm, 8, 300 * MHZ)
+        assert n == 2
+
+    def test_feasible_v_power_of_two(self, poisson_program):
+        v = feasible_vectorization(poisson_program, ALVEO_U280, "HBM", 300 * MHZ)
+        assert v & (v - 1) == 0
+        assert v >= 8
+
+    def test_feasible_v_capped_by_channels(self, poisson_program):
+        v_all = feasible_vectorization(poisson_program, ALVEO_U280, "HBM", 300 * MHZ)
+        v_two = feasible_vectorization(
+            poisson_program, ALVEO_U280, "HBM", 300 * MHZ, max_channels=2
+        )
+        assert v_two <= v_all
+        assert v_two == 8
+
+    def test_ddr4_lower_than_hbm(self, poisson_program):
+        v_ddr = feasible_vectorization(poisson_program, ALVEO_U280, "DDR4", 300 * MHZ)
+        v_hbm = feasible_vectorization(poisson_program, ALVEO_U280, "HBM", 300 * MHZ)
+        assert v_ddr < v_hbm

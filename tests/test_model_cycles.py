@@ -1,0 +1,127 @@
+"""Unit tests for the cycle models (paper eqs. 2, 3, 5, 15)."""
+
+import pytest
+
+from repro.model.cycles import (
+    baseline_cycles_2d,
+    baseline_cycles_3d,
+    batched_cycles_2d,
+    batched_cycles_3d,
+    batched_cycles_per_mesh_2d,
+    cycles_per_cell_2d,
+    pipeline_cycles,
+    pipeline_fill_rows,
+)
+from repro.util.errors import ValidationError
+
+
+class TestEq2Baseline2D:
+    def test_paper_poisson_200x100(self):
+        # 60000 iters, V=8, p=60, D=2: 1000 * 25 * 160 cycles
+        assert baseline_cycles_2d(200, 100, 60000, 8, 60, 2) == 4_000_000
+
+    def test_row_padding_ceil(self):
+        # m=201 at V=8 streams 26 vectors per row
+        assert baseline_cycles_2d(201, 100, 60, 8, 60, 2) == 26 * 160
+
+    def test_p1_no_unroll(self):
+        assert baseline_cycles_2d(16, 10, 4, 4, 1, 2) == 4 * 4 * 11
+
+    def test_rejects_odd_order(self):
+        with pytest.raises(ValidationError):
+            baseline_cycles_2d(16, 10, 4, 4, 1, 3)
+
+
+class TestEq3Baseline3D:
+    def test_paper_jacobi_250cubed(self):
+        # 29000 iters, V=8, p=29, D=2 at 246 MHz -> 9.07 s
+        clks = baseline_cycles_3d(250, 250, 250, 29000, 8, 29, 2)
+        assert clks == 1000 * 32 * 250 * 279
+        assert abs(clks / 246e6 - 9.07) < 0.01
+
+    def test_fill_planes_scale_with_p(self):
+        base = baseline_cycles_3d(64, 64, 64, 8, 8, 1, 2)
+        deep = baseline_cycles_3d(64, 64, 64, 8, 8, 8, 2)
+        assert deep < base  # fewer passes despite longer fill
+
+
+class TestEq5CellCycles:
+    def test_ideal_limit(self):
+        # wide meshes approach 1/V
+        assert cycles_per_cell_2d(10**6, 8, 60, 2) == pytest.approx(1 / 8, rel=1e-3)
+
+    def test_narrow_mesh_idles(self):
+        narrow = cycles_per_cell_2d(100, 8, 60, 2)
+        wide = cycles_per_cell_2d(10000, 8, 60, 2)
+        assert narrow > wide
+
+    def test_formula(self):
+        assert cycles_per_cell_2d(100, 8, 60, 2) == pytest.approx(
+            1 / 8 + (60 * 2) / (2 * 100 * 8)
+        )
+
+
+class TestEq15Batching:
+    def test_total_cycles_shares_fill(self):
+        single = baseline_cycles_2d(200, 100, 60, 8, 60, 2)
+        batched = batched_cycles_2d(200, 100, 10, 60, 8, 60, 2)
+        # 10 meshes batched cost less than 10 separate solves
+        assert batched < 10 * single
+
+    def test_per_mesh_formula(self):
+        per_mesh = batched_cycles_per_mesh_2d(200, 100, 1000, 8, 60, 2)
+        assert per_mesh == pytest.approx(25 * (100 + 60 * 2 / (2 * 1000)))
+
+    def test_per_mesh_approaches_fill_free_limit(self):
+        huge_batch = batched_cycles_per_mesh_2d(200, 100, 10**6, 8, 60, 2)
+        assert huge_batch == pytest.approx(25 * 100, rel=1e-3)
+
+    def test_3d_batched(self):
+        one = batched_cycles_3d(50, 50, 50, 1, 29, 8, 29, 2)
+        fifty = batched_cycles_3d(50, 50, 50, 50, 29, 8, 29, 2)
+        assert fifty < 50 * one
+
+
+class TestFillRows:
+    def test_single_stage(self):
+        assert pipeline_fill_rows([2], 60) == 60
+
+    def test_rtm_four_stages(self):
+        # 4 fused 8th-order stages: p * 16 planes
+        assert pipeline_fill_rows([8, 8, 8, 8], 3) == 48
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            pipeline_fill_rows([], 1)
+
+    def test_rejects_odd(self):
+        with pytest.raises(ValidationError):
+            pipeline_fill_rows([3], 1)
+
+
+class TestGeneralizedPipeline:
+    def test_matches_eq2_for_single_stage(self):
+        assert pipeline_cycles((200, 100), 60000, 8, 60, [2]) == baseline_cycles_2d(
+            200, 100, 60000, 8, 60, 2
+        )
+
+    def test_matches_eq3_for_single_stage(self):
+        assert pipeline_cycles((50, 50, 50), 29, 8, 29, [2]) == baseline_cycles_3d(
+            50, 50, 50, 29, 8, 29, 2
+        )
+
+    def test_ii_scales_stream_term_only(self):
+        base = pipeline_cycles((64, 64, 64), 3, 1, 3, [8, 8, 8, 8], ii=1.0)
+        scaled = pipeline_cycles((64, 64, 64), 3, 1, 3, [8, 8, 8, 8], ii=1.6)
+        fill = 48
+        expected = (scaled - base) / (64 * 64)
+        assert expected == pytest.approx(64 * 0.6)
+        del fill
+
+    def test_rejects_ii_below_one(self):
+        with pytest.raises(ValidationError):
+            pipeline_cycles((4, 4), 1, 1, 1, [2], ii=0.5)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValidationError):
+            pipeline_cycles((4,), 1, 1, 1, [2])

@@ -1,0 +1,62 @@
+"""Unit tests for the FPGA power/energy model."""
+
+import pytest
+
+from repro.arch.device import ALVEO_U280
+from repro.model.energy import DEFAULT_FPGA_POWER, FPGAPowerModel
+from repro.util.errors import ValidationError
+
+
+class TestPaperCalibration:
+    def test_poisson_near_70w(self):
+        # p=60, V=8, Gdsp=14 at 250 MHz with tiny line buffers
+        w = DEFAULT_FPGA_POWER.watts(
+            ALVEO_U280, dsp_used=6720, mem_used_bytes=200_000, clock_hz=250e6
+        )
+        assert 60 <= w <= 80
+
+    def test_jacobi_near_90w(self):
+        # p=29, V=8, Gdsp=33 at 246 MHz with ~14.5 MB of plane buffers
+        w = DEFAULT_FPGA_POWER.watts(
+            ALVEO_U280, dsp_used=7656, mem_used_bytes=14_500_000, clock_hz=246e6
+        )
+        assert 80 <= w <= 100
+
+    def test_static_floor(self):
+        w = DEFAULT_FPGA_POWER.watts(ALVEO_U280, 0, 0, 100e6, channels_active=0)
+        assert w == pytest.approx(DEFAULT_FPGA_POWER.static_watts)
+
+    def test_capped_at_board_limit(self):
+        model = FPGAPowerModel(dsp_coef=1.0)
+        w = model.watts(ALVEO_U280, 8000, 0, 300e6)
+        assert w == model.max_watts
+
+
+class TestEnergy:
+    def test_energy_is_power_times_time(self):
+        e = DEFAULT_FPGA_POWER.energy_joules(
+            ALVEO_U280, 6720, 200_000, 250e6, seconds=10.0
+        )
+        w = DEFAULT_FPGA_POWER.watts(ALVEO_U280, 6720, 200_000, 250e6)
+        assert e == pytest.approx(10.0 * w)
+
+    def test_zero_time_zero_energy(self):
+        assert DEFAULT_FPGA_POWER.energy_joules(ALVEO_U280, 100, 100, 250e6, 0.0) == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValidationError):
+            DEFAULT_FPGA_POWER.energy_joules(ALVEO_U280, 100, 100, 250e6, -1.0)
+
+
+class TestValidation:
+    def test_model_fields(self):
+        with pytest.raises(ValidationError):
+            FPGAPowerModel(static_watts=0)
+        with pytest.raises(ValidationError):
+            FPGAPowerModel(dsp_coef=-1)
+
+    def test_watts_inputs(self):
+        with pytest.raises(ValidationError):
+            DEFAULT_FPGA_POWER.watts(ALVEO_U280, -1, 0, 250e6)
+        with pytest.raises(ValidationError):
+            DEFAULT_FPGA_POWER.watts(ALVEO_U280, 0, 0, 0)

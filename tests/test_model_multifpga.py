@@ -1,0 +1,83 @@
+"""Unit tests for the multi-FPGA scaling model."""
+
+import pytest
+
+from repro.model.design import DesignPoint, Workload
+from repro.model.multifpga import (
+    MultiFPGAConfig,
+    scaling_efficiency,
+    spatial_scaling_seconds,
+    temporal_scaling_seconds,
+)
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def design():
+    return DesignPoint(8, 10, 250.0)
+
+
+@pytest.fixture
+def workload(jacobi_app):
+    return jacobi_app.workload((100, 100, 400), 400)
+
+
+class TestTemporalScaling:
+    def test_single_board_matches_baseline(self, jacobi_app, design, workload):
+        program = jacobi_app.program_on((100, 100, 400))
+        t1 = temporal_scaling_seconds(program, design, workload, MultiFPGAConfig(1))
+        pred = jacobi_app.predictor((100, 100, 400), design).compute_cycles(workload)
+        assert t1 == pytest.approx(pred / design.clock_hz)
+
+    def test_chaining_reduces_passes(self, jacobi_app, design, workload):
+        program = jacobi_app.program_on((100, 100, 400))
+        t1 = temporal_scaling_seconds(program, design, workload, MultiFPGAConfig(1))
+        t4 = temporal_scaling_seconds(program, design, workload, MultiFPGAConfig(4))
+        assert t4 < t1
+        assert t4 > t1 / 4.5  # never super-linear
+
+    def test_slow_link_becomes_bottleneck(self, jacobi_app, design, workload):
+        program = jacobi_app.program_on((100, 100, 400))
+        fast = temporal_scaling_seconds(program, design, workload, MultiFPGAConfig(4))
+        slow = temporal_scaling_seconds(
+            program, design, workload, MultiFPGAConfig(4, link_bandwidth=1e8)
+        )
+        assert slow > fast
+
+    def test_niter_divisibility(self, jacobi_app, design, workload):
+        program = jacobi_app.program_on((100, 100, 400))
+        with pytest.raises(ValidationError, match="multiple"):
+            temporal_scaling_seconds(program, design, workload, MultiFPGAConfig(3))
+
+
+class TestSpatialScaling:
+    def test_slabs_scale_near_linearly(self, jacobi_app, design, workload):
+        program = jacobi_app.program_on((100, 100, 400))
+        t1 = spatial_scaling_seconds(program, design, workload, MultiFPGAConfig(1))
+        t4 = spatial_scaling_seconds(program, design, workload, MultiFPGAConfig(4))
+        assert t1 / 5 < t4 < t1 / 2.5
+
+    def test_halo_exchange_costs_show_at_many_boards(self, jacobi_app, design, workload):
+        program = jacobi_app.program_on((100, 100, 400))
+        eff2 = scaling_efficiency(program, design, workload, 2, "spatial")
+        eff16 = scaling_efficiency(program, design, workload, 16, "spatial")
+        assert eff16 < eff2 <= 1.05
+
+    def test_cannot_split_tiny_meshes(self, jacobi_app, design):
+        program = jacobi_app.program_on((100, 100, 4))
+        w = jacobi_app.workload((100, 100, 4), 400)
+        with pytest.raises(ValidationError, match="split"):
+            spatial_scaling_seconds(program, design, w, MultiFPGAConfig(8))
+
+
+class TestEfficiency:
+    def test_bounded_by_one_plus_ceil_slack(self, jacobi_app, design, workload):
+        program = jacobi_app.program_on((100, 100, 400))
+        for boards in (2, 4, 8):
+            eff = scaling_efficiency(program, design, workload, boards, "spatial")
+            assert 0.0 < eff <= 1.1
+
+    def test_unknown_strategy(self, jacobi_app, design, workload):
+        program = jacobi_app.program_on((100, 100, 400))
+        with pytest.raises(ValidationError):
+            scaling_efficiency(program, design, workload, 2, "diagonal")

@@ -1,0 +1,106 @@
+"""Unit tests for alternative numerical representations (future-work module)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.device import ALVEO_U280
+from repro.model.precision import (
+    ALL_PRECISIONS,
+    DOUBLE,
+    FIXED16,
+    FIXED32,
+    FLOAT,
+    HALF,
+    gdsp_at_precision,
+    max_vectorization_at_precision,
+    precision_by_name,
+    precision_error,
+    quantization_step,
+    quantize_fixed,
+)
+from repro.model.resources import p_dsp
+from repro.util.errors import ValidationError
+from repro.util.units import MHZ
+
+
+class TestCostScaling:
+    def test_float_matches_paper_baseline(self, poisson_program):
+        assert gdsp_at_precision(poisson_program, FLOAT) == 14
+
+    def test_half_cheaper_than_float(self, poisson_program):
+        assert gdsp_at_precision(poisson_program, HALF) < 14
+
+    def test_double_far_more_expensive(self, jacobi_program):
+        assert gdsp_at_precision(jacobi_program, DOUBLE) > 2 * 33
+
+    def test_fixed_point_multiplier_only(self, poisson_program):
+        # fixed16: adds are free, 2 multiplies cost 1 DSP each
+        assert gdsp_at_precision(poisson_program, FIXED16) == 2
+
+    def test_unroll_depth_gain_half(self, poisson_program):
+        g_half = gdsp_at_precision(poisson_program, HALF)
+        g_float = gdsp_at_precision(poisson_program, FLOAT)
+        assert p_dsp(ALVEO_U280, 8, g_half) > p_dsp(ALVEO_U280, 8, g_float)
+
+
+class TestBandwidthScaling:
+    def test_half_doubles_v(self):
+        channel = ALVEO_U280.ddr4.channel_bandwidth
+        v_float = max_vectorization_at_precision(channel, 300 * MHZ, FLOAT)
+        v_half = max_vectorization_at_precision(channel, 300 * MHZ, HALF)
+        assert v_half == 2 * v_float
+
+    def test_double_halves_v(self):
+        channel = ALVEO_U280.ddr4.channel_bandwidth
+        v_float = max_vectorization_at_precision(channel, 300 * MHZ, FLOAT)
+        v_double = max_vectorization_at_precision(channel, 300 * MHZ, DOUBLE)
+        assert v_double == v_float // 2
+
+    def test_vector_components_scale(self):
+        channel = ALVEO_U280.hbm.channel_bandwidth
+        v1 = max_vectorization_at_precision(channel, 300 * MHZ, FLOAT, components=1)
+        v6 = max_vectorization_at_precision(channel, 300 * MHZ, FLOAT, components=6)
+        assert v6 <= v1 // 6 + 1
+
+
+class TestQuantization:
+    def test_quantize_grid(self):
+        x = np.array([0.1, 0.26, -0.3])
+        q = quantize_fixed(x, 2)  # quarter steps
+        assert np.allclose(q, [0.0, 0.25, -0.25])
+
+    def test_quantize_idempotent(self):
+        x = np.linspace(-1, 1, 17)
+        q = quantize_fixed(x, 8)
+        assert np.array_equal(q, quantize_fixed(q, 8))
+
+    def test_step_sizes_ordered(self):
+        assert quantization_step(HALF) > quantization_step(FLOAT) > quantization_step(DOUBLE)
+        assert quantization_step(FIXED16) == 2.0**-8
+        assert quantization_step(FIXED32) == 2.0**-16
+
+    def test_registry(self):
+        assert precision_by_name("fixed32") is FIXED32
+        with pytest.raises(ValidationError):
+            precision_by_name("bfloat16")
+        assert len(ALL_PRECISIONS) == 5
+
+
+class TestErrorHarness:
+    def test_float_error_small(self, poisson_program, field2d):
+        err = precision_error(poisson_program, {"U": field2d}, 5, FLOAT)
+        assert err < 1e-5
+
+    def test_half_error_larger_than_float(self, poisson_program, field2d):
+        err_half = precision_error(poisson_program, {"U": field2d}, 5, HALF)
+        err_float = precision_error(poisson_program, {"U": field2d}, 5, FLOAT)
+        assert err_half > err_float
+
+    def test_fixed16_error_tracks_lsb(self, poisson_program, field2d):
+        err = precision_error(poisson_program, {"U": field2d}, 5, FIXED16)
+        assert 0 < err < 50 * quantization_step(FIXED16)
+
+    def test_fixed32_much_tighter_than_fixed16(self, poisson_program, field2d):
+        e16 = precision_error(poisson_program, {"U": field2d}, 5, FIXED16)
+        e32 = precision_error(poisson_program, {"U": field2d}, 5, FIXED32)
+        assert e32 < e16 / 10

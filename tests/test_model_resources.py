@@ -1,0 +1,130 @@
+"""Unit tests for resource estimation (paper eqs. 6, 7, Table II)."""
+
+import pytest
+
+from repro.apps.rtm import build_rtm_program
+from repro.arch.device import ALVEO_U280
+from repro.mesh.mesh import MeshSpec
+from repro.model.resources import (
+    DEFAULT_DSP_COSTS,
+    DSPCostModel,
+    bram_blocks_for_buffer,
+    gdsp_kernel,
+    gdsp_program,
+    max_unroll,
+    module_mem_bytes,
+    p_dsp,
+    p_mem,
+    resource_report,
+    uram_blocks_for_buffer,
+)
+from repro.stencil.builders import jacobi2d_5pt, jacobi3d_7pt
+from repro.stencil.program import single_kernel_program
+from repro.util.errors import ValidationError
+
+
+class TestGdspTable2:
+    def test_poisson_14(self):
+        assert gdsp_kernel(jacobi2d_5pt()) == 14
+
+    def test_jacobi_33(self):
+        assert gdsp_kernel(jacobi3d_7pt()) == 33
+
+    def test_rtm_2444(self):
+        assert gdsp_program(build_rtm_program((8, 8, 8))) == 2444
+
+    def test_custom_cost_model(self):
+        costs = DSPCostModel(add=1, mul=1, div=1)
+        assert gdsp_kernel(jacobi2d_5pt(), costs) == 6
+
+    def test_costs_validated(self):
+        with pytest.raises(ValidationError):
+            DSPCostModel(add=-1)
+
+
+class TestPdspEq6:
+    def test_poisson_68(self):
+        assert p_dsp(ALVEO_U280, 8, 14) == 68
+
+    def test_jacobi_28(self):
+        assert p_dsp(ALVEO_U280, 8, 33) == 28
+
+    def test_rtm_3(self):
+        assert p_dsp(ALVEO_U280, 1, 2444) == 3
+
+    def test_scales_inverse_with_v(self):
+        assert p_dsp(ALVEO_U280, 16, 14) == p_dsp(ALVEO_U280, 8, 14) // 2
+
+
+class TestModuleMemEq7:
+    def test_2d_is_k_d_m(self, poisson_program):
+        # one 2nd-order scalar stencil on a 12-wide mesh: 2 rows of 12 * 4B
+        assert module_mem_bytes(poisson_program) == 2 * 12 * 4
+
+    def test_3d_is_k_d_m_n(self, jacobi_program):
+        assert module_mem_bytes(jacobi_program) == 2 * 8 * 7 * 4
+
+    def test_shape_override(self, poisson_program):
+        assert module_mem_bytes(poisson_program, (8192, 100)) == 2 * 8192 * 4
+
+    def test_rtm_includes_bypass_buffers(self):
+        prog = build_rtm_program((64, 64, 16))
+        plane = 64 * 64
+        # 4 stages x 8 planes x 24B windows
+        windows = 4 * 8 * plane * 24
+        mem = module_mem_bytes(prog)
+        assert mem > windows  # bypass FIFOs for rho/mu/Y add more
+
+    def test_p_mem_bound(self, jacobi_program):
+        module = module_mem_bytes(jacobi_program, (250, 250, 250))
+        bound = p_mem(ALVEO_U280, module)
+        # 250^3 plane buffers: 500 KB/module -> ~70 modules fit
+        assert 30 <= bound <= 120
+
+    def test_max_unroll_min_of_bounds(self, jacobi_program):
+        module = module_mem_bytes(jacobi_program, (250, 250, 250))
+        assert max_unroll(ALVEO_U280, 8, 33, module) == min(
+            p_dsp(ALVEO_U280, 8, 33), p_mem(ALVEO_U280, module)
+        )
+
+    def test_rtm_plane_limit_comes_from_memory(self):
+        # at 64^2 planes, p=3 modules fit; at 128^2 they cannot
+        prog64 = build_rtm_program((64, 64, 16))
+        assert p_mem(ALVEO_U280, module_mem_bytes(prog64)) >= 3
+        mem128 = module_mem_bytes(prog64, (128, 128, 16))
+        assert p_mem(ALVEO_U280, mem128) < 3
+
+
+class TestBufferQuantization:
+    def test_uram_block_depth_4096(self):
+        # one URAM column holds 4096 x 72b
+        assert uram_blocks_for_buffer(4096, 72) == 1
+        assert uram_blocks_for_buffer(4097, 72) == 2
+
+    def test_wide_elements_need_columns(self):
+        # an RTM 6-float element (192b) needs 3 URAM columns
+        assert uram_blocks_for_buffer(100, 192) == 3
+
+    def test_bram_blocks(self):
+        assert bram_blocks_for_buffer(512, 72) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            uram_blocks_for_buffer(0, 72)
+
+
+class TestResourceReport:
+    def test_poisson_utilization(self, poisson_program):
+        report = resource_report(poisson_program, ALVEO_U280, 8, 60, (200, 100))
+        assert report.dsp_used == 8 * 60 * 14
+        assert 0.7 < report.dsp_utilization < 0.9
+        assert report.binding_utilization >= report.mem_utilization
+
+    def test_mem_scales_with_p(self, jacobi_program):
+        small = resource_report(jacobi_program, ALVEO_U280, 8, 1, (100, 100, 100))
+        big = resource_report(jacobi_program, ALVEO_U280, 8, 20, (100, 100, 100))
+        assert big.mem_used_bytes == 20 * small.mem_used_bytes
+
+    def test_uram_blocks_positive(self, jacobi_program):
+        report = resource_report(jacobi_program, ALVEO_U280, 8, 4, (100, 100, 100))
+        assert report.uram_blocks > 0

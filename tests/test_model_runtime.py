@@ -1,0 +1,100 @@
+"""Unit tests for the runtime predictor (the paper's 'FPGA - Pred' series)."""
+
+import pytest
+
+from repro.arch.device import ALVEO_U280
+from repro.model.design import DesignPoint, Workload
+from repro.model.runtime import RuntimePredictor
+from repro.model.tiling import TileDesign
+from repro.util.errors import ValidationError
+from repro.util.units import GB
+
+
+class TestBaselinePrediction:
+    def test_poisson_fig3a_shape(self, poisson_app):
+        # model runtimes for Fig 3(a) meshes must be within 2x of paper's
+        # measured values and strictly increasing with mesh size
+        meshes = [(200, 100), (200, 200), (300, 300), (400, 400)]
+        paper = [0.03, 0.04, 0.06, 0.10]
+        times = []
+        for mesh, expect in zip(meshes, paper):
+            p = poisson_app.predictor(mesh).predict(poisson_app.workload(mesh, 60000))
+            times.append(p.seconds)
+            assert 0.4 * expect < p.seconds < 1.5 * expect
+        assert times == sorted(times)
+
+    def test_jacobi_250_within_paper_band(self, jacobi_app):
+        w = jacobi_app.workload((250, 250, 250), 29000)
+        p = jacobi_app.predictor((250, 250, 250)).predict(w)
+        # paper: measured 9.28 s, model within +-15%
+        assert abs(p.seconds - 9.28) / 9.28 < 0.15
+
+    def test_energy_positive_and_consistent(self, poisson_app):
+        w = poisson_app.workload((200, 100), 60000)
+        p = poisson_app.predictor((200, 100)).predict(w)
+        assert p.energy_j == pytest.approx(p.power_w * p.seconds)
+        assert 40 < p.power_w < 120  # paper observed ~70 W
+
+    def test_logical_vs_physical_traffic_ratio_is_p(self, poisson_app):
+        w = poisson_app.workload((400, 400), 60000)
+        pred = poisson_app.predictor((400, 400))
+        logical = pred.logical_bytes(w)
+        physical = pred.physical_bytes(w)
+        assert logical / physical == pytest.approx(60, rel=0.01)
+
+    def test_batching_improves_small_mesh_throughput(self, poisson_app):
+        single = poisson_app.predictor((200, 100)).predict(
+            poisson_app.workload((200, 100), 60000)
+        )
+        batched = poisson_app.predictor((200, 100)).predict(
+            poisson_app.workload((200, 100), 60000, batch=100)
+        )
+        assert batched.seconds < 100 * single.seconds
+
+    def test_rank_mismatch_rejected(self, poisson_app, jacobi_app):
+        w3 = jacobi_app.workload((8, 8, 8), 10)
+        with pytest.raises(ValidationError):
+            poisson_app.predictor((8, 8)).predict(w3)
+
+
+class TestTiledPrediction:
+    def test_poisson_tiled_matches_bw_derived_paper(self, poisson_app):
+        w = poisson_app.workload((15000, 15000), 6000)
+        design = poisson_app.design(tile=(8000,))
+        p = poisson_app.predictor((15000, 15000), design).predict(w)
+        paper_runtime = 6000 * 8 * 15000**2 / (905 * GB)
+        assert abs(p.seconds - paper_runtime) / paper_runtime < 0.15
+
+    def test_larger_tiles_fewer_redundant_cycles(self, poisson_app):
+        w = poisson_app.workload((15000, 15000), 6000)
+        t_small = poisson_app.predictor((15000, 15000), poisson_app.design(tile=(512,))).predict(w)
+        t_big = poisson_app.predictor((15000, 15000), poisson_app.design(tile=(8000,))).predict(w)
+        assert t_big.seconds < t_small.seconds
+
+    def test_tiled_physical_traffic_includes_redundancy(self, poisson_app):
+        w = poisson_app.workload((15000, 15000), 6000)
+        pred = poisson_app.predictor((15000, 15000), poisson_app.design(tile=(1024,)))
+        base = 6000 / 60 * 8 * 15000**2  # passes * rw * cells
+        assert pred.physical_bytes(w) > base
+
+    def test_jacobi_tiled_runtime_band(self, jacobi_app):
+        w = jacobi_app.workload((600, 600, 600), 120)
+        design = jacobi_app.design(tile=(640, 640))
+        p = jacobi_app.predictor((600, 600, 600), design).predict(w)
+        paper_runtime = 120 * 8 * 600**3 / (292 * GB)
+        assert abs(p.seconds - paper_runtime) / paper_runtime < 0.3
+
+
+class TestIIScaling:
+    def test_ii_slows_stream(self, rtm_small_app):
+        app = rtm_small_app
+        w = app.workload((12, 12, 10), 30)
+        fast = RuntimePredictor(
+            app.program_on((12, 12, 10)), ALVEO_U280, DesignPoint(1, 3, 261.0)
+        ).predict(w)
+        slow = RuntimePredictor(
+            app.program_on((12, 12, 10)),
+            ALVEO_U280,
+            DesignPoint(1, 3, 261.0, initiation_interval=1.6),
+        ).predict(w)
+        assert slow.seconds > fast.seconds

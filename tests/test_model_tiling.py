@@ -1,0 +1,162 @@
+"""Unit tests for the tiling theory (paper eqs. 8-14, Table III)."""
+
+import pytest
+
+from repro.arch.device import ALVEO_U280
+from repro.model.tiling import (
+    TileDesign,
+    block_cycles,
+    block_valid_points,
+    optimal_tile_m,
+    p_max_for_tile,
+    plan_blocks,
+    throughput_full_dsp_2d,
+    throughput_full_dsp_3d,
+    tile_throughput,
+    valid_ratio,
+)
+from repro.util.errors import ValidationError
+
+
+class TestEq8ValidPoints:
+    def test_3d(self):
+        assert block_valid_points(768, 768, 100, 3, 2) == 762 * 762 * 100
+
+    def test_2d(self):
+        assert block_valid_points(8192, None, 100, 60, 2) == 8072 * 100
+
+    def test_rejects_block_consumed_by_halo(self):
+        with pytest.raises(ValidationError):
+            block_valid_points(100, None, 10, 60, 2)
+
+
+class TestEq9BlockCycles:
+    def test_3d_formula(self):
+        c = block_cycles(768, 768, 100, 64, 3, 2)
+        assert c == pytest.approx(12 * 768 * (100 + 3) / 3)
+
+    def test_2d_formula(self):
+        c = block_cycles(8192, None, 100, 8, 60, 2)
+        assert c == pytest.approx(1024 * (100 + 60) / 60)
+
+
+class TestEq10TableIII:
+    def test_poisson_throughput_472(self):
+        t = tile_throughput(8192, None, 10**6, 8, 60, 2)
+        assert t == pytest.approx(472, abs=2)
+
+    def test_jacobi_throughput_189(self):
+        t = tile_throughput(768, 768, 10**9, 64, 3, 2)
+        assert t == pytest.approx(189, abs=1)
+
+    def test_poisson_valid_ratio(self):
+        assert valid_ratio(8192, None, 60, 2) == pytest.approx(0.985, abs=0.001)
+
+    def test_jacobi_valid_ratio(self):
+        assert valid_ratio(768, 768, 3, 2) == pytest.approx(0.984, abs=0.001)
+
+    def test_throughput_bounded_by_pv(self):
+        # T can never exceed p*V valid cells per cycle
+        assert tile_throughput(768, 768, 10**9, 64, 3, 2) <= 3 * 64
+
+
+class TestEq11OptimalM:
+    def test_formula(self):
+        mem = ALVEO_U280.usable_on_chip_bytes()
+        m = optimal_tile_m(mem, 4, 3, 2)
+        assert m == int((mem / (4 * 3 * 2)) ** 0.5)
+
+    def test_paper_rtm_tile_96(self):
+        # Section V-C derives M=96 by inverting eq. (12) at p=4, D=8
+        assert p_max_for_tile(96, 8) == 4
+        assert 3 * 8 * 4 == 96
+
+    def test_eq11_grows_with_memory(self):
+        mem = ALVEO_U280.usable_on_chip_bytes()
+        assert optimal_tile_m(2 * mem, 4, 3, 2) > optimal_tile_m(mem, 4, 3, 2)
+
+
+class TestEq12PMax:
+    def test_formula(self):
+        assert p_max_for_tile(768, 2) == 128
+        assert p_max_for_tile(96, 8) == 4  # the paper's RTM value
+
+    def test_minimum_one(self):
+        assert p_max_for_tile(2, 8) == 1
+
+
+class TestEq13Eq14:
+    def test_eq10_peaks_at_eq12_p_for_fixed_v(self):
+        # eq. (12) maximizes the fixed-V throughput of eq. (10) at p = M/3D
+        M, D, V, l = 768, 2, 8, 10**9
+        p_star = p_max_for_tile(M, D)
+        t_star = tile_throughput(M, M, l, V, p_star, D)
+        for p in (p_star // 2, p_star + 40):
+            assert tile_throughput(M, M, l, V, p, D) <= t_star + 1e-6
+
+    def test_eq13_decreases_with_p_at_full_dsp(self):
+        # substituting p*V = FPGA_dsp/G_dsp makes shallower pipelines better
+        fpga_dsp, gdsp, M, D, l = 7641, 33, 768, 2, 10**6
+        t8 = throughput_full_dsp_3d(M, 8, D, fpga_dsp, gdsp, l)
+        t64 = throughput_full_dsp_3d(M, 64, D, fpga_dsp, gdsp, l)
+        assert t8 > t64
+
+    def test_2d_monotone_in_m(self):
+        ts = [
+            throughput_full_dsp_2d(M, 60, 2, 7641, 14, 10**5)
+            for M in (256, 1024, 8192)
+        ]
+        assert ts[0] < ts[1] < ts[2]
+
+
+class TestTileDesign:
+    def test_2d_tile(self):
+        t = TileDesign((8192,))
+        assert t.M == 8192 and t.N is None
+
+    def test_3d_tile(self):
+        t = TileDesign((768, 768))
+        assert t.N == 768
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValidationError):
+            TileDesign((1, 2, 3))
+
+    def test_num_blocks_2d(self):
+        t = TileDesign((8000,))
+        assert t.num_blocks((15000, 15000), 60, 2) == 2
+
+    def test_num_blocks_3d(self):
+        t = TileDesign((640, 640))
+        assert t.num_blocks((600, 600, 600), 3, 2) == 1
+
+
+class TestPlanBlocks:
+    def test_valid_regions_tile_axis(self):
+        plans = plan_blocks(600, 512, 3)
+        assert plans[0].valid_start == 0
+        assert plans[-1].valid_end == 600
+        for a, b in zip(plans, plans[1:]):
+            assert a.valid_end == b.valid_start
+
+    def test_edge_blocks_shrink(self):
+        # variable-sized tiling: the last block is cut, not full-size
+        plans = plan_blocks(600, 512, 3)
+        assert plans[0].extent == 512
+        assert plans[-1].extent < 512
+
+    def test_single_block_when_tile_covers(self):
+        plans = plan_blocks(600, 640, 3)
+        assert len(plans) == 1
+        assert plans[0].extent == 600
+
+    def test_halo_respected_interior(self):
+        plans = plan_blocks(1000, 300, 10)
+        for plan in plans[:-1]:
+            assert plan.valid_end == plan.end - 10
+        for plan in plans[1:]:
+            assert plan.valid_start - plan.start >= 10
+
+    def test_no_progress_rejected(self):
+        with pytest.raises(ValidationError):
+            plan_blocks(100, 20, 10)

@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the properties the whole reproduction rests on:
+
+* window-buffer streaming == vectorized golden evaluation, for arbitrary
+  star stencils, mesh shapes and data;
+* overlapped tiling == un-tiled execution, for arbitrary tile/halo splits;
+* the cycle models' structural identities (batching monotonicity, eq. (15)
+  limits, plan coverage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow.tiler import SpatialTiler, plan_blocks
+from repro.dataflow.window import stream_iterate_2d
+from repro.mesh.mesh import Field, MeshSpec
+from repro.model.cycles import (
+    batched_cycles_2d,
+    batched_cycles_per_mesh_2d,
+    baseline_cycles_2d,
+)
+from repro.model.design import DesignPoint
+from repro.model.tiling import TileDesign, valid_ratio
+from repro.stencil.builders import star_offsets, weighted_star_kernel
+from repro.stencil.numpy_eval import apply_kernel, run_program
+from repro.stencil.program import single_kernel_program
+
+
+# --------------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------------- #
+def star_kernel_strategy(draw, radius: int):
+    offsets = star_offsets(2, radius)
+    weights = {}
+    for off in offsets:
+        weights[tuple(off)] = draw(
+            st.floats(min_value=-1.0, max_value=1.0, allow_nan=False, width=32)
+        )
+    return weighted_star_kernel(f"star_r{radius}", "U", 2, radius, weights=weights)
+
+
+@st.composite
+def mesh_and_kernel(draw):
+    radius = draw(st.integers(min_value=1, max_value=3))
+    m = draw(st.integers(min_value=2 * radius + 1, max_value=24))
+    n = draw(st.integers(min_value=2 * radius + 1, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    kernel = star_kernel_strategy(draw, radius)
+    return m, n, seed, kernel
+
+
+# --------------------------------------------------------------------------- #
+# streaming equivalence
+# --------------------------------------------------------------------------- #
+@given(mesh_and_kernel())
+@settings(max_examples=40, deadline=None)
+def test_stream_equals_golden_for_arbitrary_stars(case):
+    m, n, seed, kernel = case
+    field = Field.random("U", MeshSpec((m, n)), seed=seed)
+    golden = apply_kernel(kernel, {"U": field})["U"]
+    streamed = stream_iterate_2d(kernel, {"U": field})["U"]
+    assert np.array_equal(golden.data, streamed.data)
+
+
+# --------------------------------------------------------------------------- #
+# tiling equivalence
+# --------------------------------------------------------------------------- #
+@given(
+    m=st.integers(min_value=12, max_value=48),
+    n=st.integers(min_value=5, max_value=16),
+    tile=st.integers(min_value=6, max_value=32),
+    p=st.integers(min_value=1, max_value=3),
+    passes=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=30, deadline=None)
+def test_tiled_equals_untiled_2d(m, n, tile, p, passes, seed):
+    from repro.stencil.builders import jacobi2d_5pt
+
+    if tile <= 2 * p:  # halo would consume the tile
+        tile = 2 * p + 2
+    spec = MeshSpec((m, n))
+    prog = single_kernel_program("p", spec, jacobi2d_5pt())
+    field = Field.random("U", spec, seed=seed)
+    design = DesignPoint(1, p, 250.0, "DDR4", TileDesign((tile,)))
+    tiler = SpatialTiler(prog, design, None)
+    niter = p * passes
+    ours = tiler.run({"U": field}, niter)
+    gold = run_program(prog, {"U": field}, niter)
+    assert np.array_equal(ours["U"].data, gold["U"].data)
+
+
+# --------------------------------------------------------------------------- #
+# block planning
+# --------------------------------------------------------------------------- #
+@given(
+    extent=st.integers(min_value=1, max_value=4000),
+    block=st.integers(min_value=1, max_value=512),
+    halo=st.integers(min_value=0, max_value=24),
+)
+@settings(max_examples=200, deadline=None)
+def test_plan_blocks_covers_axis_exactly(extent, block, halo):
+    if block <= 2 * halo and block < extent:
+        block = 2 * halo + 1
+    plans = plan_blocks(extent, block, halo)
+    # valid regions partition [0, extent)
+    assert plans[0].valid_start == 0
+    assert plans[-1].valid_end == extent
+    for a, b in zip(plans, plans[1:]):
+        assert a.valid_end == b.valid_start
+    for p in plans:
+        # valid region is inside the block and blocks stay in bounds
+        assert 0 <= p.start <= p.valid_start < p.valid_end <= p.end <= extent
+        assert p.extent <= block
+
+
+@given(
+    extent=st.integers(min_value=50, max_value=4000),
+    block=st.integers(min_value=30, max_value=512),
+    halo=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=100, deadline=None)
+def test_plan_blocks_interior_halo_guarantee(extent, block, halo):
+    if block <= 2 * halo:
+        block = 2 * halo + 4
+    plans = plan_blocks(extent, block, halo)
+    for i, p in enumerate(plans):
+        if p.start > 0:
+            assert p.valid_start - p.start >= halo
+        if p.end < extent:
+            assert p.end - p.valid_end >= halo
+
+
+# --------------------------------------------------------------------------- #
+# cycle-model identities
+# --------------------------------------------------------------------------- #
+@given(
+    m=st.integers(min_value=1, max_value=512),
+    n=st.integers(min_value=1, max_value=512),
+    V=st.sampled_from([1, 2, 4, 8, 16]),
+    p=st.integers(min_value=1, max_value=64),
+    batch=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=200, deadline=None)
+def test_batching_never_worse_than_sequential(m, n, V, p, batch):
+    niter = p  # one pass
+    batched = batched_cycles_2d(m, n, batch, niter, V, p, 2)
+    sequential = batch * baseline_cycles_2d(m, n, niter, V, p, 2)
+    assert batched <= sequential
+
+
+@given(
+    m=st.integers(min_value=1, max_value=512),
+    n=st.integers(min_value=1, max_value=512),
+    V=st.sampled_from([1, 2, 4, 8]),
+    p=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=200, deadline=None)
+def test_eq15_per_mesh_decreasing_in_batch(m, n, V, p):
+    values = [
+        batched_cycles_per_mesh_2d(m, n, b, V, p, 2) for b in (1, 2, 8, 64, 1024)
+    ]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+@given(
+    M=st.integers(min_value=16, max_value=8192),
+    p=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=100, deadline=None)
+def test_valid_ratio_bounds(M, p):
+    D = 2
+    if M <= p * D:
+        M = p * D + 1
+    r = valid_ratio(M, None, p, D)
+    assert 0.0 < r < 1.0
+    # larger blocks always waste less
+    r2 = valid_ratio(2 * M, None, p, D)
+    assert r2 > r
+
+
+@given(
+    m=st.integers(min_value=1, max_value=300),
+    V=st.sampled_from([1, 2, 4, 8, 16]),
+)
+@settings(max_examples=100, deadline=None)
+def test_vector_padding_never_loses_cells(m, V):
+    from repro.mesh.padding import padded_row_length
+
+    padded = padded_row_length(m, V)
+    assert padded >= m
+    assert padded % V == 0
+    assert padded - m < V

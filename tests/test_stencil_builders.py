@@ -1,0 +1,107 @@
+"""Unit tests for stencil builders: shapes, op counts, paper kernels."""
+
+import pytest
+
+from repro.model.resources import gdsp_kernel
+from repro.stencil.builders import (
+    box_offsets,
+    high_order_star_1d_terms,
+    jacobi2d_5pt,
+    jacobi3d_7pt,
+    star_offsets,
+    weighted_star_kernel,
+)
+from repro.stencil.expr import count_ops
+from repro.util.errors import ValidationError
+
+
+class TestOffsets:
+    def test_star_2d_point_count(self):
+        assert len(star_offsets(2, 1)) == 5
+        assert len(star_offsets(2, 4)) == 17
+
+    def test_star_3d_rtm_shape(self):
+        # 25-point 8th-order star: 3 axes * 8 + centre
+        assert len(star_offsets(3, 4)) == 25
+
+    def test_star_contains_centre(self):
+        assert (0, 0) in star_offsets(2, 1)
+
+    def test_box_counts(self):
+        assert len(box_offsets(2, 1)) == 9
+        assert len(box_offsets(3, 1)) == 27
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValidationError):
+            star_offsets(4, 1)
+
+
+class TestPaperKernels:
+    def test_poisson_gdsp_matches_table2(self):
+        assert gdsp_kernel(jacobi2d_5pt()) == 14
+
+    def test_jacobi_gdsp_matches_table2(self):
+        assert gdsp_kernel(jacobi3d_7pt()) == 33
+
+    def test_poisson_order(self):
+        assert jacobi2d_5pt().order == 2
+
+    def test_jacobi_order(self):
+        assert jacobi3d_7pt().order == 2
+
+    def test_jacobi_coefficient_defaults_sum_to_one(self):
+        k = jacobi3d_7pt()
+        assert abs(sum(k.coefficients.values()) - 1.0) < 1e-9
+
+    def test_jacobi_custom_coefficients(self):
+        k = jacobi3d_7pt(coefficients=[1, 2, 3, 4, 5, 6, 7])
+        assert k.coefficients["k7"] == 7.0
+
+    def test_jacobi_rejects_wrong_count(self):
+        with pytest.raises(ValidationError):
+            jacobi3d_7pt(coefficients=[1.0])
+
+
+class TestWeightedStar:
+    def test_literal_weights(self):
+        offsets = star_offsets(2, 1)
+        weights = {tuple(o): 1.0 / len(offsets) for o in offsets}
+        k = weighted_star_kernel("avg", "U", 2, 1, weights=weights)
+        ops = k.op_counts()
+        assert ops.muls == 5 and ops.adds == 4
+
+    def test_named_coefficients(self):
+        k = weighted_star_kernel("avg", "U", 2, 1, coef_prefix="w")
+        assert len(k.coefficient_names()) == 5
+
+    def test_missing_weight_rejected(self):
+        with pytest.raises(ValidationError, match="missing weight"):
+            weighted_star_kernel("avg", "U", 2, 1, weights={(0, 0): 1.0})
+
+    def test_extra_weight_rejected(self):
+        offsets = star_offsets(2, 1)
+        weights = {tuple(o): 0.2 for o in offsets}
+        weights[(5, 5)] = 1.0
+        with pytest.raises(ValidationError, match="non-star"):
+            weighted_star_kernel("avg", "U", 2, 1, weights=weights)
+
+    def test_both_modes_rejected(self):
+        with pytest.raises(ValidationError):
+            weighted_star_kernel("avg", "U", 2, 1, weights={}, coef_prefix="w")
+
+
+class TestHighOrderTerms:
+    def test_op_structure(self):
+        expr, coeffs = high_order_star_1d_terms("U", 0, 3, 4, "cx")
+        ops = count_ops(expr)
+        # centre mul + 4 pair muls; 4 pair adds + 4 accumulations
+        assert ops.muls == 5
+        assert ops.adds == 8
+        assert len(coeffs) == 5
+
+    def test_symmetry_offsets(self):
+        from repro.stencil.expr import field_accesses
+
+        expr, _ = high_order_star_1d_terms("U", 1, 3, 2, "cy")
+        offsets = {a.offset for a in field_accesses(expr)}
+        assert (0, 2, 0) in offsets and (0, -2, 0) in offsets

@@ -1,0 +1,122 @@
+"""Unit tests for the expression IR."""
+
+import pytest
+
+from repro.stencil.expr import (
+    BinOp,
+    Coef,
+    Const,
+    FieldAccess,
+    Neg,
+    as_expr,
+    coefficient_names,
+    count_ops,
+    field_accesses,
+    field_names,
+    walk,
+)
+from repro.util.errors import ValidationError
+
+
+def U(dx, dy):
+    return FieldAccess("U", (dx, dy))
+
+
+class TestConstruction:
+    def test_operator_sugar_builds_binops(self):
+        e = U(0, 0) + 1.0
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.rhs, Const)
+
+    def test_reflected_operators(self):
+        e = 2.0 * U(0, 0)
+        assert isinstance(e, BinOp) and e.op == "*"
+        assert isinstance(e.lhs, Const) and e.lhs.value == 2.0
+
+    def test_division(self):
+        e = U(0, 0) / 8
+        assert e.op == "/"
+
+    def test_negation(self):
+        e = -U(0, 0)
+        assert isinstance(e, Neg)
+
+    def test_subtraction_order(self):
+        e = 1.0 - U(0, 0)
+        assert isinstance(e.lhs, Const)
+
+    def test_as_expr_rejects_strings(self):
+        with pytest.raises(ValidationError):
+            as_expr("x")
+
+    def test_field_access_validation(self):
+        with pytest.raises(ValidationError):
+            FieldAccess("", (0, 0))
+        with pytest.raises(ValidationError):
+            FieldAccess("U", (0,))
+        with pytest.raises(ValidationError):
+            FieldAccess("U", (0, 0), component=-1)
+
+    def test_binop_rejects_bad_operator(self):
+        with pytest.raises(ValidationError):
+            BinOp("%", Const(1), Const(2))
+
+    def test_coef_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            Coef("")
+
+    def test_hashable_and_equal(self):
+        assert U(1, 0) == FieldAccess("U", (1, 0))
+        assert hash(Const(1.0)) == hash(Const(1))
+
+
+class TestTraversal:
+    def test_walk_visits_all_nodes(self):
+        e = Coef("a") * U(-1, 0) + Const(2.0)
+        kinds = [type(n).__name__ for n in walk(e)]
+        assert kinds.count("BinOp") == 2
+        assert "Coef" in kinds and "FieldAccess" in kinds and "Const" in kinds
+
+    def test_field_accesses_in_order(self):
+        e = U(-1, 0) + U(1, 0)
+        offs = [a.offset for a in field_accesses(e)]
+        assert offs == [(-1, 0), (1, 0)]
+
+    def test_field_names_and_coefficients(self):
+        e = Coef("k1") * FieldAccess("A", (0, 0)) + FieldAccess("B", (1, 0))
+        assert field_names(e) == {"A", "B"}
+        assert coefficient_names(e) == {"k1"}
+
+
+class TestOpCounts:
+    def test_poisson_counts(self):
+        # eq. (16): 4 adds, 2 muls -> Gdsp 14 with add=2/mul=3
+        e = Const(0.125) * (U(-1, 0) + U(1, 0) + U(0, -1) + U(0, 1)) + Const(0.5) * U(0, 0)
+        ops = count_ops(e)
+        assert (ops.adds, ops.muls, ops.divs) == (4, 2, 0)
+        assert ops.total == 6
+
+    def test_division_counted(self):
+        ops = count_ops(U(0, 0) / 3.0)
+        assert ops.divs == 1
+
+    def test_negation_free(self):
+        ops = count_ops(-U(0, 0))
+        assert ops.total == 0
+
+    def test_opcounts_add(self):
+        from repro.stencil.expr import OpCounts
+
+        total = OpCounts(1, 2, 3) + OpCounts(4, 5, 6)
+        assert (total.adds, total.muls, total.divs) == (5, 7, 9)
+        assert total.flops == 21
+
+
+class TestStr:
+    def test_readable_repr(self):
+        e = Coef("a") * U(-1, 0)
+        s = str(e)
+        assert "a" in s and "U[-1,+0]" in s
+
+    def test_component_suffix(self):
+        assert str(FieldAccess("Y", (0, 0, 0), 3)).endswith(".3")

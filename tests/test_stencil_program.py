@@ -1,0 +1,110 @@
+"""Unit tests for StencilProgram structure and external memory contract."""
+
+import pytest
+
+from repro.apps.rtm import build_rtm_program
+from repro.mesh.mesh import MeshSpec
+from repro.stencil.builders import jacobi2d_5pt, jacobi3d_7pt
+from repro.stencil.kernel import single_output_kernel
+from repro.stencil.program import (
+    FusedGroup,
+    StencilLoop,
+    StencilProgram,
+    single_kernel_program,
+)
+from repro.util.errors import ValidationError
+
+
+class TestSingleKernelProgram:
+    def test_structure(self, poisson_program):
+        assert poisson_program.num_stencil_loops == 1
+        assert poisson_program.state_fields == ("U",)
+        assert poisson_program.constant_fields == ()
+
+    def test_order(self, poisson_program):
+        assert poisson_program.order == 2
+
+    def test_external_contract(self, poisson_program):
+        assert poisson_program.external_reads() == ("U",)
+        assert poisson_program.external_writes() == ("U",)
+        # read + write of a 4-byte scalar per cell per pass
+        assert poisson_program.bytes_per_cell_pass() == 8
+
+    def test_fused_stage_orders_single(self, poisson_program):
+        assert poisson_program.fused_stage_orders == (2,)
+
+    def test_rejects_multi_output_kernel(self):
+        prog = build_rtm_program((8, 8, 8))
+        with pytest.raises(ValidationError):
+            single_kernel_program("x", prog.mesh, prog.groups[0].kernels[0])
+
+
+class TestRTMProgram:
+    def test_four_fused_loops(self):
+        prog = build_rtm_program((8, 8, 8))
+        assert prog.num_stencil_loops == 4
+        assert prog.fused_stage_orders == (8, 8, 8, 8)
+
+    def test_external_contract(self):
+        prog = build_rtm_program((8, 8, 8))
+        assert prog.external_reads() == ("Y", "rho", "mu")
+        assert prog.external_writes() == ("Y",)
+        # Y in (24) + rho (4) + mu (4) + Y out (24)
+        assert prog.bytes_per_cell_pass() == 56
+
+    def test_intermediates_stay_on_chip(self):
+        prog = build_rtm_program((8, 8, 8))
+        inter = prog.intermediate_fields()
+        assert set(inter) == {"K1", "T", "K2", "K3", "K4"}
+
+    def test_plane_limit_enforced(self):
+        with pytest.raises(ValidationError, match="64"):
+            build_rtm_program((128, 128, 16))
+
+    def test_coefficient_values_merged(self):
+        prog = build_rtm_program((8, 8, 8))
+        coeffs = prog.coefficient_values()
+        assert "dt" in coeffs and "l0" in coeffs
+
+
+class TestValidation:
+    def test_state_field_must_be_produced(self, spec2d):
+        k = single_output_kernel("k", "W", jacobi2d_5pt().outputs[0].exprs[0])
+        group = FusedGroup((StencilLoop(k),))
+        with pytest.raises(ValidationError, match="never produced"):
+            StencilProgram("bad", spec2d, (group,), ("U",))
+
+    def test_constant_field_must_not_be_written(self, spec2d, poisson_kernel):
+        group = FusedGroup((StencilLoop(poisson_kernel),))
+        with pytest.raises(ValidationError, match="written"):
+            StencilProgram("bad", spec2d, (group,), ("U",), ("U",))
+
+    def test_rank_mismatch(self, spec2d, jacobi_kernel):
+        group = FusedGroup((StencilLoop(jacobi_kernel),))
+        with pytest.raises(ValidationError, match="rank"):
+            StencilProgram("bad", spec2d, (group,), ("U",))
+
+    def test_requires_groups(self, spec2d):
+        with pytest.raises(ValidationError):
+            StencilProgram("bad", spec2d, (), ("U",))
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValidationError):
+            FusedGroup(())
+
+
+class TestRebind:
+    def test_with_mesh(self, poisson_program):
+        bigger = poisson_program.with_mesh(MeshSpec((400, 400)))
+        assert bigger.mesh.shape == (400, 400)
+        assert bigger.name == poisson_program.name
+
+    def test_with_mesh_rank_checked(self, poisson_program):
+        with pytest.raises(ValidationError):
+            poisson_program.with_mesh(MeshSpec((4, 4, 4)))
+
+    def test_group_produced_fields_ordered(self):
+        prog = build_rtm_program((8, 8, 8))
+        fields = prog.groups[0].produced_fields()
+        assert fields[0] == "K1"
+        assert "Y" in fields

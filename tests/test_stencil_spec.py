@@ -1,0 +1,97 @@
+"""Unit tests for stencil access-pattern analysis."""
+
+import pytest
+
+from repro.stencil.expr import Coef, FieldAccess
+from repro.stencil.spec import AccessPattern, StencilSpec
+from repro.util.errors import ValidationError
+
+
+class TestAccessPattern:
+    def test_canonical_sorted_unique(self):
+        p = AccessPattern("U", ((1, 0), (0, 0), (1, 0)))
+        assert p.offsets == ((0, 0), (1, 0))
+        assert p.points == 2
+
+    def test_radius_per_axis(self):
+        p = AccessPattern("U", ((-2, 0), (0, 1), (0, 0)))
+        assert p.radius == (2, 1)
+
+    def test_order_is_twice_max_radius(self):
+        # 5-point star: D=2; RTM 25-pt star: D=8
+        star5 = AccessPattern("U", ((0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)))
+        assert star5.order == 2
+        rtm = AccessPattern("Y", tuple((d, 0, 0) for d in range(-4, 5)))
+        assert rtm.order == 8
+
+    def test_self_stencil(self):
+        assert AccessPattern("rho", ((0, 0, 0),)).is_self_stencil
+        assert AccessPattern("rho", ((0, 0, 0),)).order == 0
+
+    def test_span_elements_2d_row_rule(self):
+        # paper: a 2D D-order star spans D rows of m elements
+        m = 100
+        star5 = AccessPattern("U", ((0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)))
+        assert star5.span_elements((m, 50)) == 2 * m
+
+    def test_span_elements_3d_plane_rule(self):
+        m, n = 64, 64
+        star7 = AccessPattern(
+            "U",
+            ((0, 0, 0), (1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)),
+        )
+        assert star7.span_elements((m, n, 32)) == 2 * m * n
+
+    def test_span_rejects_rank_mismatch(self):
+        p = AccessPattern("U", ((0, 0),))
+        with pytest.raises(ValidationError):
+            p.span_elements((4, 4, 4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            AccessPattern("U", ())
+
+    def test_rejects_mixed_rank(self):
+        with pytest.raises(ValidationError):
+            AccessPattern("U", ((0, 0), (0, 0, 0)))
+
+
+class TestStencilSpec:
+    def _spec(self):
+        exprs = [
+            Coef("a") * FieldAccess("U", (-1, 0))
+            + FieldAccess("U", (1, 0))
+            + FieldAccess("rho", (0, 0))
+        ]
+        return StencilSpec.from_exprs(exprs)
+
+    def test_fields_sorted(self):
+        assert self._spec().fields == ("U", "rho")
+
+    def test_order_is_max_over_fields(self):
+        assert self._spec().order == 2
+
+    def test_radius_elementwise_max(self):
+        assert self._spec().radius == (1, 0)
+
+    def test_pattern_lookup(self):
+        spec = self._spec()
+        assert spec.pattern("rho").is_self_stencil
+        with pytest.raises(ValidationError):
+            spec.pattern("mu")
+
+    def test_buffered_fields_excludes_self_stencils(self):
+        spec = self._spec()
+        assert [p.field for p in spec.buffered_fields()] == ["U"]
+
+    def test_window_elements(self):
+        spec = self._spec()
+        win = spec.window_elements((10, 5))
+        assert win == {"U": 2}  # span between (-1,0) and (1,0)
+
+    def test_points_total(self):
+        assert self._spec().points == 3
+
+    def test_from_exprs_rejects_no_fields(self):
+        with pytest.raises(ValidationError):
+            StencilSpec.from_exprs([Coef("a") * 2.0])

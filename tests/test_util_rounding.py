@@ -1,0 +1,69 @@
+"""Unit tests for integer rounding helpers."""
+
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.util.rounding import ceil_div, is_power_of_two, round_down, round_up
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 100) == 1
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValidationError):
+            ceil_div(10, 0)
+
+    def test_rejects_negative_numerator(self):
+        with pytest.raises(ValidationError):
+            ceil_div(-1, 3)
+
+    def test_large_values(self):
+        assert ceil_div(10**12 + 1, 10**6) == 10**6 + 1
+
+
+class TestRoundUp:
+    def test_already_multiple(self):
+        assert round_up(16, 8) == 16
+
+    def test_rounds_up(self):
+        assert round_up(17, 8) == 24
+
+    def test_zero(self):
+        assert round_up(0, 8) == 0
+
+    def test_paper_row_padding(self):
+        # a 200-wide row at V=8 stays 200; 201 pads to 208
+        assert round_up(200, 8) == 200
+        assert round_up(201, 8) == 208
+
+
+class TestRoundDown:
+    def test_already_multiple(self):
+        assert round_down(16, 8) == 16
+
+    def test_rounds_down(self):
+        assert round_down(17, 8) == 16
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            round_down(-8, 8)
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("v", [1, 2, 4, 8, 64, 1024])
+    def test_powers(self, v):
+        assert is_power_of_two(v)
+
+    @pytest.mark.parametrize("v", [0, -2, 3, 6, 1023])
+    def test_non_powers(self, v):
+        assert not is_power_of_two(v)

@@ -1,0 +1,50 @@
+"""Unit tests for the text table formatter."""
+
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.util.tables import TextTable
+
+
+class TestTextTable:
+    def test_renders_header_and_rows(self):
+        t = TextTable(["mesh", "runtime"])
+        t.add_row(["200x100", 0.03])
+        out = t.render()
+        assert "mesh" in out and "200x100" in out and "0.03" in out
+
+    def test_column_alignment(self):
+        t = TextTable(["a", "b"])
+        t.add_row(["xxxxxx", 1])
+        lines = t.render().splitlines()
+        # all rows have the same width
+        assert len(lines[0]) == len(lines[2])
+
+    def test_title(self):
+        t = TextTable(["a"], title="Table II")
+        assert t.render().startswith("Table II")
+
+    def test_rejects_wrong_row_length(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValidationError):
+            t.add_row([1])
+
+    def test_rejects_empty_columns(self):
+        with pytest.raises(ValidationError):
+            TextTable([])
+
+    def test_float_formatting(self):
+        t = TextTable(["v"])
+        t.add_row([0.000123])
+        t.add_row([123456.0])
+        t.add_row([0.0])
+        out = t.render()
+        assert "0.000123" in out
+        assert "0" in out
+
+    def test_none_and_bool(self):
+        t = TextTable(["v"])
+        t.add_row([None])
+        t.add_row([True])
+        out = t.render()
+        assert "None" in out and "True" in out

@@ -1,0 +1,52 @@
+"""Unit tests for unit constants and formatting."""
+
+from repro.util.units import (
+    GB,
+    GIB,
+    KIB,
+    MIB,
+    bytes_to_gib,
+    bytes_to_mib,
+    fmt_bandwidth,
+    fmt_bytes,
+    fmt_seconds,
+)
+
+
+class TestConstants:
+    def test_binary_sizes(self):
+        assert KIB == 1024
+        assert MIB == 1024**2
+        assert GIB == 1024**3
+
+    def test_decimal_gb(self):
+        assert GB == 10**9
+
+
+class TestConversions:
+    def test_bytes_to_mib(self):
+        assert bytes_to_mib(MIB) == 1.0
+
+    def test_bytes_to_gib(self):
+        assert bytes_to_gib(2 * GIB) == 2.0
+
+
+class TestFormatting:
+    def test_fmt_bytes_small(self):
+        assert fmt_bytes(512) == "512 B"
+
+    def test_fmt_bytes_mib(self):
+        assert "MiB" in fmt_bytes(34.5 * MIB)
+
+    def test_fmt_seconds_seconds(self):
+        assert fmt_seconds(2.5) == "2.5 s"
+
+    def test_fmt_seconds_millis(self):
+        assert "ms" in fmt_seconds(0.005)
+
+    def test_fmt_seconds_micros(self):
+        assert "us" in fmt_seconds(5e-6)
+
+    def test_fmt_bandwidth_paper_convention(self):
+        # the paper reports decimal GB/s
+        assert fmt_bandwidth(460 * GB) == "460.0 GB/s"

@@ -1,0 +1,83 @@
+"""Unit tests for validation helpers."""
+
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_one_of,
+    check_positive,
+    check_shape,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError, match="x"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", -1)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative("x", -0.5)
+
+
+class TestCheckInRange:
+    def test_bounds_inclusive(self):
+        check_in_range("x", 0.0, 0.0, 1.0)
+        check_in_range("x", 1.0, 0.0, 1.0)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", 1.5, 0.0, 1.0)
+
+
+class TestCheckType:
+    def test_accepts_match(self):
+        check_type("x", 3, int)
+
+    def test_rejects_mismatch_with_name(self):
+        with pytest.raises(ValidationError, match="int"):
+            check_type("x", "3", int)
+
+    def test_tuple_of_types(self):
+        check_type("x", 3.0, (int, float))
+
+
+class TestCheckOneOf:
+    def test_member(self):
+        check_one_of("memory", "HBM", ("HBM", "DDR4"))
+
+    def test_non_member(self):
+        with pytest.raises(ValidationError, match="memory"):
+            check_one_of("memory", "SRAM", ("HBM", "DDR4"))
+
+
+class TestCheckShape:
+    def test_normalizes_to_ints(self):
+        assert check_shape("shape", [4.0, 5]) == (4, 5)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValidationError):
+            check_shape("shape", (4, 5), ndim=3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            check_shape("shape", (4, 0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_shape("shape", ())
