@@ -1,0 +1,80 @@
+"""Bench: DSE search efficiency — trials-to-best-design and wall-clock.
+
+Each strategy explores the same Jacobi-7pt-3D design space; the benchmark
+records wall-clock per full search, and the assertions pin the search
+efficiency contract so future PRs can track regressions: annealing within
+5% of the exhaustive optimum on a 50-trial budget, greedy pruning to a
+fraction of the grid, every strategy's journal reporting how many trials
+it took to first reach its best design.
+"""
+
+from repro.arch.device import ALVEO_U280
+from repro.dse import Evaluator, Study, model_space, strategy_by_name
+from repro.harness.runner import run_dse_convergence
+from repro.model.design import Workload
+
+
+def _problem():
+    from repro.apps.jacobi3d import jacobi3d_app
+
+    app = jacobi3d_app()
+    program = app.program_on((100, 100, 100))
+    workload = Workload(program.mesh, 100)
+    space = model_space(program, ALVEO_U280, workload)
+    return program, workload, space
+
+
+def _search(strategy_name, trials):
+    program, workload, space = _problem()
+    study = Study(space, Evaluator(program, ALVEO_U280, workload))
+    study.run(strategy_by_name(strategy_name, seed=0), trials)
+    return study
+
+
+def _trials_to_best(study):
+    """Index (1-based) of the first trial that reaches the study's best score."""
+    best = study.best()
+    for i, trial in enumerate(study.trials, 1):
+        if trial.feasible and trial.score <= best.score:
+            return i
+    return len(study.trials)
+
+
+def test_dse_exhaustive(benchmark, once):
+    study = once(benchmark, lambda: _search("exhaustive", None))
+    print(f"\nexhaustive: {len(study.trials)} trials, "
+          f"best at trial {_trials_to_best(study)}")
+    assert study.best() is not None
+
+
+def test_dse_random(benchmark, once):
+    study = once(benchmark, lambda: _search("random", 50))
+    print(f"\nrandom: {len(study.trials)} trials, "
+          f"best at trial {_trials_to_best(study)}")
+    assert len(study.trials) == 50
+
+
+def test_dse_annealing(benchmark, once):
+    optimum = _search("exhaustive", None).best()
+    study = once(benchmark, lambda: _search("annealing", 50))
+    to_best = _trials_to_best(study)
+    print(f"\nannealing: {len(study.trials)} trials, best at trial {to_best}")
+    # the headline contract: within 5% of the grid optimum on a 50-trial budget
+    assert study.best().value("runtime") <= optimum.value("runtime") * 1.05
+
+
+def test_dse_greedy(benchmark, once):
+    _, _, space = _problem()
+    study = once(benchmark, lambda: _search("greedy", None))
+    print(f"\ngreedy: {len(study.trials)} trials of a {space.size}-point grid, "
+          f"best at trial {_trials_to_best(study)}")
+    # pruning contract: the model-guided walk touches a fraction of the grid
+    assert len(study.trials) < space.size / 2
+
+
+def test_dse_convergence_experiment(benchmark, once):
+    result = once(benchmark, run_dse_convergence)
+    print("\n" + result.render())
+    for rec in result.records:
+        if rec["strategy"] == "annealing":
+            assert rec["gap_pct"] <= 5.0

@@ -1,19 +1,41 @@
 """Design-space exploration across devices and memory systems.
 
-Uses the analytic model to answer the questions a designer asks before
-synthesis: how do V and p trade off, when does a design go memory-bound,
-what does the U280's HBM buy over DDR4, and how would the DDR-only U250
-fare? (Section V-A: "our model significantly narrows the design space".)
+Uses the :mod:`repro.dse` engine to answer the questions a designer asks
+before synthesis: how do V and p trade off, when does a design go
+memory-bound, what does the U280's HBM buy over DDR4, and what do the
+runtime/energy Pareto fronts look like?  (Section V-A: "our model
+significantly narrows the design space".)
 
 Run:  python examples/design_space_exploration.py
 """
 
 from repro.apps.jacobi3d import jacobi3d_app
 from repro.arch.device import ALVEO_U250, ALVEO_U280
-from repro.model.design import DesignPoint, DesignSpace, Workload
-from repro.model.runtime import RuntimePredictor
+from repro.dse import (
+    DSP_HEADROOM,
+    ENERGY,
+    MEM_HEADROOM,
+    RUNTIME,
+    Evaluator,
+    ExhaustiveSearch,
+    Study,
+    model_space,
+)
+from repro.model.design import Workload
 from repro.util.tables import TextTable
 from repro.util.units import GB
+
+
+def explore(device, memory, program, workload):
+    """One exhaustive study of (V, p) on a single device/memory target."""
+    space = model_space(program, device, workload, memories=(memory,))
+    evaluator = Evaluator(
+        program,
+        device,
+        workload,
+        objectives=(RUNTIME, ENERGY, DSP_HEADROOM, MEM_HEADROOM),
+    )
+    return Study(space, evaluator).run(ExhaustiveSearch())
 
 
 def main() -> None:
@@ -26,18 +48,18 @@ def main() -> None:
         ["V", "p", "clock MHz", "runtime (s)", "DSP util", "mem util", "bound"],
         title="Jacobi 200^3 x 2900 iters on the U280 (HBM)",
     )
-    space = DesignSpace(program, ALVEO_U280)
-    for design in space.candidates(workload, memories=("HBM",)):
-        metrics = RuntimePredictor(program, ALVEO_U280, design).predict(workload)
+    u280_hbm = explore(ALVEO_U280, "HBM", program, workload)
+    for trial in u280_hbm.feasible_trials():
+        design = trial.result.design
         table.add_row(
             [
                 design.V,
                 design.p,
                 f"{design.clock_mhz:.0f}",
-                metrics.seconds,
-                f"{metrics.resources.dsp_utilization:.2f}",
-                f"{metrics.resources.mem_utilization:.2f}",
-                "memory" if metrics.memory_bound else "compute",
+                trial.value("runtime"),
+                f"{1.0 - trial.value('dsp_headroom'):.2f}",
+                f"{1.0 - trial.value('mem_headroom'):.2f}",
+                "memory" if trial.result.memory_bound else "compute",
             ]
         )
     print(table.render())
@@ -46,21 +68,29 @@ def main() -> None:
     print("\nBest design per device/memory:")
     for device in (ALVEO_U280, ALVEO_U250):
         for memory in device.memory_targets:
-            space = DesignSpace(program, device)
-            best = None
-            for design in space.candidates(workload, memories=(memory,)):
-                metrics = RuntimePredictor(program, device, design).predict(workload)
-                if best is None or metrics.seconds < best[1].seconds:
-                    best = (design, metrics)
+            if device is ALVEO_U280 and memory == "HBM":
+                best = u280_hbm.best()
+            else:
+                best = explore(device, memory, program, workload).best()
             if best is None:
                 print(f"  {device.name:24s} {memory}: no feasible design")
                 continue
-            design, metrics = best
+            design = best.result.design
+            predicted = app.predictor((200, 200, 200), design, device).predict(workload)
             print(
                 f"  {device.name:24s} {memory:4s}: V={design.V:<3} p={design.p:<3} "
-                f"-> {metrics.seconds:6.3f} s, "
-                f"{metrics.logical_bandwidth / GB:6.1f} GB/s logical"
+                f"-> {best.value('runtime'):6.3f} s, "
+                f"{predicted.logical_bandwidth / GB:6.1f} GB/s logical"
             )
+
+    # -- Pareto front: runtime vs energy on the U280 -----------------------------
+    print("\nRuntime/energy Pareto front (U280, HBM):")
+    for member in u280_hbm.pareto_front((RUNTIME, ENERGY)):
+        design = member.payload.result.design
+        print(
+            f"  V={design.V:<3} p={design.p:<3} "
+            f"-> {member.values['runtime']:.3f} s, {member.values['energy']:.1f} J"
+        )
 
 
 if __name__ == "__main__":

@@ -1,4 +1,47 @@
-"""Setup shim for legacy editable installs (offline environments without wheel)."""
-from setuptools import setup
+"""Packaging for the IPDPS 2021 FPGA stencil-accelerator reproduction.
 
-setup()
+Editable installs (``pip install -e .``) expose the ``repro`` console
+script, so ``repro dse jacobi3d --trials 50`` works without PYTHONPATH.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-fpga-stencil",
+    version="0.2.0",
+    description=(
+        "Analytic models, dataflow simulator and design-space exploration "
+        "engine for high-level FPGA accelerator design of structured-mesh "
+        "explicit numerical solvers (IPDPS 2021 reproduction)"
+    ),
+    long_description=(
+        "Reproduction of 'High-Level FPGA Accelerator Design for "
+        "Structured-Mesh-Based Explicit Numerical Solvers': stencil "
+        "programs, Alveo U280/U250 device models, runtime/energy "
+        "prediction, HLS code generation, and the repro.dse subsystem for "
+        "Pareto-front design-space exploration with resumable studies."
+    ),
+    long_description_content_type="text/plain",
+    author="paper-repo-growth",
+    license="MIT",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "test": ["pytest>=7", "hypothesis>=6", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": ["repro=repro.cli:main"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering",
+        "Topic :: System :: Hardware",
+    ],
+)

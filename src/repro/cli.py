@@ -10,6 +10,9 @@ Commands
     Regenerate EXPERIMENTS.md.
 ``explore APP --mesh MxN[xL] [--niter N] [--tiled]``
     Rank feasible design points for an application workload.
+``dse APP [--strategy S] [--trials N] [--study PATH] [--resume] [--top K]``
+    Run a design-space exploration study with a pluggable search strategy,
+    journalling every trial (resumable) and reporting the Pareto front.
 ``codegen APP [--out DIR] [--mesh MxN[xL]]``
     Emit the Vivado HLS project for an application's paper design.
 """
@@ -79,36 +82,120 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_explore(args: argparse.Namespace) -> int:
+def _explore_study(args: argparse.Namespace, objectives, tiled, constraints=()):
+    """Build and run a study from common CLI arguments."""
     from repro.arch.device import device_by_name
-    from repro.model.design import Workload, explore_designs
-    from repro.util.tables import TextTable
-    from repro.util.units import GB
+    from repro.dse import Evaluator, Study, model_space, strategy_by_name
+    from repro.model.design import Workload
 
     app = app_by_name(args.app)
     mesh = _parse_mesh(args.mesh) if args.mesh else app.program.mesh.shape
     program = app.program_on(mesh)
     device = device_by_name(args.device)
     workload = Workload(program.mesh, args.niter, args.batch)
-    ranked = explore_designs(program, device, workload, tiled=args.tiled, top_k=args.top)
+    space = model_space(program, device, workload, tiled=tiled)
+    evaluator = Evaluator(
+        program,
+        device,
+        workload,
+        objectives=objectives,
+        constraints=constraints,
+        max_workers=getattr(args, "workers", None),
+    )
+    study = Study(
+        space,
+        evaluator,
+        path=getattr(args, "study", None),
+        resume=getattr(args, "resume", False),
+    )
+    strategy = strategy_by_name(
+        getattr(args, "strategy", "exhaustive"), seed=getattr(args, "seed", 0)
+    )
+    study.run(strategy, getattr(args, "trials", None))
+    return app, device, workload, study
+
+
+def _design_cells(trial):
+    """The V/p/clock/tile/runtime/GB/W cells shared by explore and dse tables."""
+    from repro.util.units import GB
+
+    design = trial.result.design
+    return [
+        design.V,
+        design.p,
+        f"{design.clock_mhz:.0f}",
+        design.tile.tile if design.tile else "-",
+        trial.value("runtime"),
+        trial.value("bandwidth") / GB,
+        trial.value("power"),
+    ]
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.dse import BANDWIDTH, POWER, RUNTIME
+    from repro.util.tables import TextTable
+
+    app, device, _, study = _explore_study(
+        args, objectives=(RUNTIME, BANDWIDTH, POWER), tiled=args.tiled
+    )
+    mesh = _parse_mesh(args.mesh) if args.mesh else app.program.mesh.shape
     table = TextTable(
         ["V", "p", "clock MHz", "tile", "runtime (s)", "GB/s", "W"],
         title=f"{app.name} on {device.name}: {args.niter} iters, mesh {args.mesh or mesh}",
     )
-    for design, metrics in ranked:
-        table.add_row(
-            [
-                design.V,
-                design.p,
-                f"{design.clock_mhz:.0f}",
-                design.tile.tile if design.tile else "-",
-                metrics.seconds,
-                metrics.logical_bandwidth / GB,
-                metrics.power_w,
-            ]
-        )
+    top = study.top(args.top)
+    for trial in top:
+        table.add_row(_design_cells(trial))
     print(table.render())
-    if not ranked:
+    if not top:
+        print("no feasible designs found — try --tiled for large meshes")
+        return 1
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from repro.dse import BANDWIDTH, POWER, RUNTIME, parse_objectives
+    from repro.util.tables import TextTable
+
+    if args.resume and not args.study:
+        raise ReproError("--resume needs --study PATH to know which journal to replay")
+    objectives = parse_objectives(args.objectives)
+    # the report table always shows runtime/bandwidth/power: score them too
+    extra = tuple(
+        o
+        for o in (RUNTIME, BANDWIDTH, POWER)
+        if o.name not in {x.name for x in objectives}
+    )
+    app, device, workload, study = _explore_study(
+        args, objectives=objectives + extra, tiled=args.tiled
+    )
+    table = TextTable(
+        ["rank", "memory", "V", "p", "clock MHz", "tile", "runtime (s)", "GB/s", "W"],
+        title=(
+            f"{app.name} on {device.name}: {args.strategy} search, "
+            f"{workload.niter} iters, primary objective '{objectives[0].name}'"
+        ),
+    )
+    top = study.top(args.top)
+    for rank, trial in enumerate(top, 1):
+        table.add_row([rank, trial.result.design.memory] + _design_cells(trial))
+    print(table.render())
+    front = study.pareto_front(objectives)
+    evaluator = study.evaluator
+    print(
+        f"\ntrials: {len(study.trials)} total, {study.evaluated} evaluated this run, "
+        f"{study.replayed} replayed from journal, {evaluator.cache_hits} cache hits"
+    )
+    names = "/".join(o.name for o in objectives)
+    print(f"pareto front ({names}): {len(front)} non-dominated designs")
+    for member in front:
+        t = member.payload
+        d = t.result.design
+        values = ", ".join(f"{o.name}={member.values[o.name]:.4g}" for o in objectives)
+        print(f"  {d.memory} V={d.V} p={d.p} -> {values}")
+    if study.path is not None:
+        print(f"journal: {study.path}")
+    if not top:
         print("no feasible designs found — try --tiled for large meshes")
         return 1
     return 0
@@ -154,6 +241,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument("--top", type=int, default=5)
     p_explore.set_defaults(fn=_cmd_explore)
 
+    p_dse = sub.add_parser("dse", help="design-space exploration study")
+    p_dse.add_argument("app", help="app name (poisson2d | jacobi3d | rtm)")
+    p_dse.add_argument("--mesh", help="mesh shape, e.g. 400x400")
+    p_dse.add_argument("--niter", type=int, default=1000)
+    p_dse.add_argument("--batch", type=int, default=1)
+    p_dse.add_argument("--tiled", action="store_true")
+    p_dse.add_argument("--device", default="U280")
+    p_dse.add_argument(
+        "--strategy",
+        default="annealing",
+        help="search strategy (exhaustive | random | annealing | greedy)",
+    )
+    p_dse.add_argument(
+        "--trials", type=int, default=None, help="budget of new evaluations"
+    )
+    p_dse.add_argument(
+        "--objectives",
+        default="runtime,energy",
+        help="comma-separated objectives; first is primary",
+    )
+    p_dse.add_argument("--study", help="JSONL journal path (enables --resume)")
+    p_dse.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the journal at --study instead of restarting it",
+    )
+    p_dse.add_argument("--top", type=int, default=5)
+    p_dse.add_argument("--seed", type=int, default=0)
+    p_dse.add_argument(
+        "--workers", type=int, default=None, help="evaluation worker threads"
+    )
+    p_dse.set_defaults(fn=_cmd_dse)
+
     p_gen = sub.add_parser("codegen", help="emit the Vivado HLS project")
     p_gen.add_argument("app")
     p_gen.add_argument("--out", default="hls_out")
@@ -172,6 +292,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:  # e.g. `repro apps | head`
+        sys.stderr.close()  # suppress the shutdown-flush warning too
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,83 @@
+"""Design-space exploration engine (paper Section V-A, productionized).
+
+The paper's analytic model "significantly narrows the design space"; this
+package turns that claim into an optimizer.  The pieces compose as::
+
+    space     = model_space(program, device, workload)        # what to search
+    evaluator = Evaluator(program, device, workload,
+                          objectives=(RUNTIME, ENERGY))       # how to score
+    study     = Study(space, evaluator, path="study.jsonl")   # the ledger
+    study.run(strategy_by_name("annealing", seed=1), trials=50)
+    best      = study.best()
+    front     = study.pareto_front()
+
+Studies journal every trial as a JSON line and resume after a kill without
+re-evaluating persisted trials; evaluation is memoized and fans out over
+``concurrent.futures`` workers.
+"""
+
+from repro.dse.evaluate import Evaluator, TrialResult
+from repro.dse.objectives import (
+    BANDWIDTH,
+    DSP_HEADROOM,
+    ENERGY,
+    MEM_HEADROOM,
+    POWER,
+    RUNTIME,
+    Constraint,
+    EvalContext,
+    Objective,
+    compute_bound_only,
+    max_dsp_utilization,
+    max_power,
+    objective_by_name,
+    parse_objectives,
+)
+from repro.dse.pareto import FrontMember, ParetoFront, dominates
+from repro.dse.space import Parameter, ParameterSpace, config_key, model_space
+from repro.dse.strategies import (
+    STRATEGIES,
+    ExhaustiveSearch,
+    ModelGuidedGreedy,
+    RandomSearch,
+    SearchStrategy,
+    SimulatedAnnealing,
+    strategy_by_name,
+)
+from repro.dse.study import BudgetExhausted, Study, Trial
+
+__all__ = [
+    "BANDWIDTH",
+    "BudgetExhausted",
+    "Constraint",
+    "DSP_HEADROOM",
+    "ENERGY",
+    "EvalContext",
+    "Evaluator",
+    "ExhaustiveSearch",
+    "FrontMember",
+    "MEM_HEADROOM",
+    "ModelGuidedGreedy",
+    "Objective",
+    "POWER",
+    "Parameter",
+    "ParameterSpace",
+    "ParetoFront",
+    "RUNTIME",
+    "RandomSearch",
+    "STRATEGIES",
+    "SearchStrategy",
+    "SimulatedAnnealing",
+    "Study",
+    "Trial",
+    "TrialResult",
+    "compute_bound_only",
+    "config_key",
+    "dominates",
+    "max_dsp_utilization",
+    "max_power",
+    "model_space",
+    "objective_by_name",
+    "parse_objectives",
+    "strategy_by_name",
+]

@@ -1,0 +1,262 @@
+"""Memoizing, parallel trial evaluation against the analytic model.
+
+The :class:`Evaluator` turns a declarative configuration (see
+:mod:`repro.dse.space`) into a concrete :class:`DesignPoint` — estimating
+the achievable clock from the clock model, deriving the spatial-blocking
+tile for tiled configurations and applying the feasibility checks of
+eqs. (4)/(6)/(7) — then runs the runtime/energy predictor and scores the
+result against the study's objectives.
+
+Results are memoized by canonical configuration key, so a configuration is
+never evaluated twice within a study (or across a resumed one: the study
+seeds the cache from its journal).  Batch evaluation fans out over
+``concurrent.futures`` worker threads.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Mapping, Sequence
+
+from repro.arch.clocking import DEFAULT_CLOCK_MODEL, ClockModel
+from repro.arch.device import FPGADevice
+from repro.dse.objectives import (
+    Constraint,
+    EvalContext,
+    Objective,
+    RUNTIME,
+)
+from repro.dse.space import Config, ConfigKey, config_key
+from repro.model.bandwidth import feasible_vectorization
+from repro.model.design import DesignPoint, DesignSpace, Workload, tile_for_unroll
+from repro.model.multifpga import MultiFPGAConfig, spatial_scaling_seconds
+from repro.model.resources import module_mem_bytes
+from repro.model.runtime import RuntimePredictor
+from repro.model.tiling import TileDesign
+from repro.stencil.program import StencilProgram
+from repro.util.errors import InfeasibleDesignError, ValidationError
+from repro.util.units import MHZ
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """The outcome of evaluating one configuration."""
+
+    config: Config
+    feasible: bool
+    design: DesignPoint | None
+    values: dict[str, float] = dc_field(default_factory=dict)
+    #: primary objective, direction-folded; ``inf`` for infeasible trials
+    score: float = math.inf
+    #: why the trial is infeasible (empty for feasible trials)
+    reason: str = ""
+    #: True when the trial is memory-bound under the AXI/burst model
+    memory_bound: bool = False
+
+    def value(self, name: str) -> float:
+        """One raw objective value (``inf`` when infeasible)."""
+        return self.values.get(name, math.inf)
+
+
+class Evaluator:
+    """Binds configurations to the model and memoizes their evaluation."""
+
+    def __init__(
+        self,
+        program: StencilProgram,
+        device: FPGADevice,
+        workload: Workload,
+        objectives: Sequence[Objective] = (RUNTIME,),
+        constraints: Sequence[Constraint] = (),
+        clock_model: ClockModel = DEFAULT_CLOCK_MODEL,
+        logical_bytes_per_cell_iter: float | None = None,
+        max_workers: int | None = None,
+    ):
+        if not objectives:
+            raise ValidationError("an Evaluator needs at least one objective")
+        if max_workers is not None and max_workers < 0:
+            raise ValidationError(f"max_workers must be >= 0, got {max_workers}")
+        self.program = program
+        self.device = device
+        self.workload = workload
+        self.objectives = tuple(objectives)
+        self.constraints = tuple(constraints)
+        self.logical_bytes_per_cell_iter = logical_bytes_per_cell_iter
+        self.max_workers = max_workers
+        self._space = DesignSpace(program, device, clock_model)
+        self._cache: dict[ConfigKey, TrialResult] = {}
+        self._lock = threading.Lock()
+        #: configurations actually run through the model
+        self.evaluations = 0
+        #: requests answered from the memo table
+        self.cache_hits = 0
+
+    @property
+    def primary(self) -> Objective:
+        """The first (ranking) objective."""
+        return self.objectives[0]
+
+    # -- model-derived bounds (cheap: no trial evaluation) ------------------------
+    def unroll_cap(self, V: int, tiled: bool = False) -> int:
+        """Largest unroll that can possibly pass feasibility at width ``V``.
+
+        Uses the *hard* DSP inventory (what :meth:`DesignSpace.check`
+        enforces), not the 90% planning budget of eq. (6) — the paper's
+        synthesized Jacobi landed at p=29 against a planning bound of 28,
+        and the optimum regularly sits in that gap.  Baseline designs are
+        additionally line-buffer bound (eq. 7); tiled designs trade buffer
+        for redundant compute, leaving the DSP bound only.
+        """
+        dsp_cap = max(1, self.device.dsp_blocks // (V * self._space.gdsp))
+        if tiled:
+            return dsp_cap
+        module_bytes = module_mem_bytes(self.program, self.workload.mesh.shape)
+        return min(dsp_cap, max(1, self.device.usable_on_chip_bytes() // module_bytes))
+
+    def vector_cap(self, memory: str, p: int = 1) -> int:
+        """Widest vectorization that can possibly be feasible on ``memory``.
+
+        The minimum of the bandwidth bound (eq. 4, at the device's default
+        clock) and the hard DSP bound at the requested unroll depth.
+        """
+        bw = feasible_vectorization(
+            self.program, self.device, memory, self.device.default_clock_mhz * MHZ
+        )
+        dsp = max(1, self.device.dsp_blocks // (p * self._space.gdsp))
+        return max(1, min(bw, dsp))
+
+    # -- config -> design ---------------------------------------------------------
+    def design_for(self, config: Mapping[str, Any]) -> DesignPoint:
+        """The concrete design point a configuration denotes.
+
+        Raises :class:`InfeasibleDesignError` when the configuration cannot
+        produce a buildable design (e.g. a tile fully consumed by its halo).
+        """
+        memory = config.get("memory", self.device.memory_targets[0])
+        V = int(config["V"])
+        p = int(config["p"])
+        tile = self._derive_tile(p) if config.get("tiled", False) else None
+        design = DesignPoint(V, p, self.device.default_clock_mhz, memory, tile)
+        return self._space._with_estimated_clock(design, self.workload)
+
+    def _derive_tile(self, p: int) -> TileDesign:
+        """The largest buffer-feasible tile for unroll ``p`` (Section IV-A)."""
+        tile = tile_for_unroll(self.program, self.device, self.workload.mesh, p)
+        if min(tile.tile) <= p * self.program.order:
+            raise InfeasibleDesignError(
+                f"tile {tile.tile} is consumed by the p*D={p * self.program.order} halo"
+            )
+        return tile
+
+    # -- evaluation ---------------------------------------------------------------
+    def evaluate(self, config: Mapping[str, Any]) -> TrialResult:
+        """Evaluate one configuration (memoized)."""
+        key = config_key(config)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        result = self._evaluate_uncached(dict(config))
+        with self._lock:
+            if key in self._cache:  # a racing worker got there first
+                self.cache_hits += 1
+                return self._cache[key]
+            self._cache[key] = result
+            self.evaluations += 1
+        return result
+
+    def evaluate_many(self, configs: Sequence[Mapping[str, Any]]) -> list[TrialResult]:
+        """Evaluate a batch, optionally fanning out over worker threads.
+
+        Duplicate configurations within the batch are evaluated once; the
+        returned list is positionally aligned with ``configs``.  The default
+        (``max_workers=None``) is serial: the analytic model is pure
+        CPU-bound python, so threads only pay off when an objective or
+        constraint does I/O — opt in by passing ``max_workers > 0``.
+        """
+        keys = [config_key(c) for c in configs]
+        unique: dict[ConfigKey, Mapping[str, Any]] = {}
+        for key, config in zip(keys, configs):
+            unique.setdefault(key, config)
+        todo = list(unique.values())
+        if len(todo) <= 1 or not self.max_workers:
+            for config in todo:
+                self.evaluate(config)
+        else:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                list(pool.map(self.evaluate, todo))
+        with self._lock:
+            return [self._cache[key] for key in keys]
+
+    def seed(self, result: TrialResult) -> bool:
+        """Install a persisted result into the memo table (study resume).
+
+        Returns False (and changes nothing) when the configuration is
+        already cached.
+        """
+        key = config_key(result.config)
+        with self._lock:
+            if key in self._cache:
+                return False
+            self._cache[key] = result
+            return True
+
+    def cached(self, config: Mapping[str, Any]) -> TrialResult | None:
+        """The memoized result for a configuration, if any (no hit counted)."""
+        with self._lock:
+            return self._cache.get(config_key(config))
+
+    # -- internals ----------------------------------------------------------------
+    def _evaluate_uncached(self, config: Config) -> TrialResult:
+        boards = int(config.get("boards", 1))
+        try:
+            design = self.design_for(config)
+            self._space.check(design, self.workload)
+            predictor = RuntimePredictor(
+                self.program,
+                self.device,
+                design,
+                logical_bytes_per_cell_iter=self.logical_bytes_per_cell_iter,
+            )
+            metrics = predictor.predict(self.workload)
+            seconds = metrics.seconds
+            if boards > 1:
+                scaled = spatial_scaling_seconds(
+                    self.program, design, self.workload, MultiFPGAConfig(boards)
+                )
+                # keep the memory model consistent across the boards axis:
+                # each board streams its slab through its own memory system,
+                # so the single-board memory floor shrinks with the count
+                floor = (
+                    predictor.memory_cycles(self.workload)
+                    / design.clock_hz
+                    / boards
+                )
+                seconds = max(scaled, floor)
+        except (InfeasibleDesignError, ValidationError) as exc:
+            return TrialResult(config, False, None, reason=str(exc))
+        ctx = EvalContext(
+            self.program, self.device, self.workload, design, metrics, seconds, boards
+        )
+        for constraint in self.constraints:
+            if not constraint.ok(ctx):
+                return TrialResult(
+                    config,
+                    False,
+                    design,
+                    reason=f"violates constraint {constraint.name}",
+                    memory_bound=metrics.memory_bound,
+                )
+        values = {o.name: o.value(ctx) for o in self.objectives}
+        return TrialResult(
+            config,
+            True,
+            design,
+            values,
+            score=self.primary.signed(values[self.primary.name]),
+            memory_bound=metrics.memory_bound,
+        )

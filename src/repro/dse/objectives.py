@@ -1,0 +1,151 @@
+"""Objectives and constraints for design-space exploration.
+
+An :class:`Objective` extracts one figure of merit from an evaluated design
+and knows which direction is better.  ``signed`` folds the direction away:
+lower signed value == better, always, which is what the Pareto front and
+the search strategies compare.  A :class:`Constraint` is a hard predicate —
+designs violating one are recorded as infeasible rather than scored.
+
+Built-in objectives cover the quantities the paper trades off in Section V:
+predicted runtime, energy to solution, delivered (logical) bandwidth, power
+draw, and the DSP / on-chip-memory headroom left for other logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.arch.device import FPGADevice
+from repro.model.design import DesignPoint, Workload
+from repro.model.runtime import PredictedMetrics
+from repro.stencil.program import StencilProgram
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class EvalContext:
+    """Everything an objective or constraint may inspect for one trial.
+
+    ``seconds`` is the board-count-adjusted runtime: for ``boards > 1`` it
+    comes from the multi-FPGA spatial-scaling model, otherwise it equals
+    ``metrics.seconds``.
+    """
+
+    program: StencilProgram
+    device: FPGADevice
+    workload: Workload
+    design: DesignPoint
+    metrics: PredictedMetrics
+    seconds: float
+    boards: int = 1
+
+    @property
+    def power_w(self) -> float:
+        """Predicted power draw over all boards."""
+        return self.metrics.power_w * self.boards
+
+    @property
+    def energy_j(self) -> float:
+        """Energy to solution over all boards."""
+        return self.power_w * self.seconds
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A named figure of merit with an optimization direction."""
+
+    name: str
+    direction: str  # "min" | "max"
+    fn: Callable[[EvalContext], float]
+    unit: str = ""
+
+    def __post_init__(self):
+        if self.direction not in ("min", "max"):
+            raise ValidationError(
+                f"objective direction must be 'min' or 'max', got {self.direction!r}"
+            )
+
+    def value(self, ctx: EvalContext) -> float:
+        """The raw metric value for one evaluated design."""
+        return float(self.fn(ctx))
+
+    def signed(self, value: float) -> float:
+        """Direction-folded value: smaller is always better."""
+        return value if self.direction == "min" else -value
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A hard feasibility predicate over an evaluated design."""
+
+    name: str
+    predicate: Callable[[EvalContext], bool]
+
+    def ok(self, ctx: EvalContext) -> bool:
+        """True when the design satisfies the constraint."""
+        return bool(self.predicate(ctx))
+
+
+# --------------------------------------------------------------------------- #
+# built-in objectives
+# --------------------------------------------------------------------------- #
+RUNTIME = Objective("runtime", "min", lambda c: c.seconds, unit="s")
+ENERGY = Objective("energy", "min", lambda c: c.energy_j, unit="J")
+POWER = Objective("power", "min", lambda c: c.power_w, unit="W")
+BANDWIDTH = Objective(
+    "bandwidth", "max", lambda c: c.metrics.logical_bandwidth, unit="B/s"
+)
+DSP_HEADROOM = Objective(
+    "dsp_headroom", "max", lambda c: 1.0 - c.metrics.resources.dsp_utilization
+)
+MEM_HEADROOM = Objective(
+    "mem_headroom", "max", lambda c: 1.0 - c.metrics.resources.mem_utilization
+)
+
+_BUILTIN: dict[str, Objective] = {
+    o.name: o
+    for o in (RUNTIME, ENERGY, POWER, BANDWIDTH, DSP_HEADROOM, MEM_HEADROOM)
+}
+
+
+def objective_by_name(name: str) -> Objective:
+    """Look up a built-in objective (e.g. ``"runtime"``)."""
+    try:
+        return _BUILTIN[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown objective {name!r}; available: {sorted(_BUILTIN)}"
+        ) from None
+
+
+def parse_objectives(spec: str | Sequence[str]) -> tuple[Objective, ...]:
+    """Objectives from a comma-separated spec; the first one is primary."""
+    names = spec.split(",") if isinstance(spec, str) else list(spec)
+    objectives = tuple(objective_by_name(n.strip()) for n in names if n.strip())
+    if not objectives:
+        raise ValidationError(f"no objectives in spec {spec!r}")
+    if len({o.name for o in objectives}) != len(objectives):
+        raise ValidationError(f"duplicate objectives in spec {spec!r}")
+    return objectives
+
+
+# --------------------------------------------------------------------------- #
+# built-in constraint factories
+# --------------------------------------------------------------------------- #
+def max_power(watts: float) -> Constraint:
+    """Reject designs predicted to draw more than ``watts`` (all boards)."""
+    return Constraint(f"power<={watts:g}W", lambda c: c.power_w <= watts)
+
+
+def max_dsp_utilization(fraction: float) -> Constraint:
+    """Reject designs using more than ``fraction`` of the device's DSPs."""
+    return Constraint(
+        f"dsp<={fraction:g}",
+        lambda c: c.metrics.resources.dsp_utilization <= fraction,
+    )
+
+
+def compute_bound_only() -> Constraint:
+    """Reject memory-bound designs (the region the paper prunes first)."""
+    return Constraint("compute-bound", lambda c: not c.metrics.memory_bound)

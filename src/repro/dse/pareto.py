@@ -1,0 +1,106 @@
+"""Pareto-front maintenance with dominance accounting.
+
+The front works on *signed* objective vectors (every component folded so
+lower is better, see :meth:`repro.dse.objectives.Objective.signed`), so a
+single dominance rule serves any mix of minimized and maximized
+objectives.  Invariants (property-tested in ``tests/test_properties.py``):
+
+* members are mutually non-dominated;
+* every rejected candidate is dominated by some current member;
+* adding a dominating point evicts every member it dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.dse.objectives import Objective
+from repro.util.errors import ValidationError
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when minimization vector ``a`` Pareto-dominates ``b``.
+
+    ``a`` dominates ``b`` when it is no worse in every component and
+    strictly better in at least one.
+    """
+    if len(a) != len(b):
+        raise ValidationError(f"vector ranks differ: {len(a)} vs {len(b)}")
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+@dataclass(frozen=True)
+class FrontMember:
+    """One non-dominated point: raw values, signed vector and a payload."""
+
+    values: Mapping[str, float]
+    vector: tuple[float, ...]
+    payload: Any = None
+
+
+class ParetoFront:
+    """The set of mutually non-dominated points seen so far."""
+
+    def __init__(self, objectives: Sequence[Objective]):
+        if not objectives:
+            raise ValidationError("a ParetoFront needs at least one objective")
+        self.objectives = tuple(objectives)
+        self._members: list[FrontMember] = []
+        #: candidates offered via :meth:`add`
+        self.considered = 0
+        #: candidates rejected because a member dominated them
+        self.rejected = 0
+        #: members evicted by a later dominating candidate
+        self.evicted = 0
+
+    # -- queries ------------------------------------------------------------------
+    @property
+    def members(self) -> tuple[FrontMember, ...]:
+        """Current non-dominated members, insertion-ordered."""
+        return tuple(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[FrontMember]:
+        return iter(self._members)
+
+    def vector_of(self, values: Mapping[str, float]) -> tuple[float, ...]:
+        """The signed (minimization) vector of a raw value mapping."""
+        try:
+            return tuple(o.signed(float(values[o.name])) for o in self.objectives)
+        except KeyError as exc:
+            raise ValidationError(
+                f"values missing objective {exc.args[0]!r}"
+            ) from None
+
+    def dominated_by_front(self, values: Mapping[str, float]) -> bool:
+        """True when some current member dominates (or equals) these values."""
+        vec = self.vector_of(values)
+        return any(
+            dominates(m.vector, vec) or m.vector == vec for m in self._members
+        )
+
+    # -- mutation -----------------------------------------------------------------
+    def add(self, values: Mapping[str, float], payload: Any = None) -> bool:
+        """Offer a candidate; returns True when it joins the front.
+
+        Joining evicts every member the candidate dominates.  Duplicates of
+        an existing vector are rejected (the incumbent keeps its place).
+        """
+        self.considered += 1
+        vec = self.vector_of(values)
+        for m in self._members:
+            if dominates(m.vector, vec) or m.vector == vec:
+                self.rejected += 1
+                return False
+        survivors = [m for m in self._members if not dominates(vec, m.vector)]
+        self.evicted += len(self._members) - len(survivors)
+        survivors.append(FrontMember(dict(values), vec, payload))
+        self._members = survivors
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = "/".join(o.name for o in self.objectives)
+        return f"ParetoFront({names}, members={len(self)})"

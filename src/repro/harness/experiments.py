@@ -34,6 +34,14 @@ _EXPERIMENTS = (
     Experiment("fig5a", "Fig 5(a) - RTM baseline", "figure", runner.run_fig5a),
     Experiment("fig5b", "Fig 5(b) - RTM batching", "figure", runner.run_fig5b),
     Experiment("table6", "Table VI - RTM bandwidth & energy", "table", runner.run_table6),
+    Experiment(
+        "dse-convergence", "DSE - strategy convergence", "table",
+        runner.run_dse_convergence,
+    ),
+    Experiment(
+        "dse-multifpga", "DSE - multi-FPGA scaling", "table",
+        runner.run_dse_multifpga,
+    ),
 )
 
 

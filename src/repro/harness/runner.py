@@ -490,3 +490,184 @@ def run_table6() -> ExperimentResult:
         paper.RTM_BATCH_ITERS,
         paper.RTM_BATCH_LARGE,
     )
+
+
+# --------------------------------------------------------------------------- #
+# DSE experiments (extension: the model as an optimizer, Section V-A)
+# --------------------------------------------------------------------------- #
+#: (app factory, mesh, niter) per application — modest workloads keep the
+#: exhaustive reference sweep fast while preserving the design-space shape
+_DSE_WORKLOADS = (
+    ("poisson2d", lambda: poisson2d_app(), (1000, 1000), 500),
+    ("jacobi3d", lambda: jacobi3d_app(), (100, 100, 100), 100),
+    ("rtm", lambda: rtm_app(), (100, 100, 100), 90),
+)
+
+#: new-evaluation budget granted to each non-exhaustive strategy
+_DSE_BUDGET = 40
+
+
+def _dse_study(app, mesh, niter, strategy_name, trials, boards=(1,)):
+    from repro.dse import Evaluator, Study, model_space, strategy_by_name
+
+    program = app.program_on(mesh)
+    workload = Workload(program.mesh, niter)
+    space = model_space(program, ALVEO_U280, workload, boards=boards)
+    evaluator = Evaluator(
+        program,
+        ALVEO_U280,
+        workload,
+        logical_bytes_per_cell_iter=app.gpu_traffic.logical_bytes_per_cell_iter,
+    )
+    study = Study(space, evaluator)
+    study.run(strategy_by_name(strategy_name, seed=0), trials)
+    return study
+
+
+def run_dse_convergence() -> ExperimentResult:
+    """Strategy convergence to the exhaustive optimum, per application.
+
+    For each paper application the full grid provides the reference
+    optimum; every other strategy then gets a fixed budget of new
+    evaluations.  The gap column is the paper-facing claim: the analytic
+    model narrows the design space well enough that a few dozen trials
+    recover (near-)optimal designs that synthesis sweeps take days to find.
+    """
+    table = TextTable(
+        ["app", "strategy", "trials", "best runtime (s)", "optimum (s)",
+         "gap %", "paper design gap %"],
+        title="DSE: strategy convergence to the exhaustive optimum (U280)",
+    )
+    result = ExperimentResult(
+        "dse-convergence", "DSE - strategy convergence", table,
+        notes=(
+            f"budget: {_DSE_BUDGET} new evaluations per strategy (seed 0); "
+            "'paper design gap' compares the predicted runtime of the paper's "
+            "validated (V, p) design point against the grid optimum on the "
+            "same workload"
+        ),
+    )
+    for key, make_app, mesh, niter in _DSE_WORKLOADS:
+        app = make_app()
+        reference = _dse_study(app, mesh, niter, "exhaustive", None)
+        optimum = reference.best()
+        if optimum is None:
+            table.add_row([key, "exhaustive", reference.evaluated,
+                           None, None, None, None])
+            result.records.append({"app": key, "strategy": "exhaustive",
+                                   "trials": reference.evaluated,
+                                   "best_runtime": None, "optimum_runtime": None,
+                                   "gap_pct": None})
+            continue
+        paper_gap = _paper_design_gap(app, mesh, niter, optimum)
+        for strategy in ("exhaustive", "random", "annealing", "greedy"):
+            if strategy == "exhaustive":
+                study, best = reference, optimum
+            else:
+                study = _dse_study(app, mesh, niter, strategy, _DSE_BUDGET)
+                best = study.best()
+            gap = (
+                (best.value("runtime") / optimum.value("runtime") - 1.0) * 100
+                if best is not None
+                else float("inf")
+            )
+            table.add_row(
+                [
+                    key,
+                    strategy,
+                    study.evaluated,
+                    best.value("runtime") if best else None,
+                    optimum.value("runtime"),
+                    gap,
+                    paper_gap,
+                ]
+            )
+            result.records.append(
+                {
+                    "app": key,
+                    "strategy": strategy,
+                    "trials": study.evaluated,
+                    "best_runtime": best.value("runtime") if best else None,
+                    "optimum_runtime": optimum.value("runtime"),
+                    "gap_pct": gap,
+                }
+            )
+    return result
+
+
+def _paper_design_gap(app, mesh, niter, optimum) -> float | None:
+    """Predicted-runtime gap of the paper's validated design vs the optimum."""
+    from repro.util.errors import ReproError
+
+    try:
+        predictor = app.predictor(mesh)
+        workload = app.workload(mesh, niter)
+        seconds = predictor.predict(workload).seconds
+    except ReproError:
+        return None
+    return (seconds / optimum.value("runtime") - 1.0) * 100
+
+
+def run_dse_multifpga() -> ExperimentResult:
+    """Best designs along the multi-FPGA spatial-scaling axis.
+
+    Adds the board count to the design space (halo exchange over QSFP28
+    links, see :mod:`repro.model.multifpga`) and reports the best design
+    and parallel efficiency the model predicts at each cluster size.
+    """
+    from repro.model.multifpga import scaling_efficiency
+
+    table = TextTable(
+        ["app", "boards", "V", "p", "memory", "runtime (s)", "speedup", "efficiency"],
+        title="DSE: multi-FPGA spatial scaling (U280 x QSFP28)",
+    )
+    result = ExperimentResult(
+        "dse-multifpga", "DSE - multi-FPGA scaling", table,
+        notes=(
+            "board count explored as a design-space axis; efficiency is "
+            "t1 / (n * tn) from the spatial-scaling halo-exchange model"
+        ),
+    )
+    boards_axis = (1, 2, 4, 8)
+    for key, make_app, mesh, niter in _DSE_WORKLOADS[:2]:  # poisson + jacobi
+        app = make_app()
+        study = _dse_study(app, mesh, niter, "greedy", None, boards=boards_axis)
+        program = app.program_on(mesh)
+        workload = Workload(program.mesh, niter)
+        base = None
+        for boards in boards_axis:
+            best = min(
+                (t for t in study.feasible_trials() if t.config.get("boards") == boards),
+                key=lambda t: t.score,
+                default=None,
+            )
+            if best is None:
+                continue
+            seconds = best.value("runtime")
+            if boards == 1:
+                base = seconds
+            design = best.result.design
+            efficiency = scaling_efficiency(
+                program, design, workload, boards, strategy="spatial"
+            )
+            table.add_row(
+                [
+                    key,
+                    boards,
+                    design.V,
+                    design.p,
+                    design.memory,
+                    seconds,
+                    base / seconds if base else None,
+                    efficiency,
+                ]
+            )
+            result.records.append(
+                {
+                    "app": key,
+                    "boards": boards,
+                    "runtime": seconds,
+                    "efficiency": efficiency,
+                }
+            )
+    return result

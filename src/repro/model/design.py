@@ -195,14 +195,9 @@ class DesignSpace:
                     yield from self._baseline_candidates(workload, memory, V)
 
     def _default_v_sweep(self, memory: str) -> list[int]:
-        target = self.device.default_clock_mhz * MHZ
-        v_max = feasible_vectorization(self.program, self.device, memory, target)
-        vs = []
-        v = 1
-        while v <= v_max:
-            vs.append(v)
-            v *= 2
-        return vs or [1]
+        return v_sweep(
+            self.program, self.device, memory, self.device.default_clock_mhz * MHZ
+        )
 
     def _baseline_candidates(
         self, workload: Workload, memory: str, V: int
@@ -218,19 +213,10 @@ class DesignSpace:
     def _tiled_candidates(
         self, workload: Workload, memory: str, V: int
     ) -> Iterable[DesignPoint]:
-        mem_budget = self.device.usable_on_chip_bytes()
-        k = workload.mesh.elem_bytes
         D = self.program.order
-        ndim = workload.mesh.ndim
         p_cap = max(1, self.device.usable_dsp() // (V * self.gdsp))
         for p in _p_sweep(p_cap):
-            if ndim == 3:
-                M = optimal_tile_m(mem_budget // p, k, 1, D)
-                tile = TileDesign((M, M))
-            else:
-                # 2D blocks are M x n: the buffer holds D rows of M
-                M = mem_budget // (p * k * D)
-                tile = TileDesign((M,))
+            tile = tile_for_unroll(self.program, self.device, workload.mesh, p)
             if min(tile.tile) <= p * D:
                 continue
             design = DesignPoint(V, p, self.device.default_clock_mhz, memory, tile)
@@ -255,6 +241,38 @@ class DesignSpace:
             min(1.0, report.binding_utilization), plan.slr_crossings
         )
         return design.with_clock(mhz)
+
+
+def tile_for_unroll(
+    program: StencilProgram, device: FPGADevice, mesh: MeshSpec, p: int
+) -> TileDesign:
+    """The largest buffer-feasible tile at unroll ``p`` (Section IV-A).
+
+    3D meshes get square ``M x M`` transverse blocks from eq. (11); 2D
+    meshes get ``M x n`` row blocks whose ``D`` buffered rows fill the
+    budget.  Callers must still reject tiles consumed by the ``p * D``
+    halo (``min(tile) <= p * D``).
+    """
+    mem_budget = device.usable_on_chip_bytes()
+    k = mesh.elem_bytes
+    D = program.order
+    if mesh.ndim == 3:
+        M = optimal_tile_m(mem_budget // p, k, 1, D)
+        return TileDesign((M, M))
+    return TileDesign((max(mem_budget // (p * k * D), 1),))
+
+
+def v_sweep(
+    program: StencilProgram, device: FPGADevice, memory: str, clock_hz: float
+) -> list[int]:
+    """Power-of-two vectorization factors up to the bandwidth bound (eq. 4)."""
+    v_max = feasible_vectorization(program, device, memory, clock_hz)
+    vs = []
+    v = 1
+    while v <= v_max:
+        vs.append(v)
+        v *= 2
+    return vs or [1]
 
 
 def _p_sweep(p_cap: int) -> list[int]:

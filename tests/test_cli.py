@@ -62,3 +62,59 @@ class TestCommands:
 
     def test_bad_mesh_via_cli(self, capsys):
         assert main(["explore", "poisson2d", "--mesh", "bogus"]) == 2
+
+
+class TestDseCommand:
+    ARGS = ["dse", "jacobi3d", "--mesh", "64x64x64", "--niter", "100"]
+
+    def test_annealing_run(self, capsys):
+        assert main(self.ARGS + ["--strategy", "annealing", "--trials", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "pareto front" in out
+        assert "15 evaluated this run" in out
+
+    def test_every_strategy_runs(self, capsys):
+        for strategy in ("exhaustive", "random", "greedy"):
+            code = main(self.ARGS + ["--strategy", strategy, "--trials", "8"])
+            assert code == 0, strategy
+
+    def test_objectives_flag(self, capsys):
+        code = main(
+            self.ARGS
+            + ["--trials", "10", "--objectives", "energy,runtime", "--top", "2"]
+        )
+        assert code == 0
+        assert "primary objective 'energy'" in capsys.readouterr().out
+
+    def test_unknown_strategy_errors(self, capsys):
+        assert main(self.ARGS + ["--strategy", "bayesian"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_objective_errors(self, capsys):
+        assert main(self.ARGS + ["--objectives", "speed"]) == 2
+
+    def test_resume_requires_study(self, capsys):
+        assert main(self.ARGS + ["--resume"]) == 2
+        assert "--study" in capsys.readouterr().err
+
+    def test_study_journal_and_resume(self, tmp_path, capsys):
+        journal = str(tmp_path / "study.jsonl")
+        args = self.ARGS + ["--strategy", "exhaustive", "--study", journal]
+        assert main(args + ["--trials", "10"]) == 0
+        capsys.readouterr()
+        assert main(args + ["--trials", "10", "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "10 replayed from journal" in out
+        # header + 10 trials from each run
+        assert len((tmp_path / "study.jsonl").read_text().splitlines()) == 21
+
+    def test_resume_refuses_mismatched_workload(self, tmp_path, capsys):
+        journal = str(tmp_path / "study.jsonl")
+        assert main(self.ARGS + ["--trials", "5", "--study", journal]) == 0
+        capsys.readouterr()
+        code = main(
+            ["dse", "jacobi3d", "--mesh", "32x32x32", "--niter", "10",
+             "--trials", "5", "--study", journal, "--resume"]
+        )
+        assert code == 2
+        assert "different study" in capsys.readouterr().err

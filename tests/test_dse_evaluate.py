@@ -1,0 +1,157 @@
+"""Unit tests for the memoizing evaluator."""
+
+import math
+
+import pytest
+
+from repro.arch.device import ALVEO_U280
+from repro.dse.evaluate import Evaluator
+from repro.dse.objectives import ENERGY, RUNTIME, compute_bound_only, max_power
+from repro.dse.space import model_space
+from repro.model.design import Workload
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def setup(jacobi_app):
+    program = jacobi_app.program_on((64, 64, 64))
+    workload = Workload(program.mesh, 100)
+    evaluator = Evaluator(
+        program, ALVEO_U280, workload, objectives=(RUNTIME, ENERGY)
+    )
+    space = model_space(program, ALVEO_U280, workload)
+    return program, workload, evaluator, space
+
+
+GOOD = {"memory": "HBM", "V": 8, "p": 4, "tiled": False}
+#: V*p far beyond the DSP inventory
+BAD = {"memory": "HBM", "V": 512, "p": 4096, "tiled": False}
+
+
+class TestEvaluate:
+    def test_feasible_trial_scores_all_objectives(self, setup):
+        _, _, evaluator, _ = setup
+        result = evaluator.evaluate(GOOD)
+        assert result.feasible
+        assert result.design.V == 8 and result.design.memory == "HBM"
+        assert set(result.values) == {"runtime", "energy"}
+        assert result.score == result.values["runtime"]
+        assert math.isfinite(result.score)
+
+    def test_infeasible_trial_has_reason_and_inf_score(self, setup):
+        _, _, evaluator, _ = setup
+        result = evaluator.evaluate(BAD)
+        assert not result.feasible
+        assert result.design is None
+        assert result.reason
+        assert math.isinf(result.score)
+
+    def test_same_config_never_evaluated_twice(self, setup):
+        _, _, evaluator, _ = setup
+        evaluator.evaluate(GOOD)
+        evaluator.evaluate(dict(GOOD))
+        evaluator.evaluate({k: GOOD[k] for k in reversed(list(GOOD))})
+        assert evaluator.evaluations == 1
+        assert evaluator.cache_hits == 2
+
+    def test_evaluate_many_dedupes_and_aligns(self, setup):
+        _, _, evaluator, _ = setup
+        batch = [GOOD, BAD, dict(GOOD), GOOD]
+        results = evaluator.evaluate_many(batch)
+        assert len(results) == 4
+        assert results[0] is results[2] is results[3]
+        assert evaluator.evaluations == 2  # one per distinct config
+
+    def test_parallel_matches_serial(self, setup):
+        program, workload, _, space = setup
+        configs = list(space.grid())[:40]
+        serial = Evaluator(program, ALVEO_U280, workload, max_workers=0)
+        parallel = Evaluator(program, ALVEO_U280, workload, max_workers=4)
+        for a, b in zip(serial.evaluate_many(configs), parallel.evaluate_many(configs)):
+            assert a.feasible == b.feasible
+            assert a.values == b.values
+
+    def test_needs_objectives(self, setup):
+        program, workload, _, _ = setup
+        with pytest.raises(ValidationError):
+            Evaluator(program, ALVEO_U280, workload, objectives=())
+
+    def test_rejects_negative_workers(self, setup):
+        program, workload, _, _ = setup
+        with pytest.raises(ValidationError):
+            Evaluator(program, ALVEO_U280, workload, max_workers=-1)
+
+    def test_seed_installs_and_respects_incumbent(self, setup):
+        _, _, evaluator, _ = setup
+        result = evaluator.evaluate(GOOD)
+        assert not evaluator.seed(result)  # already cached
+        fresh = Evaluator(
+            evaluator.program, ALVEO_U280, evaluator.workload,
+            objectives=(RUNTIME, ENERGY),
+        )
+        assert fresh.seed(result)
+        assert fresh.evaluate(GOOD) is result
+        assert fresh.evaluations == 0  # answered from the seeded cache
+
+
+class TestConstraints:
+    def test_violating_design_is_infeasible(self, setup):
+        program, workload, _, _ = setup
+        constrained = Evaluator(
+            program, ALVEO_U280, workload, constraints=(max_power(1.0),)
+        )
+        result = constrained.evaluate(GOOD)
+        assert not result.feasible
+        assert "power" in result.reason
+
+    def test_compute_bound_only_passes_compute_bound(self, setup):
+        program, workload, evaluator, _ = setup
+        constrained = Evaluator(
+            program, ALVEO_U280, workload, constraints=(compute_bound_only(),)
+        )
+        baseline = evaluator.evaluate(GOOD)
+        assert baseline.feasible and not baseline.memory_bound
+        assert constrained.evaluate(GOOD).feasible
+
+
+class TestBoardsAxis:
+    def test_more_boards_run_faster(self, setup):
+        program, workload, _, _ = setup
+        evaluator = Evaluator(program, ALVEO_U280, workload)
+        single = evaluator.evaluate(dict(GOOD, boards=1))
+        quad = evaluator.evaluate(dict(GOOD, boards=4))
+        assert single.feasible and quad.feasible
+        assert quad.value("runtime") < single.value("runtime")
+
+    def test_boards_one_matches_no_axis(self, setup):
+        program, workload, _, _ = setup
+        evaluator = Evaluator(program, ALVEO_U280, workload)
+        with_axis = evaluator.evaluate(dict(GOOD, boards=1))
+        without = evaluator.evaluate(GOOD)
+        assert with_axis.value("runtime") == without.value("runtime")
+
+
+class TestModelBounds:
+    def test_unroll_cap_honors_hard_dsp_limit(self, setup):
+        _, _, evaluator, _ = setup
+        for V in (1, 8, 32):
+            cap = evaluator.unroll_cap(V)
+            result = evaluator.evaluate(
+                {"memory": "HBM", "V": V, "p": cap, "tiled": False}
+            )
+            # the cap itself must never be DSP-infeasible
+            assert "DSPs exceeds" not in result.reason
+
+    def test_vector_cap_shrinks_with_unroll(self, setup):
+        _, _, evaluator, _ = setup
+        assert evaluator.vector_cap("HBM", p=64) <= evaluator.vector_cap("HBM", p=1)
+
+    def test_tiled_config_derives_tile(self, jacobi_app):
+        program = jacobi_app.program_on((400, 400, 400))
+        workload = Workload(program.mesh, 100)
+        evaluator = Evaluator(program, ALVEO_U280, workload)
+        design = evaluator.design_for(
+            {"memory": "HBM", "V": 1, "p": 2, "tiled": True}
+        )
+        assert design.tile is not None
+        assert min(design.tile.tile) > 2 * program.order

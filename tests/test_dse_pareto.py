@@ -1,0 +1,82 @@
+"""Unit tests for Pareto-dominance accounting."""
+
+import pytest
+
+from repro.dse.objectives import BANDWIDTH, ENERGY, RUNTIME
+from repro.dse.pareto import ParetoFront, dominates
+from repro.util.errors import ValidationError
+
+
+class TestDominates:
+    def test_strictly_better(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_better_in_one_equal_in_other(self):
+        assert dominates((1.0, 2.0), (2.0, 2.0))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 3.0))
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestParetoFront:
+    def test_needs_objectives(self):
+        with pytest.raises(ValidationError):
+            ParetoFront(())
+
+    def test_single_objective_keeps_only_best(self):
+        front = ParetoFront((RUNTIME,))
+        assert front.add({"runtime": 2.0})
+        assert not front.add({"runtime": 3.0})  # dominated
+        assert front.add({"runtime": 1.0})  # evicts the incumbent
+        assert len(front) == 1
+        assert front.members[0].values["runtime"] == 1.0
+        assert front.evicted == 1
+        assert front.rejected == 1
+        assert front.considered == 3
+
+    def test_tradeoffs_coexist(self):
+        front = ParetoFront((RUNTIME, ENERGY))
+        assert front.add({"runtime": 1.0, "energy": 10.0})
+        assert front.add({"runtime": 2.0, "energy": 5.0})
+        assert len(front) == 2
+
+    def test_maximized_objective_is_folded(self):
+        front = ParetoFront((RUNTIME, BANDWIDTH))
+        front.add({"runtime": 1.0, "bandwidth": 100.0})
+        # slower AND less bandwidth: dominated even though bandwidth is "max"
+        assert not front.add({"runtime": 2.0, "bandwidth": 50.0})
+        # slower but more bandwidth: a genuine trade-off
+        assert front.add({"runtime": 2.0, "bandwidth": 200.0})
+
+    def test_duplicate_vector_rejected(self):
+        front = ParetoFront((RUNTIME,))
+        front.add({"runtime": 1.0}, payload="first")
+        assert not front.add({"runtime": 1.0}, payload="second")
+        assert front.members[0].payload == "first"
+
+    def test_missing_objective_value_rejected(self):
+        front = ParetoFront((RUNTIME, ENERGY))
+        with pytest.raises(ValidationError):
+            front.add({"runtime": 1.0})
+
+    def test_dominating_point_evicts_several(self):
+        front = ParetoFront((RUNTIME, ENERGY))
+        front.add({"runtime": 2.0, "energy": 3.0})
+        front.add({"runtime": 3.0, "energy": 2.0})
+        assert front.add({"runtime": 1.0, "energy": 1.0})
+        assert len(front) == 1
+        assert front.evicted == 2
+
+    def test_dominated_by_front_query(self):
+        front = ParetoFront((RUNTIME,))
+        front.add({"runtime": 1.0})
+        assert front.dominated_by_front({"runtime": 2.0})
+        assert not front.dominated_by_front({"runtime": 0.5})

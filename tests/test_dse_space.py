@@ -1,0 +1,129 @@
+"""Unit tests for the declarative parameter space."""
+
+import random
+
+import pytest
+
+from repro.arch.device import ALVEO_U250, ALVEO_U280
+from repro.dse.space import Parameter, ParameterSpace, config_key, model_space
+from repro.model.design import Workload
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def space():
+    return ParameterSpace(
+        [
+            Parameter("memory", ("HBM", "DDR4")),
+            Parameter("V", (1, 2, 4)),
+            Parameter("p", (1, 2, 3, 4, 5)),
+        ]
+    )
+
+
+class TestParameter:
+    def test_rejects_empty_values(self):
+        with pytest.raises(ValidationError):
+            Parameter("x", ())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError):
+            Parameter("x", (1, 1))
+
+    def test_index_of_unknown_value(self):
+        with pytest.raises(ValidationError):
+            Parameter("x", (1, 2)).index_of(3)
+
+
+class TestParameterSpace:
+    def test_size(self, space):
+        assert space.size == 2 * 3 * 5
+
+    def test_grid_enumerates_every_config_once(self, space):
+        seen = {config_key(c) for c in space.grid()}
+        assert len(seen) == space.size
+
+    def test_index_roundtrip(self, space):
+        for i in range(space.size):
+            assert space.index_of(space.config_at(i)) == i
+
+    def test_validate_rejects_missing_axis(self, space):
+        with pytest.raises(ValidationError):
+            space.validate({"memory": "HBM", "V": 1})
+
+    def test_validate_rejects_off_grid_value(self, space):
+        with pytest.raises(ValidationError):
+            space.validate({"memory": "HBM", "V": 3, "p": 1})
+
+    def test_sample_is_on_grid(self, space):
+        rng = random.Random(7)
+        for _ in range(50):
+            space.validate(space.sample(rng))
+
+    def test_neighbor_moves_exactly_one_axis(self, space):
+        rng = random.Random(3)
+        config = {"memory": "HBM", "V": 2, "p": 3}
+        for _ in range(50):
+            moved = space.neighbor(config, rng)
+            space.validate(moved)
+            diffs = [k for k in config if config[k] != moved[k]]
+            assert len(diffs) == 1
+
+    def test_neighbor_on_singular_space_is_identity(self):
+        single = ParameterSpace([Parameter("a", (1,)), Parameter("b", ("x",))])
+        rng = random.Random(0)
+        assert single.neighbor({"a": 1, "b": "x"}, rng) == {"a": 1, "b": "x"}
+
+    def test_fixed_collapses_axis(self, space):
+        pinned = space.fixed(memory="DDR4")
+        assert pinned.size == space.size // 2
+        assert all(c["memory"] == "DDR4" for c in pinned.grid())
+
+    def test_fixed_rejects_unknown_axis(self, space):
+        with pytest.raises(ValidationError):
+            space.fixed(bogus=1)
+
+    def test_with_parameter_appends(self, space):
+        bigger = space.with_parameter(Parameter("boards", (1, 2)))
+        assert bigger.size == space.size * 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            ParameterSpace([Parameter("a", (1,)), Parameter("a", (2,))])
+
+
+class TestModelSpace:
+    def test_axes_and_defaults(self, jacobi_app):
+        program = jacobi_app.program_on((64, 64, 64))
+        workload = Workload(program.mesh, 100)
+        space = model_space(program, ALVEO_U280, workload)
+        assert set(space.names) == {"memory", "V", "p", "tiled"}
+        assert space["tiled"].values == (False,)
+        assert set(space["memory"].values) == {"HBM", "DDR4"}
+        # V axis is powers of two starting at 1
+        assert space["V"].values[0] == 1
+        assert all(v & (v - 1) == 0 for v in space["V"].values)
+
+    def test_boards_axis_optional(self, jacobi_app):
+        program = jacobi_app.program_on((64, 64, 64))
+        workload = Workload(program.mesh, 100)
+        space = model_space(program, ALVEO_U280, workload, boards=(1, 2, 4))
+        assert space["boards"].values == (1, 2, 4)
+
+    def test_memory_subset(self, jacobi_app):
+        program = jacobi_app.program_on((64, 64, 64))
+        workload = Workload(program.mesh, 100)
+        space = model_space(program, ALVEO_U280, workload, memories=("HBM",))
+        assert space["memory"].values == ("HBM",)
+
+    def test_ddr_only_device(self, jacobi_app):
+        program = jacobi_app.program_on((64, 64, 64))
+        workload = Workload(program.mesh, 100)
+        space = model_space(program, ALVEO_U250, workload)
+        assert space["memory"].values == ("DDR4",)
+
+    def test_unknown_memory_rejected(self, jacobi_app):
+        program = jacobi_app.program_on((64, 64, 64))
+        workload = Workload(program.mesh, 100)
+        with pytest.raises(ValidationError):
+            model_space(program, ALVEO_U250, workload, memories=("HBM",))

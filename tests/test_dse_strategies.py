@@ -1,0 +1,124 @@
+"""Unit tests for the search strategies."""
+
+import pytest
+
+from repro.arch.device import ALVEO_U280
+from repro.dse.evaluate import Evaluator
+from repro.dse.space import model_space
+from repro.dse.strategies import (
+    ExhaustiveSearch,
+    ModelGuidedGreedy,
+    RandomSearch,
+    SimulatedAnnealing,
+    strategy_by_name,
+)
+from repro.dse.study import Study
+from repro.model.design import Workload
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def problem(jacobi_app):
+    program = jacobi_app.program_on((64, 64, 64))
+    workload = Workload(program.mesh, 100)
+    space = model_space(program, ALVEO_U280, workload)
+
+    def study():
+        return Study(space, Evaluator(program, ALVEO_U280, workload))
+
+    return space, study
+
+
+@pytest.fixture
+def optimum(problem):
+    _, make = problem
+    return make().run(ExhaustiveSearch()).best()
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        for name, cls in (
+            ("exhaustive", ExhaustiveSearch),
+            ("random", RandomSearch),
+            ("annealing", SimulatedAnnealing),
+            ("greedy", ModelGuidedGreedy),
+        ):
+            assert isinstance(strategy_by_name(name, seed=3), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            strategy_by_name("bayesian")
+
+    def test_bad_options(self):
+        with pytest.raises(ValidationError):
+            ExhaustiveSearch(batch=0)
+        with pytest.raises(ValidationError):
+            SimulatedAnnealing(cooling=1.5)
+        with pytest.raises(ValidationError):
+            ModelGuidedGreedy(max_v_steps=0)
+
+
+class TestExhaustive:
+    def test_covers_the_whole_grid(self, problem):
+        space, make = problem
+        study = make().run(ExhaustiveSearch())
+        assert len(study.trials) == space.size
+
+    def test_respects_budget(self, problem):
+        _, make = problem
+        study = make().run(ExhaustiveSearch(batch=8), trials=20)
+        assert len(study.trials) == 20
+
+    def test_is_the_reference_optimum(self, problem, optimum):
+        _, make = problem
+        # no strategy can beat the full grid on the primary objective
+        for name in ("random", "annealing", "greedy"):
+            study = make().run(strategy_by_name(name, seed=0), trials=30)
+            best = study.best()
+            if best is not None:
+                assert best.score >= optimum.score - 1e-12
+
+
+class TestRandom:
+    def test_budget_and_determinism(self, problem):
+        _, make = problem
+        a = make().run(RandomSearch(seed=5), trials=25)
+        b = make().run(RandomSearch(seed=5), trials=25)
+        assert len(a.trials) == len(b.trials) == 25
+        assert [t.config for t in a.trials] == [t.config for t in b.trials]
+
+    def test_no_replacement(self, problem):
+        space, make = problem
+        study = make().run(RandomSearch(seed=1), trials=space.size)
+        keys = {tuple(sorted(t.config.items())) for t in study.trials}
+        assert len(keys) == space.size
+
+
+class TestAnnealing:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_within_5pct_of_optimum_in_50_trials(self, problem, optimum, seed):
+        _, make = problem
+        study = make().run(SimulatedAnnealing(seed=seed), trials=50)
+        best = study.best()
+        assert best is not None
+        assert best.value("runtime") <= optimum.value("runtime") * 1.05
+
+    def test_terminates_without_budget(self, problem):
+        _, make = problem
+        study = make().run(SimulatedAnnealing(seed=0, max_proposals=200))
+        assert study.best() is not None
+
+
+class TestGreedy:
+    def test_prunes_instead_of_sweeping(self, problem):
+        space, make = problem
+        study = make().run(ModelGuidedGreedy())
+        assert study.best() is not None
+        # the whole point: far fewer evaluations than the grid
+        assert len(study.trials) < space.size / 2
+
+    def test_close_to_optimum(self, problem, optimum):
+        _, make = problem
+        study = make().run(ModelGuidedGreedy())
+        best = study.best()
+        assert best.value("runtime") <= optimum.value("runtime") * 1.25

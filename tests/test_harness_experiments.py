@@ -13,7 +13,7 @@ class TestRegistry:
         expected = {
             "table2", "table3", "table4", "table5", "table6",
             "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig4c",
-            "fig5a", "fig5b",
+            "fig5a", "fig5b", "dse-convergence", "dse-multifpga",
         }
         assert ids == expected
 

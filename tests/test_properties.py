@@ -194,3 +194,118 @@ def test_vector_padding_never_loses_cells(m, V):
     assert padded >= m
     assert padded % V == 0
     assert padded - m < V
+
+
+# --------------------------------------------------------------------------- #
+# Pareto-dominance invariants (repro.dse)
+# --------------------------------------------------------------------------- #
+def _value_points(draw, n_objectives: int):
+    n_points = draw(st.integers(min_value=1, max_value=40))
+    return [
+        tuple(
+            draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+            for _ in range(n_objectives)
+        )
+        for _ in range(n_points)
+    ]
+
+
+@st.composite
+def pareto_case(draw):
+    from repro.dse.objectives import Objective
+
+    n_objectives = draw(st.integers(min_value=1, max_value=4))
+    directions = [
+        draw(st.sampled_from(["min", "max"])) for _ in range(n_objectives)
+    ]
+    objectives = tuple(
+        Objective(f"o{i}", d, lambda c: 0.0) for i, d in enumerate(directions)
+    )
+    points = _value_points(draw, n_objectives)
+    return objectives, points
+
+
+@given(pareto_case())
+@settings(max_examples=100, deadline=None)
+def test_pareto_front_members_mutually_nondominated(case):
+    from repro.dse.pareto import ParetoFront, dominates
+
+    objectives, points = case
+    front = ParetoFront(objectives)
+    for point in points:
+        front.add({o.name: v for o, v in zip(objectives, point)})
+    vectors = [m.vector for m in front]
+    for a in vectors:
+        for b in vectors:
+            assert not dominates(a, b)
+
+
+@given(pareto_case())
+@settings(max_examples=100, deadline=None)
+def test_pareto_rejections_are_justified_and_counted(case):
+    from repro.dse.pareto import ParetoFront, dominates
+
+    objectives, points = case
+    front = ParetoFront(objectives)
+    for point in points:
+        values = {o.name: v for o, v in zip(objectives, point)}
+        vec = front.vector_of(values)
+        before = [m.vector for m in front]
+        added = front.add(values)
+        if not added:
+            # every rejection is witnessed by a dominating (or equal) member
+            assert any(dominates(b, vec) or b == vec for b in before)
+    # accounting identity: every candidate is added or rejected, and every
+    # added member either survives or was evicted later
+    assert front.considered == len(points)
+    assert len(front) == front.considered - front.rejected - front.evicted
+
+
+@given(pareto_case())
+@settings(max_examples=100, deadline=None)
+def test_pareto_front_is_insertion_order_invariant(case):
+    from repro.dse.pareto import ParetoFront
+
+    objectives, points = case
+    forward, backward = ParetoFront(objectives), ParetoFront(objectives)
+    for point in points:
+        forward.add({o.name: v for o, v in zip(objectives, point)})
+    for point in reversed(points):
+        backward.add({o.name: v for o, v in zip(objectives, point)})
+    assert sorted(m.vector for m in forward) == sorted(m.vector for m in backward)
+
+
+# --------------------------------------------------------------------------- #
+# parameter-space identities (repro.dse)
+# --------------------------------------------------------------------------- #
+@st.composite
+def toy_space(draw):
+    from repro.dse.space import Parameter, ParameterSpace
+
+    n_axes = draw(st.integers(min_value=1, max_value=4))
+    params = []
+    for i in range(n_axes):
+        size = draw(st.integers(min_value=1, max_value=5))
+        params.append(Parameter(f"axis{i}", tuple(range(size))))
+    return ParameterSpace(params)
+
+
+@given(toy_space(), st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=100, deadline=None)
+def test_space_index_config_roundtrip(space, raw_index):
+    index = raw_index % space.size
+    config = space.config_at(index)
+    assert space.index_of(config) == index
+
+
+@given(toy_space(), st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=100, deadline=None)
+def test_space_neighbor_stays_on_grid_and_moves_one_axis(space, seed):
+    import random
+
+    rng = random.Random(seed)
+    config = space.sample(rng)
+    moved = space.neighbor(config, rng)
+    space.validate(moved)
+    diffs = [k for k in config if config[k] != moved[k]]
+    assert len(diffs) <= 1
