@@ -1,0 +1,68 @@
+"""Benchmark trajectory files: append-only JSON performance records.
+
+Each tracked benchmark keeps one ``BENCH_<name>.json`` file at the repo
+root holding a list of timestamped records, so consecutive PRs can see how
+a headline number (e.g. the interpreter-vs-compiled speedup) moves over
+time. The files are committed; CI also uploads them as artifacts.
+
+Record shape::
+
+    {
+      "benchmark": "functional_sim",
+      "unit": "seconds",
+      "trajectory": [
+        {"timestamp": "...", "git_rev": "...", "workloads": {...}},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+#: repo root (benchmarks/ lives directly under it)
+ROOT = Path(__file__).resolve().parent.parent
+
+#: records kept per trajectory file; old entries roll off the front
+MAX_RECORDS = 200
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def append_record(name: str, workloads: dict, unit: str = "seconds") -> Path:
+    """Append one record to ``BENCH_<name>.json``; returns the file path."""
+    path = ROOT / f"BENCH_{name}.json"
+    doc = {"benchmark": name, "unit": unit, "trajectory": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict) and isinstance(loaded.get("trajectory"), list):
+                doc = loaded
+        except (OSError, json.JSONDecodeError):
+            pass  # a corrupt trajectory restarts rather than blocking the bench
+    doc["trajectory"].append(
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "git_rev": _git_rev(),
+            "workloads": workloads,
+        }
+    )
+    doc["trajectory"] = doc["trajectory"][-MAX_RECORDS:]
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    return path

@@ -6,12 +6,34 @@ efficiency contract so future PRs can track regressions: annealing within
 5% of the exhaustive optimum on a 50-trial budget, greedy pruning to a
 fraction of the grid, every strategy's journal reporting how many trials
 it took to first reach its best design.
+
+The evaluator runs on the memoized model path from PR 3 (cached
+``bytes_per_cell_pass`` / ``G_dsp``, plan-compiled functional engine behind
+any validation runs); per-strategy trials-to-best and wall-clock are
+appended to ``BENCH_dse_strategies.json`` so per-strategy adaptive budgets
+can be calibrated once the numbers stabilize across a few PRs (ROADMAP
+follow-on).
 """
 
+import time
+
+import pytest
+
+import _trajectory
 from repro.arch.device import ALVEO_U280
 from repro.dse import Evaluator, Study, model_space, strategy_by_name
 from repro.harness.runner import run_dse_convergence
 from repro.model.design import Workload
+
+#: per-strategy search-efficiency rows, flushed to the trajectory file
+_RESULTS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_trajectory():
+    yield
+    if _RESULTS:
+        _trajectory.append_record("dse_strategies", dict(_RESULTS))
 
 
 def _problem():
@@ -31,6 +53,21 @@ def _search(strategy_name, trials):
     return study
 
 
+def _record_strategy(name, study, seconds):
+    """Record one strategy's search-efficiency row for the trajectory.
+
+    ``seconds`` is the wall of the benchmark invocation that produced
+    ``study`` (one search under ``--benchmark-disable``, warmup + rounds
+    under full benchmarking) — a tracked signal, not a calibrated number.
+    """
+    _RESULTS[name] = {
+        "trials": len(study.trials),
+        "trials_to_best": _trials_to_best(study),
+        "best_runtime_s": study.best().value("runtime"),
+        "bench_wall_s": round(seconds, 6),
+    }
+
+
 def _trials_to_best(study):
     """Index (1-based) of the first trial that reaches the study's best score."""
     best = study.best()
@@ -41,14 +78,18 @@ def _trials_to_best(study):
 
 
 def test_dse_exhaustive(benchmark, once):
+    start = time.perf_counter()
     study = once(benchmark, lambda: _search("exhaustive", None))
+    _record_strategy("exhaustive", study, time.perf_counter() - start)
     print(f"\nexhaustive: {len(study.trials)} trials, "
           f"best at trial {_trials_to_best(study)}")
     assert study.best() is not None
 
 
 def test_dse_random(benchmark, once):
+    start = time.perf_counter()
     study = once(benchmark, lambda: _search("random", 50))
+    _record_strategy("random", study, time.perf_counter() - start)
     print(f"\nrandom: {len(study.trials)} trials, "
           f"best at trial {_trials_to_best(study)}")
     assert len(study.trials) == 50
@@ -56,7 +97,9 @@ def test_dse_random(benchmark, once):
 
 def test_dse_annealing(benchmark, once):
     optimum = _search("exhaustive", None).best()
+    start = time.perf_counter()
     study = once(benchmark, lambda: _search("annealing", 50))
+    _record_strategy("annealing", study, time.perf_counter() - start)
     to_best = _trials_to_best(study)
     print(f"\nannealing: {len(study.trials)} trials, best at trial {to_best}")
     # the headline contract: within 5% of the grid optimum on a 50-trial budget
@@ -65,7 +108,9 @@ def test_dse_annealing(benchmark, once):
 
 def test_dse_greedy(benchmark, once):
     _, _, space = _problem()
+    start = time.perf_counter()
     study = once(benchmark, lambda: _search("greedy", None))
+    _record_strategy("greedy", study, time.perf_counter() - start)
     print(f"\ngreedy: {len(study.trials)} trials of a {space.size}-point grid, "
           f"best at trial {_trials_to_best(study)}")
     # pruning contract: the model-guided walk touches a fraction of the grid

@@ -1,25 +1,124 @@
-"""Bench: functional simulator throughput on scaled-down workloads.
+"""Bench: functional simulator throughput — interpreter vs compiled engine.
 
-Times the numerics-preserving paths (pipeline, tiler, batcher) that validate
-the architecture, on meshes small enough to run in milliseconds. These are
-the code paths the paper-scale estimates are anchored to.
+Times the numerics-preserving paths (pipeline, tiler, batcher) on meshes
+small enough to run in milliseconds, pairing the tree-walking golden
+interpreter against the plan-compiled execution engine
+(:mod:`repro.stencil.compiled`). Results are appended to
+``BENCH_functional_sim.json`` at the repo root so future PRs can track the
+speedup trajectory; the headline contract — compiled >= 5x interpreter on
+the Jacobi-3D and RTM functional workloads — is asserted here.
+
+Every pair also re-asserts bit-identity: a speedup obtained by diverging
+from the golden model would be a bug, not a win.
 """
 
-import numpy as np
+from __future__ import annotations
 
+import timeit
+
+import numpy as np
+import pytest
+
+import _trajectory
 from repro.apps.jacobi3d import jacobi3d_app
 from repro.apps.poisson2d import poisson2d_app
 from repro.apps.rtm import rtm_app
 from repro.stencil.numpy_eval import run_program
 
+#: collected (workload -> metrics) rows, flushed to the trajectory file
+_RESULTS: dict[str, dict] = {}
 
+#: timing repeats (best-of); the workloads are deterministic
+_REPEATS = 9
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_trajectory():
+    yield
+    if _RESULTS:
+        _trajectory.append_record("functional_sim", dict(_RESULTS))
+
+
+def _time_best(fn) -> float:
+    fn()  # warm caches (plan compilation is deliberately excluded)
+    return min(timeit.repeat(fn, number=1, repeat=_REPEATS))
+
+
+def _record_pair(name: str, app, shape, niter: int, threshold: float | None):
+    """Time interpreter vs compiled on one workload; assert bit-identity."""
+    program = app.program_on(shape)
+    fields = app.fields(shape, seed=11)
+    gold = run_program(program, fields, niter, engine="interpreter")
+    got = run_program(program, fields, niter, engine="compiled")
+    state = program.state_fields[0]
+    assert np.array_equal(gold[state].data, got[state].data)
+
+    t_interp = _time_best(
+        lambda: run_program(program, fields, niter, engine="interpreter")
+    )
+    t_compiled = _time_best(
+        lambda: run_program(program, fields, niter, engine="compiled")
+    )
+    speedup = t_interp / t_compiled
+    _RESULTS[name] = {
+        "mesh": list(shape),
+        "niter": niter,
+        "interpreter_s": t_interp,
+        "compiled_s": t_compiled,
+        "speedup": round(speedup, 2),
+    }
+    print(
+        f"\n{name}: interpreter {t_interp * 1e3:.2f} ms, "
+        f"compiled {t_compiled * 1e3:.2f} ms -> {speedup:.1f}x"
+    )
+    if threshold is not None:
+        assert speedup >= threshold, (
+            f"{name}: compiled engine {speedup:.1f}x < required {threshold}x"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# interpreter-vs-compiled pairs (the PR 3 speedup contract)
+# --------------------------------------------------------------------------- #
+def test_pair_poisson2d(benchmark):
+    app = poisson2d_app((64, 48))
+    benchmark.pedantic(
+        lambda: _record_pair("poisson2d_pipeline", app, (64, 48), 20, None),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_pair_jacobi3d(benchmark):
+    # the >=5x contract workload: overhead-dominated functional mesh, long
+    # enough to sit in the steady-state tapes
+    app = jacobi3d_app((20, 20, 10))
+    benchmark.pedantic(
+        lambda: _record_pair("jacobi3d_pipeline", app, (20, 20, 10), 32, 5.0),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_pair_rtm(benchmark):
+    app = rtm_app((16, 16, 12))
+    benchmark.pedantic(
+        lambda: _record_pair("rtm_pipeline", app, (16, 16, 12), 12, 5.0),
+        rounds=1,
+        iterations=1,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end accelerator paths (compiled by default, golden-checked)
+# --------------------------------------------------------------------------- #
 def test_functional_poisson_pipeline(benchmark):
     app = poisson2d_app((64, 48))
     fields = app.fields((64, 48), seed=1)
     acc = app.accelerator((64, 48), app.design(p=5, V=4))
 
     result, _ = benchmark(lambda: acc.run(fields, 20))
-    gold = run_program(app.program_on((64, 48)), fields, 20)
+    gold = run_program(app.program_on((64, 48)), fields, 20, engine="interpreter")
     assert np.array_equal(result["U"].data, gold["U"].data)
 
 
@@ -29,7 +128,7 @@ def test_functional_jacobi_tiled(benchmark):
     acc = app.accelerator((32, 28, 8), app.design(tile=(16, 14), p=2, V=2))
 
     result, _ = benchmark(lambda: acc.run(fields, 4))
-    gold = run_program(app.program_on((32, 28, 8)), fields, 4)
+    gold = run_program(app.program_on((32, 28, 8)), fields, 4, engine="interpreter")
     assert np.array_equal(result["U"].data, gold["U"].data)
 
 
@@ -39,7 +138,7 @@ def test_functional_rtm_pipeline(benchmark):
     acc = app.accelerator((16, 16, 12))
 
     result, _ = benchmark(lambda: acc.run(fields, 3))
-    gold = run_program(app.program_on((16, 16, 12)), fields, 3)
+    gold = run_program(app.program_on((16, 16, 12)), fields, 3, engine="interpreter")
     assert np.array_equal(result["Y"].data, gold["Y"].data)
 
 

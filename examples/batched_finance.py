@@ -51,7 +51,7 @@ def main() -> None:
     batch_fields = [small.fields((24, 16), seed=s) for s in range(5)]
     results, _ = acc.run_batch(batch_fields, 12)
     for env, res in zip(batch_fields, results):
-        golden = run_program(small.program_on((24, 16)), env, 12)
+        golden = run_program(small.program_on((24, 16)), env, 12, engine="interpreter")
         assert np.array_equal(res["U"].data, golden["U"].data)
     print("Functional batch check: 5/5 problems bit-identical to golden.")
 

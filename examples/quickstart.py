@@ -54,7 +54,7 @@ def main() -> None:
     fields = app.fields(mesh_shape, seed=42)
     accelerator = app.accelerator(mesh_shape, design)
     result, report = accelerator.run(fields, niter)
-    golden = run_program(program, fields, niter)
+    golden = run_program(program, fields, niter, engine="interpreter")
     exact = np.array_equal(result["U"].data, golden["U"].data)
     print(
         f"Simulated: {report.seconds * 1e3:.2f} ms "

@@ -36,7 +36,7 @@ def main() -> None:
     app = rtm_app((16, 16, 12))
     fields = app.fields((16, 16, 12), seed=7)
     result, report = app.accelerator((16, 16, 12)).run(fields, 6)
-    golden = run_program(app.program_on((16, 16, 12)), fields, 6)
+    golden = run_program(app.program_on((16, 16, 12)), fields, 6, engine="interpreter")
     print(
         "\nFunctional 16x16x12 run (6 RK4 iterations): "
         f"bit-identical to golden: {np.array_equal(result['Y'].data, golden['Y'].data)}"

@@ -48,7 +48,7 @@ def main() -> None:
     design = small.design(tile=(40,), p=4, V=2)
     fields = small.fields(small_mesh, seed=3)
     result, _ = small.accelerator(small_mesh, design).run(fields, 12)
-    golden = run_program(small.program_on(small_mesh), fields, 12)
+    golden = run_program(small.program_on(small_mesh), fields, 12, engine="interpreter")
     print(
         "\nTiled functional check (96x20, tile 40, p=4): bit-identical: "
         f"{np.array_equal(result['U'].data, golden['U'].data)}"

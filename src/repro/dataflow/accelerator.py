@@ -86,6 +86,8 @@ class FPGAAccelerator:
         host: HostModel = HostModel(),
         power_model: FPGAPowerModel = DEFAULT_FPGA_POWER,
         logical_bytes_per_cell_iter: float | None = None,
+        engine: str = "compiled",
+        plan_cache=None,
     ):
         self.program = program
         self.design = design
@@ -98,12 +100,25 @@ class FPGAAccelerator:
             else float(program.bytes_per_cell_pass())
         )
         if design.tile is not None:
-            self.tiler: SpatialTiler | None = SpatialTiler(program, design, device)
+            self.tiler: SpatialTiler | None = SpatialTiler(
+                program, design, device, engine, plan_cache
+            )
             self.pipeline = self.tiler.pipeline
         else:
             self.tiler = None
-            self.pipeline = IterativePipeline(program, design.V, design.p)
-        self.batcher = BatchRunner(program, design) if design.tile is None else None
+            self.pipeline = IterativePipeline(
+                program, design.V, design.p, engine, plan_cache
+            )
+        self.batcher = (
+            BatchRunner(program, design, engine, plan_cache)
+            if design.tile is None
+            else None
+        )
+        # resources and power depend only on the resource shape (and fixed
+        # design/device inputs), not on niter/batch: memoize them so DSE
+        # search loops hammering estimate() pay the model walk once
+        self._resource_cache: dict[tuple[int, ...], tuple] = {}
+        self._channels_active = self._channels()
 
     # -- functional entry points ----------------------------------------------
     def run(
@@ -160,7 +175,7 @@ class FPGAAccelerator:
                 * batch
             )
             memory = passes * mover.channel_limited_cycles(
-                per_pass_bytes, channels=self._channels()
+                per_pass_bytes, channels=self._channels_active
             )
             cycles = max(compute, memory)
         kernel_seconds = cycles / clock_hz
@@ -177,16 +192,7 @@ class FPGAAccelerator:
                 shape_for_resources = (design.tile.M, mesh_shape[1])
             else:
                 shape_for_resources = (design.tile.M, design.tile.N, mesh_shape[2])
-        resources = resource_report(
-            self.program, self.device, design.V, design.p, shape_for_resources
-        )
-        power = self.power_model.watts(
-            self.device,
-            dsp_used=resources.dsp_used,
-            mem_used_bytes=resources.mem_used_bytes,
-            clock_hz=clock_hz,
-            channels_active=self._channels(),
-        )
+        resources, power = self._resources_and_power(shape_for_resources)
         return SimReport(
             cycles=cycles,
             clock_hz=clock_hz,
@@ -197,6 +203,29 @@ class FPGAAccelerator:
             physical_bytes=physical,
             power_w=power,
         )
+
+    def _resources_and_power(self, shape: tuple[int, ...]) -> tuple:
+        """Memoized (resource report, board power) for a resource shape.
+
+        Both are shape/batch-independent beyond the resource shape itself
+        and were previously recomputed — a full program walk — on every
+        ``estimate()`` call inside DSE search loops.
+        """
+        cached = self._resource_cache.get(shape)
+        if cached is not None:
+            return cached
+        resources = resource_report(
+            self.program, self.device, self.design.V, self.design.p, shape
+        )
+        power = self.power_model.watts(
+            self.device,
+            dsp_used=resources.dsp_used,
+            mem_used_bytes=resources.mem_used_bytes,
+            clock_hz=self.design.clock_hz,
+            channels_active=self._channels_active,
+        )
+        self._resource_cache[shape] = (resources, power)
+        return resources, power
 
     def _channels(self) -> int:
         """Active memory channels: one per external stream, at least two."""

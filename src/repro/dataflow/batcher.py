@@ -23,10 +23,20 @@ from repro.util.validation import check_positive
 class BatchRunner:
     """Runs a batch of independent meshes through one pipeline."""
 
-    def __init__(self, program: StencilProgram, design: DesignPoint):
+    def __init__(
+        self,
+        program: StencilProgram,
+        design: DesignPoint,
+        engine: str = "compiled",
+        plan_cache=None,
+    ):
         self.program = program
         self.design = design
-        self.pipeline = IterativePipeline(program, design.V, design.p)
+        # every mesh in a batch shares the same spec, so the whole batch
+        # replays one compiled plan
+        self.pipeline = IterativePipeline(
+            program, design.V, design.p, engine, plan_cache
+        )
 
     def run(
         self,

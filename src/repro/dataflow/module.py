@@ -4,6 +4,12 @@ A :class:`StencilModule` chains the program's fused stages (each a
 :class:`~repro.dataflow.compute.ComputeUnit` behind its window buffers) for
 one iteration — the unit that iterative unrolling replicates ``p`` times
 (paper Fig. 2).
+
+Functionally the module executes through the plan-compiled engine by
+default (:mod:`repro.stencil.compiled`), falling back to the tree-walking
+golden interpreter when constructed with ``engine="interpreter"``. Both
+paths are bit-identical; the structural accounting (fill latency, stream
+cycles, DSP cost) is engine-independent.
 """
 
 from __future__ import annotations
@@ -12,6 +18,11 @@ from typing import Mapping
 
 from repro.dataflow.compute import ComputeUnit
 from repro.mesh.mesh import Field
+from repro.stencil.compiled import (
+    CompiledPlanCache,
+    check_engine,
+    run_program_compiled,
+)
 from repro.stencil.program import StencilProgram
 from repro.util.validation import check_positive
 
@@ -19,10 +30,18 @@ from repro.util.validation import check_positive
 class StencilModule:
     """One iteration of the program body as a chained dataflow stage."""
 
-    def __init__(self, program: StencilProgram, V: int):
+    def __init__(
+        self,
+        program: StencilProgram,
+        V: int,
+        engine: str = "compiled",
+        plan_cache: CompiledPlanCache | None = None,
+    ):
         check_positive("V", V)
         self.program = program
         self.V = V
+        self.engine = check_engine(engine)
+        self.plan_cache = plan_cache
         self.units = [ComputeUnit(k, V) for k in program.kernels()]
 
     def process(
@@ -31,6 +50,10 @@ class StencilModule:
         coefficients: Mapping[str, float] | None = None,
     ) -> dict[str, Field]:
         """Run one time iteration; returns the updated field environment."""
+        if self.engine == "compiled":
+            return run_program_compiled(
+                self.program, fields, 1, coefficients, cache=self.plan_cache
+            )
         env: dict[str, Field] = dict(fields)
         for unit in self.units:
             env.update(unit.process(env, coefficients))

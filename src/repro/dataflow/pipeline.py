@@ -12,6 +12,11 @@ from typing import Mapping
 
 from repro.dataflow.module import StencilModule
 from repro.mesh.mesh import Field
+from repro.stencil.compiled import (
+    CompiledPlanCache,
+    check_engine,
+    run_program_compiled,
+)
 from repro.stencil.program import StencilProgram
 from repro.util.errors import ValidationError
 from repro.util.rounding import ceil_div
@@ -19,27 +24,54 @@ from repro.util.validation import check_positive
 
 
 class IterativePipeline:
-    """A chain of ``p`` identical compute modules."""
+    """A chain of ``p`` identical compute modules.
 
-    def __init__(self, program: StencilProgram, V: int, p: int):
+    Functional execution defaults to the plan-compiled engine: a whole run
+    (or pass) is one replay of the cached op tape, so chained passes never
+    re-interpret the program. ``engine="interpreter"`` selects the golden
+    tree-walking path; results are bit-identical either way.
+    """
+
+    def __init__(
+        self,
+        program: StencilProgram,
+        V: int,
+        p: int,
+        engine: str = "compiled",
+        plan_cache: CompiledPlanCache | None = None,
+    ):
         check_positive("p", p)
         self.program = program
         self.V = V
         self.p = p
+        self.engine = check_engine(engine)
+        self.plan_cache = plan_cache
         # modules are identical hardware; one functional instance suffices
-        self.module = StencilModule(program, V)
+        self.module = StencilModule(program, V, engine, plan_cache)
 
     # -- functional ---------------------------------------------------------------
+    def _run_iterations(
+        self,
+        fields: Mapping[str, Field],
+        niter: int,
+        coefficients: Mapping[str, float] | None,
+    ) -> dict[str, Field]:
+        if self.engine == "compiled":
+            return run_program_compiled(
+                self.program, fields, niter, coefficients, cache=self.plan_cache
+            )
+        env: dict[str, Field] = dict(fields)
+        for _ in range(niter):
+            env = self.module.process(env, coefficients)
+        return env
+
     def run_pass(
         self,
         fields: Mapping[str, Field],
         coefficients: Mapping[str, float] | None = None,
     ) -> dict[str, Field]:
         """One pass = ``p`` chained iterations."""
-        env: dict[str, Field] = dict(fields)
-        for _ in range(self.p):
-            env = self.module.process(env, coefficients)
-        return env
+        return self._run_iterations(fields, self.p, coefficients)
 
     def run(
         self,
@@ -58,10 +90,7 @@ class IterativePipeline:
             raise ValidationError(
                 f"niter={niter} is not a multiple of the unroll factor p={self.p}"
             )
-        env: dict[str, Field] = dict(fields)
-        for _ in range(niter // self.p):
-            env = self.run_pass(env, coefficients)
-        return env
+        return self._run_iterations(fields, niter, coefficients)
 
     # -- structural cycle accounting ------------------------------------------
     def pass_cycles(self, mesh_shape: tuple[int, ...], batch: int = 1, ii: float = 1.0) -> float:

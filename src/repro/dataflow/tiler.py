@@ -36,13 +36,20 @@ class SpatialTiler:
         program: StencilProgram,
         design: DesignPoint,
         device=None,
+        engine: str = "compiled",
+        plan_cache=None,
     ):
         if design.tile is None:
             raise ValidationError("SpatialTiler requires a tiled design")
         self.program = program
         self.design = design
         self.device = device
-        self.pipeline = IterativePipeline(program, design.V, design.p)
+        # blocks of the same shape share one compiled plan through the
+        # pipeline's cache, so a tiled pass compiles at most a handful of
+        # plans (full blocks plus the edge remainders) on its first sweep
+        self.pipeline = IterativePipeline(
+            program, design.V, design.p, engine, plan_cache
+        )
         # per-iteration contamination radius per paper axis:
         # the sum over fused stages of each stage's radius
         ndim = program.mesh.ndim

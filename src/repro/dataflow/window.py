@@ -59,6 +59,10 @@ class LineBufferStream:
             return list(self._window)
         return None
 
+    def window(self) -> list[np.ndarray]:
+        """The buffered lines, oldest first (centre at index ``radius`` when full)."""
+        return list(self._window)
+
     def reset(self) -> None:
         """Clear the buffer for the next mesh/pass."""
         self._window.clear()
@@ -169,7 +173,7 @@ def stream_iterate_2d(
         out_y = y - ry
         if out_y < ry or out_y >= n - ry:
             continue
-        windows = {f: list(buffers[f]._window) for f in read_fields}
+        windows = {f: buffers[f].window() for f in read_fields}
         local_env = dict(windows)
         evaluator = _RowEvaluator(local_env, coeffs, (rx, ry), spec.dtype)
         for out in kernel.outputs:
@@ -214,7 +218,7 @@ def stream_iterate_3d(
         out_z = z - rz
         if out_z < rz or out_z >= l - rz:
             continue
-        windows = {f: list(buffers[f]._window) for f in read_fields}
+        windows = {f: buffers[f].window() for f in read_fields}
         for y in range(ry, n - ry):
             local_env = dict(windows)
             evaluator = _RowEvaluator(local_env, coeffs, (rx, ry, rz), spec.dtype, y)

@@ -11,6 +11,13 @@ Results are memoized by canonical configuration key, so a configuration is
 never evaluated twice within a study (or across a resumed one: the study
 seeds the cache from its journal).  Batch evaluation fans out over
 ``concurrent.futures`` worker threads.
+
+The per-trial model path leans on program-level memoization:
+``program.bytes_per_cell_pass()`` and ``G_dsp`` are cached on the program
+instance, so constructing a predictor per trial no longer re-walks every
+expression tree; functional validation runs launched from search results go
+through the plan-compiled engine (:mod:`repro.stencil.compiled`) and reuse
+its shared plan cache across trials.
 """
 
 from __future__ import annotations

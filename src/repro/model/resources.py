@@ -58,8 +58,21 @@ def gdsp_kernel(kernel: StencilKernel, costs: DSPCostModel = DEFAULT_DSP_COSTS) 
 
 
 def gdsp_program(program: StencilProgram, costs: DSPCostModel = DEFAULT_DSP_COSTS) -> int:
-    """``G_dsp``: DSP blocks for one mesh-point update of the full iteration body."""
-    return sum(gdsp_kernel(k, costs) for k in program.kernels())
+    """``G_dsp``: DSP blocks for one mesh-point update of the full iteration body.
+
+    Memoized per (program instance, cost model): counting ops walks every
+    expression tree, and DSE evaluators construct a runtime predictor — and
+    therefore ask for ``G_dsp`` — once per trial.
+    """
+    cache = program.__dict__.get("_gdsp_cache")
+    if cache is None:
+        cache = {}
+        object.__setattr__(program, "_gdsp_cache", cache)
+    cached = cache.get(costs)
+    if cached is None:
+        cached = sum(gdsp_kernel(k, costs) for k in program.kernels())
+        cache[costs] = cached
+    return cached
 
 
 def p_dsp(device: FPGADevice, V: int, gdsp: int) -> int:

@@ -33,6 +33,13 @@ from repro.stencil.builders import (
     high_order_star_1d_terms,
 )
 from repro.stencil.numpy_eval import apply_kernel, run_group, run_program
+from repro.stencil.plan import ProgramPlan, lower_program, program_token
+from repro.stencil.compiled import (
+    CompiledPlanCache,
+    CompiledProgram,
+    DEFAULT_CACHE,
+    run_program_compiled,
+)
 
 __all__ = [
     "Expr",
@@ -64,4 +71,11 @@ __all__ = [
     "apply_kernel",
     "run_group",
     "run_program",
+    "ProgramPlan",
+    "lower_program",
+    "program_token",
+    "CompiledPlanCache",
+    "CompiledProgram",
+    "DEFAULT_CACHE",
+    "run_program_compiled",
 ]

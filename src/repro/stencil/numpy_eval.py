@@ -182,11 +182,18 @@ def run_program(
     fields: Mapping[str, Field],
     niter: int,
     coefficients: Mapping[str, float] | None = None,
+    engine: str = "compiled",
 ) -> dict[str, Field]:
     """Run the full iterative solve for ``niter`` time iterations.
 
     ``fields`` must bind every state and constant field; the returned
     environment contains the final state (plus last-iteration intermediates).
+
+    ``engine`` selects the execution path: ``"compiled"`` (default) replays
+    a plan-compiled in-place op tape through the shared
+    :data:`repro.stencil.compiled.DEFAULT_CACHE`; ``"interpreter"`` walks the
+    expression trees node by node. The two are bit-identical
+    (``np.array_equal``); the interpreter remains the golden reference.
     """
     if niter < 0:
         raise ValidationError(f"niter must be non-negative, got {niter}")
@@ -195,6 +202,11 @@ def run_program(
             raise ValidationError(
                 f"program '{program.name}' needs field '{fname}' bound"
             )
+    if engine != "interpreter":
+        from repro.stencil.compiled import check_engine, run_program_compiled
+
+        check_engine(engine)
+        return run_program_compiled(program, fields, niter, coefficients)
     env: dict[str, Field] = dict(fields)
     for _ in range(niter):
         for group in program.groups:

@@ -1,0 +1,1021 @@
+"""Plan compilation: lowering a stencil program to a flat in-place op tape.
+
+The tree-walking golden evaluator (:mod:`repro.stencil.numpy_eval`)
+re-interprets every expression node on every iteration, allocating a fresh
+NumPy temporary per arithmetic op and re-copying whole output arrays per
+kernel. This module lowers a :class:`~repro.stencil.program.StencilProgram`
+*once* into a :class:`ProgramPlan`: a topologically-ordered tape of in-place
+ufunc ops over precomputed interior views, with
+
+* **folded constants** — any scalar subtree (constants and bound
+  coefficients) is evaluated at compile time in the mesh dtype, reproducing
+  the interpreter's scalar arithmetic bit for bit;
+* **liveness-based register reuse** — intermediate results live in a small
+  pool of preallocated scratch arrays, released the moment their last
+  consumer has executed (the tape is sequential, so last-use is the emitting
+  op itself);
+* **component merging** — consecutive output components whose expressions
+  are structurally identical modulo the component index (the RTM pattern:
+  five of the six RK4 components share one datapath) collapse into a single
+  sliced op over the component axis, cutting tape length and restoring
+  contiguous inner loops;
+* **ping-pong buffer rotation** — every produced field owns two storage
+  buffers; each write alternates between them, so a kernel never reads the
+  array it is writing and the steady-state loop performs **zero heap
+  allocation**;
+* **boundary slab ops** — instead of re-zeroing/copying whole output arrays
+  per kernel application, the plan writes only the boundary ring (the
+  interior is fully overwritten by the expression tape).
+
+Because the first iteration reads the caller's input buffers while steady
+state reads the rotation buffers, a plan carries a short sequence of
+*warm-up* tapes (which also write every output's boundary ring) followed by
+two *steady* tapes for the remaining odd/even iterations. Buffer rotation
+is periodic with period two, so the steady pair repeats indefinitely; the
+lowering asserts this invariant. The steady tapes carry no boundary ops at
+all: every boundary value is produced by a pure copy chain that terminates
+at zeros, a constant field or an initial input boundary, so it stops
+changing once the longest ``init_from`` chain has drained — a settle depth
+the lowering computes exactly via a symbolic fixpoint over boundary value
+ids (see :func:`_boundary_settle_iteration`). The warm-up tapes cover every
+iteration up to that settle point, so each rotation buffer's boundary is
+final before the steady pair takes over.
+
+Bit-identity contract: executing a plan produces results that are
+``np.array_equal`` to the golden interpreter for every program, mesh and
+coefficient binding — the same arithmetic DAG is evaluated per mesh point,
+only the scheduling (in-place outputs, merged components, folded scalars)
+differs, and none of those transformations change IEEE-754 results.
+:mod:`repro.stencil.compiled` binds a plan to concrete buffers and runs it.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.mesh.mesh import MeshSpec
+from repro.stencil.expr import BinOp, Coef, Const, Expr, FieldAccess, Neg, walk
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.program import StencilProgram
+from repro.util.errors import SimulationError, ValidationError
+
+#: Tape op names understood by the executor.
+OPS = ("add", "sub", "mul", "div", "neg", "copy", "fill")
+
+_BINOP_NAMES = {"+": "add", "-": "sub", "*": "mul", "/": "div"}
+
+
+# --------------------------------------------------------------------------- #
+# tape argument references
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class View:
+    """A precomputable view into a named buffer slot.
+
+    ``index`` is a storage-order tuple of slices plus a trailing component
+    selector (an ``int`` for a single component — dropping the axis, as the
+    interpreter's shifted views do — or a ``slice`` for merged runs).
+    """
+
+    slot: str
+    index: tuple
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A scratch register: one preallocated array of ``shape`` per ``idx``."""
+
+    shape: tuple[int, ...]
+    idx: int
+
+
+@dataclass(frozen=True)
+class FlatView:
+    """A contiguous 1-D window over a buffer's flattened storage.
+
+    Used by *flat-mode* kernels (see :meth:`_Lowerer._flat_layout`): a shift
+    by ``(dx, dy[, dz])`` on C-ordered scalar storage is a constant linear
+    offset, so every stencil operand becomes one contiguous slice of the
+    flattened array. Lanes whose neighbours wrap across a row edge compute
+    discarded ghost values; only interior lanes reach an output buffer.
+
+    ``index`` is the matching interior-mode index, kept so the root op of an
+    expression (which must write the strided interior view) can fall back to
+    the canonical layout for its operands.
+    """
+
+    slot: str
+    start: int
+    stop: int
+    index: tuple
+
+
+@dataclass(frozen=True)
+class RegWindow:
+    """A strided interior-shaped window over a flat 1-D register.
+
+    Selects, from a flat-mode register holding lanes ``[R, N-R)``, the lanes
+    corresponding to interior mesh positions — the bridge between the flat
+    compute window and the canonical strided output layout. ``offset`` and
+    ``strides`` are in elements.
+    """
+
+    reg: Reg
+    offset: int
+    shape: tuple[int, ...]
+    strides: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TapeOp:
+    """One in-place operation of the tape.
+
+    ``args`` are :class:`View`/:class:`Reg` references or NumPy scalars
+    (folded constants); ``dest`` is where the result lands. ``fill`` takes a
+    single scalar arg; ``copy`` a single view/reg arg.
+    """
+
+    op: str
+    args: tuple
+    dest: object  # View | Reg
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise ValidationError(f"unknown tape op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class ProgramPlan:
+    """A fully lowered program: buffers, registers and the three tapes."""
+
+    #: canonical mesh the plan was lowered against
+    mesh: MeshSpec
+    #: buffer slot -> storage shape ("in:<f>" inputs, "st:<f>:<k>" rotations)
+    buffers: Mapping[str, tuple[int, ...]]
+    #: scratch-register shape -> pool size
+    registers: Mapping[tuple[int, ...], int]
+    #: warm-up tapes for iterations 0..settle (boundary ops included);
+    #: iteration 0 reads the external input buffers
+    warm: tuple[tuple[TapeOp, ...], ...]
+    #: steady tapes for the two parities of iterations >= len(warm);
+    #: ``steady[(i - len(warm)) % 2]`` executes iteration ``i``
+    steady: tuple[tuple[TapeOp, ...], tuple[TapeOp, ...]]
+    #: field -> slot holding its latest value after iteration 0 / odd / even
+    env_after_prologue: Mapping[str, str]
+    env_after_odd: Mapping[str, str]
+    env_after_even: Mapping[str, str]
+    #: mesh spec of every produced field
+    produced_specs: Mapping[str, MeshSpec]
+    #: fields that must be bound by the caller (reads and init_from sources
+    #: not satisfied by an earlier output — a superset check of the
+    #: program's declared external contract)
+    inputs: tuple[str, ...]
+
+    @property
+    def num_ops(self) -> int:
+        """Tape length of one steady-state iteration pair."""
+        return len(self.steady[0]) + len(self.steady[1])
+
+    @property
+    def steady_odd(self) -> tuple[TapeOp, ...]:
+        """The steady tape executing odd iterations."""
+        return self.steady[(1 - len(self.warm)) % 2]
+
+    def tape_for(self, iteration: int) -> tuple[TapeOp, ...]:
+        """The tape executing the given 0-based iteration."""
+        if iteration < len(self.warm):
+            return self.warm[iteration]
+        return self.steady[(iteration - len(self.warm)) % 2]
+
+    def final_env(self, niter: int) -> Mapping[str, str]:
+        """Slots holding each produced field after ``niter`` iterations."""
+        if niter <= 0:
+            return {}
+        if niter == 1:
+            return self.env_after_prologue
+        return self.env_after_odd if niter % 2 == 0 else self.env_after_even
+
+
+# --------------------------------------------------------------------------- #
+# view construction (mirrors numpy_eval._shifted_view / interior_slices)
+# --------------------------------------------------------------------------- #
+def _shifted_index(
+    offset: tuple[int, ...],
+    radius: tuple[int, ...],
+    shape: tuple[int, ...],
+    component,
+) -> tuple:
+    """Storage-order index of the interior shifted by ``offset`` (paper order)."""
+    ndim = len(offset)
+    slices = []
+    for storage_axis in range(ndim):
+        paper_axis = ndim - 1 - storage_axis
+        r = radius[paper_axis]
+        d = offset[paper_axis]
+        extent = shape[paper_axis]
+        slices.append(slice(r + d, extent - r + d))
+    return tuple(slices) + (component,)
+
+
+def _index_shape(index: tuple, storage_shape: tuple[int, ...]) -> tuple[int, ...]:
+    """Array shape selected by a :class:`View` index on ``storage_shape``."""
+    shape = []
+    for sl, extent in zip(index, storage_shape):
+        if isinstance(sl, slice):
+            start, stop, _ = sl.indices(extent)
+            shape.append(max(0, stop - start))
+    return tuple(shape)
+
+
+def required_inputs(program: StencilProgram) -> tuple[str, ...]:
+    """Fields the program reads before (or without) producing them.
+
+    The interpreter resolves reads against whatever the caller bound, not
+    just the declared external contract, so the plan must bind the same
+    set: every kernel read and ``init_from`` source that no earlier output
+    satisfies. Memoized on the program instance — the walk visits every
+    expression tree and the plan cache asks on every lookup.
+    """
+    cached = program.__dict__.get("_required_inputs")
+    if cached is not None:
+        return cached
+    produced: set[str] = set()
+    required: list[str] = []
+
+    def need(name: str) -> None:
+        if name not in produced and name not in required:
+            required.append(name)
+
+    for group in program.groups:
+        for kernel in group.kernels:
+            for name in kernel.read_fields():
+                need(name)
+            for out in kernel.outputs:
+                if out.init_from is not None:
+                    need(out.init_from)
+                produced.add(out.field)
+    result = tuple(required)
+    object.__setattr__(program, "_required_inputs", result)
+    return result
+
+
+def _boundary_settle_iteration(program: StencilProgram) -> int | None:
+    """First iteration whose boundary values repeat the previous iteration's.
+
+    Output boundaries are pure copy chains: zeros (``init_from=None``), a
+    never-produced caller field, or another output's boundary from earlier
+    this iteration / the previous one. Tracking a symbolic *value id* per
+    output position and iterating to a fixpoint gives the exact iteration
+    from which every boundary is constant — e.g. 1 for a self ping-pong, but
+    ``d+1`` for a depth-``d`` chain of ``init_from`` sources produced by
+    *later* kernels, whose initial input boundaries drain one iteration at a
+    time. Returns ``None`` if no fixpoint is found within the state-space
+    bound (callers must then keep boundary ops in every tape).
+    """
+    outputs: list[tuple[str, str | None]] = []
+    for group in program.groups:
+        for kernel in group.kernels:
+            for out in kernel.outputs:
+                outputs.append((out.field, out.init_from))
+    produced = {field for field, _ in outputs}
+    prev_vids: list | None = None
+    prev_final: dict[str, tuple] = {}
+    for k in range(len(outputs) + 3):
+        vids: list[tuple] = []
+        this_iter: dict[str, tuple] = {}
+        for field, src in outputs:
+            if src is None:
+                vid: tuple = ("zero",)
+            elif src in this_iter:  # produced earlier this iteration
+                vid = this_iter[src]
+            elif src in produced:  # produced later: previous iteration's value
+                vid = ("input", src) if k == 0 else prev_final[src]
+            else:  # never produced: constant caller binding
+                vid = ("input", src)
+            this_iter[field] = vid
+            vids.append(vid)
+        if prev_vids is not None and vids == prev_vids:
+            return k
+        prev_vids = vids
+        prev_final = this_iter
+    return None  # pragma: no cover - copy chains always drain
+
+
+def _boundary_slabs(
+    storage_shape: tuple[int, ...], interior: tuple[slice, ...]
+) -> list[tuple]:
+    """Disjoint slabs covering the complement of the interior box.
+
+    Onion-peel decomposition: slab ``i`` restricts axes ``< i`` to the
+    interior, takes the low/high boundary band on axis ``i`` and leaves the
+    remaining axes (and the component axis) full.
+    """
+    slabs: list[tuple] = []
+    ndim = len(interior)
+    for axis in range(ndim):
+        lo = interior[axis].start
+        hi = interior[axis].stop
+        prefix = tuple(interior[j] for j in range(axis))
+        suffix = tuple(slice(None) for _ in range(ndim - axis - 1)) + (slice(None),)
+        if lo > 0:
+            slabs.append(prefix + (slice(0, lo),) + suffix)
+        if hi < storage_shape[axis]:
+            slabs.append(prefix + (slice(hi, storage_shape[axis]),) + suffix)
+    return slabs
+
+
+# --------------------------------------------------------------------------- #
+# flat-mode layout
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _FlatLayout:
+    """Linearized geometry of a flat-mode kernel on a given mesh.
+
+    A shift by paper offset ``(dx, dy[, dz])`` on C-ordered scalar storage is
+    the linear delta ``dx + dy*m + dz*m*n``; ``R`` is the radius-weighted
+    bound on any such delta, so every operand of the kernel fits in the lane
+    window ``[R, N-R)`` and the first interior lane is exactly ``R``.
+    """
+
+    #: linear stride of each paper axis
+    axis_strides: tuple[int, ...]
+    #: lane-window margin (max absolute linear delta)
+    R: int
+    #: total lanes (mesh points)
+    N: int
+    #: compute-window length ``N - 2R``
+    window: int
+    #: interior shape/strides in storage order, for the flat->strided bridge
+    interior_shape: tuple[int, ...]
+    interior_strides: tuple[int, ...]
+
+    def delta(self, offset: tuple[int, ...]) -> int:
+        return sum(d * s for d, s in zip(offset, self.axis_strides))
+
+
+def _flat_layout(mesh: MeshSpec, radius: tuple[int, ...]) -> _FlatLayout:
+    shape = mesh.shape  # paper order (m, n[, l])
+    strides = []
+    acc = 1
+    for extent in shape:
+        strides.append(acc)
+        acc *= extent
+    N = acc
+    R = sum(r * s for r, s in zip(radius, strides))
+    interior_shape = tuple(
+        extent - 2 * r for extent, r in zip(reversed(shape), reversed(radius))
+    )
+    interior_strides = tuple(reversed(strides))
+    return _FlatLayout(
+        axis_strides=tuple(strides),
+        R=R,
+        N=N,
+        window=N - 2 * R,
+        interior_shape=interior_shape,
+        interior_strides=interior_strides,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# component-merge templates
+# --------------------------------------------------------------------------- #
+def _merge_template(e1: Expr, c1: int, e2: Expr, c2: int, dtype, classes: list) -> bool:
+    """Whether components ``c1`` and ``c2`` perform identical arithmetic.
+
+    Walks both trees in lockstep (left to right, the evaluation order).
+    Mergeable means structurally identical with every field access either
+    *varying* (component equals the output component on both sides) or
+    *fixed* (same component on both sides — a broadcast operand). The
+    per-access classification is appended to ``classes`` in visit order;
+    ``c1 != c2`` makes the two cases mutually exclusive. Scalars compare by
+    exact bit pattern (``-0.0 != 0.0`` here: the sign of zero is observable
+    through multiplication).
+    """
+    if type(e1) is not type(e2):
+        return False
+    if isinstance(e1, Const):
+        return dtype.type(e1.value).tobytes() == dtype.type(e2.value).tobytes()
+    if isinstance(e1, Coef):
+        return e1.name == e2.name
+    if isinstance(e1, FieldAccess):
+        if e1.field != e2.field or e1.offset != e2.offset:
+            return False
+        if e1.component == c1 and e2.component == c2:
+            classes.append("vary")
+            return True
+        if e1.component == e2.component:
+            classes.append(e1.component)
+            return True
+        return False
+    if isinstance(e1, Neg):
+        return _merge_template(e1.operand, c1, e2.operand, c2, dtype, classes)
+    if isinstance(e1, BinOp):
+        return (
+            e1.op == e2.op
+            and _merge_template(e1.lhs, c1, e2.lhs, c2, dtype, classes)
+            and _merge_template(e1.rhs, c1, e2.rhs, c2, dtype, classes)
+        )
+    raise SimulationError(f"unknown expression node {type(e1).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# lowering
+# --------------------------------------------------------------------------- #
+class _RegisterPool:
+    """Shape-keyed scratch pool with free-list reuse (liveness = tape order)."""
+
+    def __init__(self):
+        self.high_water: dict[tuple[int, ...], int] = {}
+        self._free: dict[tuple[int, ...], list[int]] = {}
+
+    def alloc(self, shape: tuple[int, ...]) -> Reg:
+        free = self._free.setdefault(shape, [])
+        if free:
+            return Reg(shape, free.pop())
+        idx = self.high_water.get(shape, 0)
+        self.high_water[shape] = idx + 1
+        return Reg(shape, idx)
+
+    def release(self, ref) -> None:
+        if isinstance(ref, Reg):
+            self._free[ref.shape].append(ref.idx)
+
+    def reset(self) -> None:
+        """Restore every free list to canonical order (lowest index first).
+
+        Registers never carry values across iterations, but the free-list
+        order after an iteration depends on its release history; resetting
+        at each iteration boundary makes register assignment a pure function
+        of tape structure, which the steady-tape periodicity check requires.
+        """
+        for shape, count in self.high_water.items():
+            self._free[shape] = list(range(count - 1, -1, -1))
+
+
+class _Lowerer:
+    """Lowers one program against a concrete mesh and coefficient binding."""
+
+    def __init__(
+        self,
+        program: StencilProgram,
+        mesh: MeshSpec,
+        input_specs: Mapping[str, MeshSpec],
+        coefficients: Mapping[str, float] | None,
+    ):
+        self.program = program
+        self.mesh = mesh
+        self.dtype = mesh.dtype
+        self.overrides = dict(coefficients or {})
+        self.buffers: dict[str, tuple[int, ...]] = {}
+        self.registers = _RegisterPool()
+        self.produced_specs: dict[str, MeshSpec] = {}
+        #: per-(field, storage shape) write counter driving ping-pong rotation
+        self._rot: dict[tuple[str, tuple[int, ...]], int] = {}
+        #: field -> slot currently holding its latest value
+        self.env: dict[str, str] = {}
+        #: field -> spec of the value currently bound (inputs and outputs)
+        self.specs: dict[str, MeshSpec] = {}
+        self.inputs = required_inputs(program)
+        for name in self.inputs:
+            spec = input_specs[name]
+            slot = f"in:{name}"
+            self.buffers[slot] = spec.storage_shape
+            self.env[name] = slot
+            self.specs[name] = spec
+
+    # -- plan entry ---------------------------------------------------------
+    def lower(self) -> ProgramPlan:
+        # boundary values settle once the longest init_from chain has
+        # drained; warm-up tapes (boundary ops included) must cover every
+        # iteration through that point so both rotation parities hold final
+        # boundaries before the steady pair takes over. settle=None keeps
+        # boundary ops in the steady tapes too (pure safety fallback).
+        settle = _boundary_settle_iteration(self.program)
+        warm_count = max(2, (settle if settle is not None else 1) + 1)
+        steady_boundary = settle is None
+        envs: list[dict[str, str]] = []
+        warm: list[tuple[TapeOp, ...]] = []
+        for _ in range(warm_count):
+            warm.append(tuple(self._lower_iteration()))
+            envs.append(dict(self.env))
+        steady_a = tuple(self._lower_iteration(emit_boundary=steady_boundary))
+        envs.append(dict(self.env))
+        steady_b = tuple(self._lower_iteration(emit_boundary=steady_boundary))
+        envs.append(dict(self.env))
+        # rotation is periodic with period two: two iterations further on,
+        # the tape and environment must repeat or the steady pair is invalid
+        check = tuple(self._lower_iteration(emit_boundary=steady_boundary))
+        env_check = dict(self.env)
+        if check != steady_a or env_check != envs[-2]:  # pragma: no cover
+            raise SimulationError("buffer rotation is not periodic; plan is invalid")
+        # env after any iteration >= 1 depends only on parity; warm_count >= 2
+        # guarantees envs[1]/envs[2] exist (iterations 1 and 2)
+        env_odd = envs[1]
+        env_even = envs[2]
+        produced = {f: s for f, s in envs[0].items() if s.startswith("st:")}
+        return ProgramPlan(
+            mesh=self.mesh,
+            buffers=dict(self.buffers),
+            registers=dict(self.registers.high_water),
+            warm=tuple(warm),
+            steady=(steady_a, steady_b),
+            env_after_prologue={f: envs[0][f] for f in produced},
+            env_after_odd={f: env_odd[f] for f in produced},
+            env_after_even={f: env_even[f] for f in produced},
+            produced_specs=dict(self.produced_specs),
+            inputs=self.inputs,
+        )
+
+    def _lower_iteration(self, emit_boundary: bool = True) -> list[TapeOp]:
+        self.registers.reset()
+        tape: list[TapeOp] = []
+        for group in self.program.groups:
+            for loop in group.loops:
+                self._lower_kernel(loop.kernel, tape, emit_boundary)
+        return tape
+
+    # -- kernel lowering ----------------------------------------------------
+    def _lower_kernel(
+        self, kernel: StencilKernel, tape: list[TapeOp], emit_boundary: bool
+    ) -> None:
+        for fname in kernel.read_fields():
+            if fname not in self.env:
+                raise ValidationError(f"kernel '{kernel.name}' needs field '{fname}'")
+        radius = kernel.radius
+        if len(radius) != self.mesh.ndim:
+            raise ValidationError(
+                f"radius {radius} does not match mesh rank {self.mesh.ndim}"
+            )
+        interior = self.mesh.interior_slices(radius)
+        coeffs = dict(kernel.coefficients)
+        coeffs.update(self.overrides)
+        # init_from resolves against the environment at kernel entry, while
+        # expression reads see earlier outputs fresh — exactly apply_kernel
+        start_env = dict(self.env)
+        layout = self._flat_mode(kernel, radius)
+        for out in kernel.outputs:
+            out_spec = MeshSpec(self.mesh.shape, out.components, self.dtype)
+            dest = self._alloc_output_slot(out.field, out_spec)
+            if emit_boundary:
+                self._lower_boundary(out, out_spec, dest, interior, start_env, tape)
+            self._lower_components(
+                out, dest, interior, radius, coeffs, tape, layout
+            )
+            self.env[out.field] = dest
+            self.specs[out.field] = out_spec
+            self.produced_specs[out.field] = out_spec
+
+    def _flat_mode(self, kernel: StencilKernel, radius: tuple[int, ...]):
+        """The flat layout for this kernel, or ``None`` for interior mode.
+
+        Flat mode evaluates every inner op on contiguous 1-D lane windows of
+        the full arrays (edge lanes compute discarded ghost values from
+        wrapped neighbours); only the root op touches the strided interior.
+        It requires purely scalar traffic — one component everywhere, every
+        bound field on the mesh shape — and no division, whose ghost lanes
+        could raise spurious divide warnings. Ghost values never reach a
+        buffer: outputs are written through interior views only.
+        """
+        for out in kernel.outputs:
+            if len(out.exprs) != 1:
+                return None
+            for node in walk(out.exprs[0]):
+                if isinstance(node, BinOp) and node.op == "/":
+                    return None
+                if isinstance(node, FieldAccess):
+                    if node.component != 0:
+                        return None
+                    spec = self.specs.get(node.field)
+                    if spec is not None and (
+                        spec.components != 1 or spec.shape != self.mesh.shape
+                    ):
+                        return None
+        layout = _flat_layout(self.mesh, radius)
+        if layout.window < 1:
+            return None
+        return layout
+
+    def _alloc_output_slot(self, field: str, spec: MeshSpec) -> str:
+        shape = spec.storage_shape
+        key = (field, shape)
+        k = self._rot.get(key, 0)
+        self._rot[key] = k + 1
+        slot = f"st:{field}:{k % 2}"
+        self.buffers[slot] = shape
+        return slot
+
+    def _lower_boundary(
+        self,
+        out,
+        out_spec: MeshSpec,
+        dest: str,
+        interior: tuple[slice, ...],
+        start_env: Mapping[str, str],
+        tape: list[TapeOp],
+    ) -> None:
+        """Pre-fill the boundary ring: zero, or carried from ``init_from``.
+
+        The interpreter copies/zeroes the whole output array and then
+        overwrites the interior; writing only the complement of the interior
+        produces the same array without touching interior cells twice.
+        """
+        slabs = _boundary_slabs(out_spec.storage_shape, interior)
+        if out.init_from is None:
+            zero = self.dtype.type(0.0)
+            for slab in slabs:
+                tape.append(TapeOp("fill", (zero,), View(dest, slab)))
+            return
+        src = start_env.get(out.init_from)
+        if src is None:
+            raise ValidationError(
+                f"kernel: init_from field '{out.init_from}' missing"
+            )
+        src_spec = self.specs[out.init_from]
+        if src_spec != out_spec:
+            raise ValidationError(
+                f"init_from '{out.init_from}' spec {src_spec} does not match "
+                f"output spec {out_spec}"
+            )
+        for slab in slabs:
+            tape.append(TapeOp("copy", (View(src, slab),), View(dest, slab)))
+
+    # -- component lowering (with merging) ----------------------------------
+    def _lower_components(
+        self,
+        out,
+        dest: str,
+        interior: tuple[slice, ...],
+        radius: tuple[int, ...],
+        coeffs: Mapping[str, float],
+        tape: list[TapeOp],
+        layout: _FlatLayout | None = None,
+    ) -> None:
+        if layout is not None:
+            dest_view = View(dest, interior + (0,))
+            self._lower_flat_root(
+                out.exprs[0], layout, dest_view, radius, coeffs, tape
+            )
+            return
+        exprs = out.exprs
+        comp = 0
+        while comp < len(exprs):
+            end = comp + 1
+            template: list | None = None
+            while end < len(exprs):
+                candidate: list = []
+                if not _merge_template(
+                    exprs[comp], comp, exprs[end], end, self.dtype, candidate
+                ):
+                    break
+                if template is not None and candidate != template:
+                    break
+                template = candidate
+                end += 1
+            if end == comp + 1:
+                comp_sel: object = comp
+                classes = None
+            else:
+                comp_sel = slice(comp, end)
+                classes = iter(template)
+            dest_view = View(dest, interior + (comp_sel,))
+            self._lower_expr_root(
+                exprs[comp], comp, comp_sel, dest_view, radius, coeffs, tape, classes
+            )
+            comp = end
+
+    # -- flat-mode lowering --------------------------------------------------
+    def _lower_flat_root(
+        self,
+        expr: Expr,
+        layout: _FlatLayout,
+        dest: View,
+        radius: tuple[int, ...],
+        coeffs: Mapping[str, float],
+        tape: list[TapeOp],
+    ) -> None:
+        """Finish a flat-mode tree: compute on lanes, bridge to the interior.
+
+        The whole expression runs on contiguous lane windows (every op on
+        the SIMD fast path); one final ``copyto`` maps the result lanes back
+        to the strided interior view — measurably cheaper than computing the
+        root op on strided operands directly.
+        """
+        ref = self._lower_flat(expr, layout, radius, coeffs, tape)
+        if isinstance(ref, np.generic):
+            tape.append(TapeOp("fill", (ref,), dest))
+        else:
+            tape.append(TapeOp("copy", (self._strided(ref, layout),), dest))
+            self.registers.release(ref)
+
+    def _lower_flat(
+        self,
+        expr: Expr,
+        layout: _FlatLayout,
+        radius: tuple[int, ...],
+        coeffs: Mapping[str, float],
+        tape: list[TapeOp],
+    ):
+        if isinstance(expr, Const):
+            return self.dtype.type(expr.value)
+        if isinstance(expr, Coef):
+            try:
+                return self.dtype.type(coeffs[expr.name])
+            except KeyError:
+                raise SimulationError(
+                    f"coefficient '{expr.name}' has no value"
+                ) from None
+        if isinstance(expr, FieldAccess):
+            slot = self.env.get(expr.field)
+            if slot is None:
+                raise SimulationError(f"field '{expr.field}' is not bound")
+            d = layout.delta(expr.offset)
+            return FlatView(
+                slot,
+                layout.R + d,
+                layout.N - layout.R + d,
+                _shifted_index(expr.offset, radius, self.mesh.shape, 0),
+            )
+        if isinstance(expr, Neg):
+            operand = self._lower_flat(expr.operand, layout, radius, coeffs, tape)
+            if isinstance(operand, np.generic):
+                return -operand
+            self.registers.release(operand)
+            dest = self.registers.alloc((layout.window,))
+            tape.append(TapeOp("neg", (operand,), dest))
+            return dest
+        if isinstance(expr, BinOp):
+            lhs = self._lower_flat(expr.lhs, layout, radius, coeffs, tape)
+            rhs = self._lower_flat(expr.rhs, layout, radius, coeffs, tape)
+            if isinstance(lhs, np.generic) and isinstance(rhs, np.generic):
+                return self._fold(expr.op, lhs, rhs)
+            self.registers.release(lhs)
+            self.registers.release(rhs)
+            dest = self.registers.alloc((layout.window,))
+            tape.append(TapeOp(_BINOP_NAMES[expr.op], (lhs, rhs), dest))
+            return dest
+        raise SimulationError(f"unknown expression node {type(expr).__name__}")
+
+    @staticmethod
+    def _fold(op: str, lhs: np.generic, rhs: np.generic) -> np.generic:
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        return lhs / rhs
+
+    def _strided(self, ref, layout: _FlatLayout):
+        """Canonical-layout twin of a flat ref, for the root op's operands."""
+        if isinstance(ref, np.generic):
+            return ref
+        if isinstance(ref, FlatView):
+            return View(ref.slot, ref.index)
+        return RegWindow(ref, 0, layout.interior_shape, layout.interior_strides)
+
+    def _lower_expr_root(
+        self,
+        expr: Expr,
+        comp: int,
+        comp_sel,
+        dest: View,
+        radius: tuple[int, ...],
+        coeffs: Mapping[str, float],
+        tape: list[TapeOp],
+        classes=None,
+    ) -> None:
+        ref = self._lower_expr(expr, comp, comp_sel, radius, coeffs, tape, dest, classes)
+        if ref is dest:
+            return  # root op already wrote into the output view
+        if isinstance(ref, np.generic):
+            tape.append(TapeOp("fill", (ref,), dest))
+        else:
+            tape.append(TapeOp("copy", (ref,), dest))
+            self.registers.release(ref)
+
+    def _lower_expr(
+        self,
+        expr: Expr,
+        comp: int,
+        comp_sel,
+        radius: tuple[int, ...],
+        coeffs: Mapping[str, float],
+        tape: list[TapeOp],
+        dest_hint: View | None = None,
+        classes=None,
+    ):
+        """Lower one expression; returns a scalar, View, Reg, or ``dest_hint``.
+
+        ``dest_hint`` is only consumed by the root op of a tree (in-place
+        write into the output view); inner nodes allocate registers. For a
+        merged component run, ``classes`` yields the per-access vary/fixed
+        classification in visit order (left to right, matching the template
+        walk).
+        """
+        if isinstance(expr, Const):
+            return self.dtype.type(expr.value)
+        if isinstance(expr, Coef):
+            try:
+                return self.dtype.type(coeffs[expr.name])
+            except KeyError:
+                raise SimulationError(
+                    f"coefficient '{expr.name}' has no value"
+                ) from None
+        if isinstance(expr, FieldAccess):
+            return self._lower_access(expr, comp_sel, radius, classes)
+        if isinstance(expr, Neg):
+            operand = self._lower_expr(
+                expr.operand, comp, comp_sel, radius, coeffs, tape, None, classes
+            )
+            if isinstance(operand, np.generic):
+                return -operand
+            dest = dest_hint if dest_hint is not None else self._alloc_like(operand)
+            tape.append(TapeOp("neg", (operand,), dest))
+            self.registers.release(operand)
+            return dest
+        if isinstance(expr, BinOp):
+            lhs = self._lower_expr(
+                expr.lhs, comp, comp_sel, radius, coeffs, tape, None, classes
+            )
+            rhs = self._lower_expr(
+                expr.rhs, comp, comp_sel, radius, coeffs, tape, None, classes
+            )
+            if isinstance(lhs, np.generic) and isinstance(rhs, np.generic):
+                # fold in the mesh dtype: identical scalar arithmetic to the
+                # interpreter's node-by-node evaluation
+                return self._fold(expr.op, lhs, rhs)
+            # release before allocating the dest so `a = a + b` reuses a's
+            # register in place (safe: same-shape elementwise ufunc)
+            self.registers.release(lhs)
+            self.registers.release(rhs)
+            if dest_hint is not None:
+                dest = dest_hint
+            else:
+                dest = self._alloc_for(lhs, rhs)
+            tape.append(TapeOp(_BINOP_NAMES[expr.op], (lhs, rhs), dest))
+            return dest
+        raise SimulationError(f"unknown expression node {type(expr).__name__}")
+
+    def _lower_access(
+        self, access: FieldAccess, comp_sel, radius: tuple[int, ...], classes
+    ) -> View:
+        slot = self.env.get(access.field)
+        if slot is None:
+            raise SimulationError(f"field '{access.field}' is not bound")
+        spec = self.specs[access.field]
+        if access.component >= spec.components:
+            raise SimulationError(
+                f"component {access.component} out of range for field "
+                f"'{access.field}' with {spec.components} components"
+            )
+        if classes is None:
+            # unmerged: plain single-component access
+            sel: object = access.component
+        else:
+            cls = next(classes)
+            # varying accesses ride the merged component slice; fixed ones
+            # keep their axis as a width-1 broadcast against the run
+            sel = comp_sel if cls == "vary" else slice(cls, cls + 1)
+        return View(slot, _shifted_index(access.offset, radius, spec.shape, sel))
+
+    # -- register shapes ----------------------------------------------------
+    def _view_shape(self, ref) -> tuple[int, ...]:
+        if isinstance(ref, Reg):
+            return ref.shape
+        return _index_shape(ref.index, self.buffers[ref.slot])
+
+    def _alloc_like(self, ref) -> Reg:
+        return self.registers.alloc(self._view_shape(ref))
+
+    def _alloc_for(self, lhs, rhs) -> Reg:
+        """Register for a binary result: the broadcast of the array operands."""
+        shapes = [
+            self._view_shape(r) for r in (lhs, rhs) if not isinstance(r, np.generic)
+        ]
+        if len(shapes) == 1:
+            return self.registers.alloc(shapes[0])
+        return self.registers.alloc(np.broadcast_shapes(*shapes))
+
+
+def lower_program(
+    program: StencilProgram,
+    mesh: MeshSpec,
+    input_specs: Mapping[str, MeshSpec],
+    coefficients: Mapping[str, float] | None = None,
+) -> ProgramPlan:
+    """Lower ``program`` against a concrete mesh/coefficient binding.
+
+    ``input_specs`` gives the spec of every externally bound field (state
+    fields carry the mesh element type; constant fields may be scalar).
+    """
+    for name in required_inputs(program):
+        if name not in input_specs:
+            raise ValidationError(
+                f"program '{program.name}' needs field '{name}' bound"
+            )
+    return _Lowerer(program, mesh, input_specs, coefficients).lower()
+
+
+# --------------------------------------------------------------------------- #
+# program identity tokens (cache keys)
+# --------------------------------------------------------------------------- #
+class _HashedKey:
+    """A structural key with its hash computed once.
+
+    Kernel coefficient tables are plain dicts, so programs themselves are
+    not hashable; this wraps the canonical tuple form. Equality takes the
+    identity fast path first — tokens are interned, so repeated lookups for
+    equal programs compare by ``is``.
+    """
+
+    __slots__ = ("value", "_hash", "__weakref__")
+
+    def __init__(self, value):
+        self.value = value
+        self._hash = hash(value)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, _HashedKey):
+            return NotImplemented
+        return self._hash == other._hash and self.value == other.value
+
+
+def _structural_key(program: StencilProgram) -> _HashedKey:
+    kernels = []
+    for group in program.groups:
+        for kernel in group.kernels:
+            kernels.append(
+                (
+                    kernel.name,
+                    tuple(
+                        (o.field, o.exprs, o.init_from) for o in kernel.outputs
+                    ),
+                    tuple(sorted(kernel.coefficients.items())),
+                )
+            )
+        kernels.append(("|group",))
+    return _HashedKey(
+        (
+            program.name,
+            program.state_fields,
+            program.constant_fields,
+            tuple(kernels),
+        )
+    )
+
+
+#: id(program) -> (liveness guard, token); pruned when the program dies
+_TOKENS: dict[int, tuple] = {}
+#: canonical token instances, interned so equal programs share one object;
+#: entries are refcounted by the live programs using them and pruned when
+#: the last one dies, so the table cannot accumulate one retained
+#: expression tree per structure ever tokenized
+_INTERNED: dict[_HashedKey, _HashedKey] = {}
+_INTERN_REFS: dict[_HashedKey, int] = {}
+#: reentrant: a weakref callback can fire from a GC triggered inside the
+#: locked region of the same thread
+_TOKEN_LOCK = threading.RLock()
+
+
+def program_token(program: StencilProgram) -> _HashedKey:
+    """A hashable identity token for a program's *execution semantics*.
+
+    Equal-by-structure programs (e.g. two ``app.program_on(shape)`` calls)
+    yield the same interned token, so plan caches key on semantics rather
+    than object identity. The token is memoized per program object; the
+    structural walk runs once per instance. Interning is an optimization:
+    after a token is pruned, an equal program re-interns a fresh object and
+    cache lookups still hit through structural equality.
+    """
+    pid = id(program)
+    with _TOKEN_LOCK:
+        entry = _TOKENS.get(pid)
+        if entry is not None and entry[0]() is program:
+            return entry[1]
+    key = _structural_key(program)
+    with _TOKEN_LOCK:
+        token = _INTERNED.setdefault(key, key)
+
+        def _drop(_ref, _pid=pid, _token=token):
+            with _TOKEN_LOCK:
+                _TOKENS.pop(_pid, None)
+                remaining = _INTERN_REFS.get(_token, 1) - 1
+                if remaining <= 0:
+                    _INTERN_REFS.pop(_token, None)
+                    _INTERNED.pop(_token, None)
+                else:
+                    _INTERN_REFS[_token] = remaining
+
+        _TOKENS[pid] = (weakref.ref(program, _drop), token)
+        _INTERN_REFS[token] = _INTERN_REFS.get(token, 0) + 1
+    return token

@@ -168,7 +168,15 @@ class StencilProgram:
         return tuple(self.state_fields)
 
     def bytes_per_cell_pass(self) -> int:
-        """External bytes moved per mesh point per outer pass (read + write)."""
+        """External bytes moved per mesh point per outer pass (read + write).
+
+        Memoized on the instance: the model layers (bandwidth feasibility,
+        runtime prediction, accelerator reports) ask for it on every
+        evaluation inside DSE search loops.
+        """
+        cached = self.__dict__.get("_bytes_per_cell_pass")
+        if cached is not None:
+            return cached
         k = self.mesh.elem_bytes
         scalar = self.mesh.dtype.itemsize
         total = 0
@@ -176,6 +184,7 @@ class StencilProgram:
             total += k if f in self.state_fields else scalar * self._field_components(f)
         for _ in self.external_writes():
             total += k
+        object.__setattr__(self, "_bytes_per_cell_pass", total)
         return total
 
     def _field_components(self, field: str) -> int:

@@ -19,7 +19,7 @@ class TestBatchRunner:
         batch = [{"U": Field.random("U", spec2d, seed=i)} for i in range(5)]
         results = runner.run(batch, 6)
         for env, res in zip(batch, results):
-            gold = run_program(poisson_program, env, 6)
+            gold = run_program(poisson_program, env, 6, engine="interpreter")
             assert np.array_equal(res["U"].data, gold["U"].data)
 
     def test_no_cross_mesh_contamination(self, poisson_program, spec2d):

@@ -25,7 +25,7 @@ class TestTiler2D:
         f = Field.random("U", spec, seed=31)
         tiler = SpatialTiler(prog, _tiled_design((20,)), ALVEO_U280)
         ours = tiler.run({"U": f}, 6)
-        gold = run_program(prog, {"U": f}, 6)
+        gold = run_program(prog, {"U": f}, 6, engine="interpreter")
         assert np.array_equal(ours["U"].data, gold["U"].data)
 
     def test_tile_not_dividing_mesh(self):
@@ -34,7 +34,7 @@ class TestTiler2D:
         f = Field.random("U", spec, seed=32)
         tiler = SpatialTiler(prog, _tiled_design((17,)), ALVEO_U280)
         ours = tiler.run({"U": f}, 4)
-        gold = run_program(prog, {"U": f}, 4)
+        gold = run_program(prog, {"U": f}, 4, engine="interpreter")
         assert np.array_equal(ours["U"].data, gold["U"].data)
 
     def test_tile_larger_than_mesh(self):
@@ -43,7 +43,7 @@ class TestTiler2D:
         f = Field.random("U", spec, seed=33)
         tiler = SpatialTiler(prog, _tiled_design((64,)), ALVEO_U280)
         ours = tiler.run({"U": f}, 2)
-        gold = run_program(prog, {"U": f}, 2)
+        gold = run_program(prog, {"U": f}, 2, engine="interpreter")
         assert np.array_equal(ours["U"].data, gold["U"].data)
 
     def test_requires_tiled_design(self, poisson_program):
@@ -66,7 +66,7 @@ class TestTiler3D:
         f = Field.random("U", spec, seed=35)
         tiler = SpatialTiler(prog, _tiled_design((10, 12)), ALVEO_U280)
         ours = tiler.run({"U": f}, 4)
-        gold = run_program(prog, {"U": f}, 4)
+        gold = run_program(prog, {"U": f}, 4, engine="interpreter")
         assert np.array_equal(ours["U"].data, gold["U"].data)
 
     def test_3d_requires_mn_tile(self):

@@ -30,6 +30,17 @@ class TestLineBufferStream:
         assert LineBufferStream(1).depth == 3
         assert LineBufferStream(4).depth == 9
 
+    def test_window_accessor(self):
+        buf = LineBufferStream(1)
+        assert buf.window() == []
+        buf.push(np.array([1.0]))
+        buf.push(np.array([2.0]))
+        window = buf.window()
+        assert [w[0] for w in window] == [1.0, 2.0]
+        # the accessor returns a snapshot, not the live deque
+        window.append(np.array([9.0]))
+        assert [w[0] for w in buf.window()] == [1.0, 2.0]
+
     def test_radius_zero(self):
         buf = LineBufferStream(0)
         assert buf.push(np.array([5.0])) == [np.array([5.0])]

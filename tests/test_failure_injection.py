@@ -31,7 +31,7 @@ class TestHaloSensitivity:
         # sabotage: lie about the per-iteration radius
         tiler.iter_radius = (0, 0)
         broken = tiler.run({"U": f}, 4)
-        gold = run_program(prog, {"U": f}, 4)
+        gold = run_program(prog, {"U": f}, 4, engine="interpreter")
         assert not np.array_equal(broken["U"].data, gold["U"].data)
 
     def test_correct_halo_fixes_it(self):
@@ -41,7 +41,7 @@ class TestHaloSensitivity:
         design = DesignPoint(1, 4, 250.0, "DDR4", TileDesign((24,)))
         tiler = SpatialTiler(prog, design, ALVEO_U280)
         ours = tiler.run({"U": f}, 4)
-        gold = run_program(prog, {"U": f}, 4)
+        gold = run_program(prog, {"U": f}, 4, engine="interpreter")
         assert np.array_equal(ours["U"].data, gold["U"].data)
 
 
@@ -51,7 +51,7 @@ class TestCoefficientSensitivity:
 
         pipe = IterativePipeline(poisson_program, 2, 2)
         base = pipe.run({"U": field2d}, 4)
-        gold = run_program(poisson_program, {"U": field2d}, 4)
+        gold = run_program(poisson_program, {"U": field2d}, 4, engine="interpreter")
         assert np.array_equal(base["U"].data, gold["U"].data)
         # the same run with a perturbed coefficient must diverge
         from repro.stencil.builders import jacobi3d_7pt  # noqa: F401 (import parity)
@@ -60,7 +60,7 @@ class TestCoefficientSensitivity:
         assert np.array_equal(perturbed["U"].data, gold["U"].data)
 
     def test_jacobi_coefficient_override_diverges(self, jacobi_program, field3d):
-        gold = run_program(jacobi_program, {"U": field3d}, 2)
+        gold = run_program(jacobi_program, {"U": field3d}, 2, engine="interpreter")
         skewed = run_program(
             jacobi_program, {"U": field3d}, 2, coefficients={"k1": 0.9}
         )

@@ -48,7 +48,7 @@ class TestEndToEndCustomKernel:
         result, report = acc.run({"U": workload_field}, 40)
 
         # 3. results are bit-identical to the golden model
-        gold = run_program(program, {"U": workload_field}, 40)
+        gold = run_program(program, {"U": workload_field}, 40, engine="interpreter")
         assert np.array_equal(result["U"].data, gold["U"].data)
 
         # 4. generate synthesizable sources
@@ -88,7 +88,7 @@ class TestBatchedIntegration:
         batch = [app.fields((16, 12), seed=s) for s in range(6)]
         results, report = acc.run_batch(batch, 8)
         for env, res in zip(batch, results):
-            gold = run_program(app.program_on((16, 12)), env, 8)
+            gold = run_program(app.program_on((16, 12)), env, 8, engine="interpreter")
             assert np.array_equal(res["U"].data, gold["U"].data)
         assert report.passes == 2
 
@@ -99,7 +99,7 @@ class TestBatchedIntegration:
         batch = [app.fields((12, 12, 10), seed=s) for s in range(3)]
         results, _ = acc.run_batch(batch, 3)
         for env, res in zip(batch, results):
-            gold = run_program(app.program_on((12, 12, 10)), env, 3)
+            gold = run_program(app.program_on((12, 12, 10)), env, 3, engine="interpreter")
             assert np.array_equal(res["Y"].data, gold["Y"].data)
 
 
@@ -110,7 +110,7 @@ class TestTiledIntegration:
         acc = app.accelerator((96, 20), design)
         fields = app.fields((96, 20), seed=13)
         res, report = acc.run(fields, 12)
-        gold = run_program(app.program_on((96, 20)), fields, 12)
+        gold = run_program(app.program_on((96, 20)), fields, 12, engine="interpreter")
         assert np.array_equal(res["U"].data, gold["U"].data)
         assert report.cycles > 0
 
@@ -120,7 +120,7 @@ class TestTiledIntegration:
         acc = app.accelerator((36, 30, 6), design)
         fields = app.fields((36, 30, 6), seed=14)
         res, _ = acc.run(fields, 6)
-        gold = run_program(app.program_on((36, 30, 6)), fields, 6)
+        gold = run_program(app.program_on((36, 30, 6)), fields, 6, engine="interpreter")
         assert np.array_equal(res["U"].data, gold["U"].data)
 
 

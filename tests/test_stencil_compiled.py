@@ -1,0 +1,525 @@
+"""Compiled execution engine: interpreter equivalence, cache, allocation.
+
+The contract under test is the one the whole PR rests on: the plan-compiled
+tape is bit-identical (``np.array_equal``, no tolerance) to the tree-walking
+golden interpreter for every registered application, on the pipeline, tiled
+and batched execution paths, and its steady-state loop allocates nothing.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.jacobi3d import jacobi3d_app
+from repro.apps.poisson2d import poisson2d_app
+from repro.apps.registry import all_apps
+from repro.apps.rtm import rtm_app
+from repro.dataflow.accelerator import FPGAAccelerator
+from repro.mesh.mesh import Field, MeshSpec
+from repro.stencil.compiled import (
+    CompiledPlanCache,
+    check_engine,
+    run_program_compiled,
+)
+from repro.stencil.expr import Coef, Const, FieldAccess
+from repro.stencil.kernel import KernelOutput, StencilKernel
+from repro.stencil.numpy_eval import run_program
+from repro.stencil.plan import lower_program, program_token
+from repro.stencil.program import (
+    FusedGroup,
+    StencilLoop,
+    StencilProgram,
+    single_kernel_program,
+)
+from repro.util.errors import ValidationError
+
+#: small-but-representative functional meshes per registered app
+APP_MESHES = {
+    "poisson2d": (24, 18),
+    "jacobi3d": (16, 14, 8),
+    "rtm": (12, 12, 10),
+}
+
+
+def _assert_env_equal(gold, got):
+    assert set(gold) == set(got)
+    for name in gold:
+        assert np.array_equal(gold[name].data, got[name].data), name
+
+
+# --------------------------------------------------------------------------- #
+# equivalence on every registered app
+# --------------------------------------------------------------------------- #
+class TestInterpreterEquivalence:
+    @pytest.mark.parametrize("name", sorted(APP_MESHES))
+    @pytest.mark.parametrize("niter", [0, 1, 2, 3, 6])
+    def test_run_program_bit_identical(self, name, niter):
+        app = all_apps()[name]
+        shape = APP_MESHES[name]
+        program = app.program_on(shape)
+        fields = app.fields(shape, seed=7)
+        gold = run_program(program, fields, niter, engine="interpreter")
+        got = run_program(program, fields, niter, engine="compiled")
+        _assert_env_equal(gold, got)
+
+    @pytest.mark.parametrize("name", sorted(APP_MESHES))
+    def test_coefficient_overrides(self, name):
+        app = all_apps()[name]
+        shape = APP_MESHES[name]
+        program = app.program_on(shape)
+        fields = app.fields(shape, seed=3)
+        coefficients = program.coefficient_values()
+        if not coefficients:
+            pytest.skip(f"app '{name}' has no runtime coefficients")
+        cname = next(iter(coefficients))
+        overrides = {cname: 0.07}
+        gold = run_program(program, fields, 3, overrides, engine="interpreter")
+        got = run_program(program, fields, 3, overrides, engine="compiled")
+        _assert_env_equal(gold, got)
+        # and the override genuinely changes the answer
+        base = run_program(program, fields, 3, engine="compiled")
+        state = program.state_fields[0]
+        assert not np.array_equal(base[state].data, got[state].data)
+
+
+class TestExecutionPaths:
+    def test_pipeline_path(self):
+        app = poisson2d_app((40, 30))
+        fields = app.fields((40, 30), seed=1)
+        compiled = app.accelerator((40, 30), app.design(p=5, V=4))
+        interp = FPGAAccelerator(
+            app.program_on((40, 30)),
+            app.design(p=5, V=4),
+            engine="interpreter",
+            logical_bytes_per_cell_iter=app.gpu_traffic.logical_bytes_per_cell_iter,
+        )
+        got, report_c = compiled.run(fields, 15)
+        gold, report_i = interp.run(fields, 15)
+        assert np.array_equal(gold["U"].data, got["U"].data)
+        assert report_c == report_i
+
+    def test_tiled_path(self):
+        app = jacobi3d_app((24, 20, 8))
+        fields = app.fields((24, 20, 8), seed=2)
+        design = app.design(tile=(12, 10), p=2, V=2)
+        compiled = app.accelerator((24, 20, 8), design)
+        interp = FPGAAccelerator(
+            app.program_on((24, 20, 8)), design, engine="interpreter"
+        )
+        got, _ = compiled.run(fields, 4)
+        gold, _ = interp.run(fields, 4)
+        assert np.array_equal(gold["U"].data, got["U"].data)
+
+    def test_batched_path(self):
+        app = poisson2d_app((20, 16))
+        design = app.design(p=4, V=2)
+        batch = [app.fields((20, 16), seed=s) for s in range(5)]
+        compiled = app.accelerator((20, 16), design)
+        interp = FPGAAccelerator(
+            app.program_on((20, 16)), design, engine="interpreter"
+        )
+        got, _ = compiled.run_batch(batch, 8)
+        gold, _ = interp.run_batch(batch, 8)
+        for g, c in zip(gold, got):
+            assert np.array_equal(g["U"].data, c["U"].data)
+
+    def test_rtm_multi_output_fused_groups(self):
+        """RTM: four fused multi-output kernels, init_from carries, FIFOs."""
+        app = rtm_app((12, 12, 10))
+        fields = app.fields((12, 12, 10), seed=5)
+        got, _ = app.accelerator((12, 12, 10)).run(fields, 3)
+        gold = run_program(
+            app.program_on((12, 12, 10)), fields, 3, engine="interpreter"
+        )
+        for name in ("Y",):
+            assert np.array_equal(gold[name].data, got[name].data)
+
+    def test_undeclared_read_field_matches_interpreter(self):
+        """Reads outside the declared external contract still resolve.
+
+        The interpreter evaluates against whatever the caller bound; the
+        compiled plan must bind the same required set, not just
+        ``external_reads()``.
+        """
+        mesh = MeshSpec((12, 10))
+        U = lambda dx, dy: FieldAccess("U", (dx, dy))
+        kernel = StencilKernel(
+            "leaky",
+            (
+                KernelOutput(
+                    "U",
+                    (
+                        Const(0.25) * (U(-1, 0) + U(1, 0))
+                        + FieldAccess("F", (0, 0)),
+                    ),
+                    init_from="U",
+                ),
+            ),
+        )
+        program = StencilProgram(
+            "leaky", mesh, (FusedGroup((StencilLoop(kernel),)),), ("U",)
+        )
+        fields = {
+            "U": Field.random("U", mesh, seed=1),
+            "F": Field.random("F", mesh, seed=2),
+        }
+        gold = run_program(program, fields, 3, engine="interpreter")
+        got = run_program(program, fields, 3, engine="compiled")
+        _assert_env_equal(gold, got)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValidationError):
+            check_engine("jit")
+        app = poisson2d_app((12, 10))
+        with pytest.raises(ValidationError):
+            run_program(
+                app.program_on((12, 10)), app.fields((12, 10)), 1, engine="jit"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# component merging and init_from corners
+# --------------------------------------------------------------------------- #
+def _vector_program(shape=(14, 12)):
+    """A 2D multi-output kernel exercising merge + fixed-component reads."""
+    mesh = MeshSpec(shape, components=3)
+
+    def stencil(c):
+        U = lambda dx, dy: FieldAccess("U", (dx, dy), c)
+        # components share structure (mergeable) but read the scalar gate
+        # field at a fixed component (broadcast operand)
+        return (
+            Coef("a") * (U(-1, 0) + U(1, 0) + U(0, -1) + U(0, 1))
+            + Coef("b") * U(0, 0)
+        ) * FieldAccess("G", (0, 0), 0)
+
+    kernel = StencilKernel(
+        "vec_smooth",
+        (
+            KernelOutput("W", tuple(stencil(c) for c in range(3))),
+            KernelOutput(
+                "U",
+                tuple(
+                    FieldAccess("U", (0, 0), c)
+                    + Const(0.5) * FieldAccess("W", (0, 0), c)
+                    for c in range(3)
+                ),
+                init_from="U",
+            ),
+        ),
+        {"a": 0.2, "b": 0.1},
+    )
+    return StencilProgram(
+        "vec_smooth",
+        mesh,
+        (FusedGroup((StencilLoop(kernel),)),),
+        state_fields=("U",),
+        constant_fields=("G",),
+    )
+
+
+class TestComponentMerging:
+    def test_merged_vector_kernel_bit_identical(self):
+        program = _vector_program()
+        fields = {
+            "U": Field.random("U", program.mesh, seed=4, lo=-1.0, hi=1.0),
+            "G": Field.random("G", MeshSpec(program.mesh.shape, 1), seed=5),
+        }
+        for niter in (1, 2, 5):
+            gold = run_program(program, fields, niter, engine="interpreter")
+            got = run_program(program, fields, niter, engine="compiled")
+            _assert_env_equal(gold, got)
+
+    def test_merging_shortens_tape(self):
+        program = _vector_program()
+        specs = {
+            "U": program.mesh,
+            "G": MeshSpec(program.mesh.shape, 1),
+        }
+        merged = lower_program(program, program.mesh, specs)
+        # all three components collapse into one sliced run per output (the
+        # fixed-component G read becomes a width-1 broadcast): W lowers to 7
+        # merged ops, U to 2, and steady tapes carry no boundary ops
+        assert len(merged.steady_odd) == 9
+
+    def test_deep_init_from_chain_boundary_transient(self):
+        """Boundary transients drain one iteration per chain link.
+
+        Kernels A (F init_from G), B (G init_from H), C (H init_from None),
+        where every init_from source is produced by a *later* kernel: F's
+        boundary is in:G at iteration 0, in:H at iteration 1 and zero only
+        from iteration 2 — the warm-up tapes must cover the whole transient
+        (regression: a fixed 3-iteration warm-up baked the stale in:H
+        boundary into one rotation parity forever).
+        """
+        mesh = MeshSpec((10, 8))
+        U = lambda f, dx, dy: FieldAccess(f, (dx, dy))
+
+        def smooth(name, src, init_from):
+            expr = Const(0.25) * (
+                U(src, -1, 0) + U(src, 1, 0) + U(src, 0, -1) + U(src, 0, 1)
+            )
+            return StencilKernel(name, (KernelOutput(name[-1].upper(), (expr,), init_from),))
+
+        a = smooth("k_f", "G", "G")
+        b = smooth("k_g", "H", "H")
+        c = smooth("k_h", "F", None)
+        program = StencilProgram(
+            "chain",
+            mesh,
+            (FusedGroup((StencilLoop(a), StencilLoop(b), StencilLoop(c))),),
+            state_fields=("F", "G", "H"),
+        )
+        fields = {
+            "F": Field.random("F", mesh, seed=1),
+            "G": Field.random("G", mesh, seed=2),
+            "H": Field.random("H", mesh, seed=3),
+        }
+        for niter in range(0, 12):
+            gold = run_program(program, fields, niter, engine="interpreter")
+            got = run_program(program, fields, niter, engine="compiled")
+            _assert_env_equal(gold, got)
+
+    def test_zero_boundary_intermediate(self):
+        """init_from=None intermediates keep a zero boundary ring."""
+        program = _vector_program()
+        fields = {
+            "U": Field.random("U", program.mesh, seed=4),
+            "G": Field.random("G", MeshSpec(program.mesh.shape, 1), seed=5),
+        }
+        got = run_program(program, fields, 4, engine="compiled")
+        w = got["W"].data
+        assert np.all(w[0, :, :] == 0) and np.all(w[:, 0, :] == 0)
+        assert np.all(w[-1, :, :] == 0) and np.all(w[:, -1, :] == 0)
+
+
+# --------------------------------------------------------------------------- #
+# plan cache
+# --------------------------------------------------------------------------- #
+class TestCompiledPlanCache:
+    def test_compile_once_per_binding(self):
+        cache = CompiledPlanCache()
+        app = poisson2d_app((20, 16))
+        program = app.program_on((20, 16))
+        fields = app.fields((20, 16), seed=0)
+        first = cache.get(program, fields)
+        again = cache.get(program, fields)
+        assert first is again
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_structurally_equal_programs_share_plans(self):
+        cache = CompiledPlanCache()
+        app = poisson2d_app((20, 16))
+        fields = app.fields((20, 16), seed=0)
+        a = cache.get(app.program_on((20, 16)), fields)
+        b = cache.get(app.program_on((20, 16)), fields)  # fresh object
+        assert a is b
+        assert program_token(app.program_on((20, 16))) is program_token(
+            app.program_on((20, 16))
+        )
+
+    def test_distinct_bindings_get_distinct_plans(self):
+        cache = CompiledPlanCache()
+        app = poisson2d_app((20, 16))
+        fields_a = app.fields((20, 16), seed=0)
+        fields_b = app.fields((24, 18), seed=0)
+        a = cache.get(app.program_on((20, 16)), fields_a)
+        b = cache.get(app.program_on((24, 18)), fields_b)
+        c = cache.get(app.program_on((20, 16)), fields_a, {"__nope": 1.0})
+        d = cache.get(app.program_on((20, 16)), fields_a, None)
+        assert a is not b
+        assert c is a  # unknown coefficient names do not fragment the cache
+        assert d is a
+        assert len(cache) == 2
+
+    def test_capacity_eviction(self):
+        cache = CompiledPlanCache(capacity=2)
+        app = poisson2d_app((20, 16))
+        for m in (16, 18, 20):
+            shape = (m, 14)
+            cache.get(app.program_on(shape), app.fields(shape, seed=0))
+        assert len(cache) == 2
+        with pytest.raises(ValidationError):
+            CompiledPlanCache(capacity=0)
+
+    def test_interned_tokens_pruned_with_programs(self):
+        """Token interning must not retain expression trees forever.
+
+        Each structurally distinct program tokenized adds one intern entry;
+        entries are refcounted by live programs and pruned when the last
+        dies — a long sweep of generated programs stays bounded.
+        """
+        import gc
+
+        from repro.stencil import plan as plan_mod
+
+        from repro.stencil.builders import jacobi2d_5pt
+
+        mesh = MeshSpec((12, 10))
+        before = len(plan_mod._INTERNED)
+        # distinct names -> structurally distinct tokens
+        programs = [
+            single_kernel_program(f"tok_{i}", mesh, jacobi2d_5pt())
+            for i in range(5)
+        ]
+        for program in programs:
+            program_token(program)
+        assert len(plan_mod._INTERNED) == before + 5
+        del programs, program  # the loop variable pins the last program
+        gc.collect()
+        assert len(plan_mod._INTERNED) == before
+
+    def test_byte_budget_eviction(self):
+        app = poisson2d_app((20, 16))
+        one = CompiledPlanCache().get(
+            app.program_on((20, 16)), app.fields((20, 16), seed=0)
+        )
+        # budget fits roughly one plan: a second distinct shape evicts the
+        # first, but a single over-budget plan is still kept and usable
+        cache = CompiledPlanCache(max_bytes=int(one.nbytes * 1.5))
+        cache.get(app.program_on((20, 16)), app.fields((20, 16), seed=0))
+        cache.get(app.program_on((24, 18)), app.fields((24, 18), seed=0))
+        assert len(cache) == 1
+        tiny = CompiledPlanCache(max_bytes=1)
+        kept = tiny.get(app.program_on((20, 16)), app.fields((20, 16), seed=0))
+        assert len(tiny) == 1
+        result = kept.run(app.fields((20, 16), seed=0), 2)
+        assert "U" in result
+
+    def test_tiled_blocks_reuse_plans_across_passes(self):
+        from repro.stencil.compiled import CompiledPlanCache as Cache
+
+        cache = Cache()
+        app = jacobi3d_app((24, 20, 8))
+        design = app.design(tile=(12, 10), p=2, V=2)
+        acc = FPGAAccelerator(
+            app.program_on((24, 20, 8)), design, plan_cache=cache
+        )
+        fields = app.fields((24, 20, 8), seed=2)
+        acc.run(fields, 4)
+        compiled_after_first = cache.misses
+        acc.run(fields, 8)
+        assert cache.misses == compiled_after_first  # all block shapes warm
+        assert cache.hits > 0
+
+
+# --------------------------------------------------------------------------- #
+# allocation behaviour of the steady-state loop
+# --------------------------------------------------------------------------- #
+class TestSteadyStateAllocation:
+    @pytest.mark.parametrize("maker,shape", [
+        (jacobi3d_app, (24, 20, 10)),
+        (rtm_app, (12, 12, 10)),
+    ])
+    def test_zero_heap_allocation(self, maker, shape):
+        app = maker(shape)
+        program = app.program_on(shape)
+        fields = app.fields(shape, seed=1)
+        compiled = CompiledPlanCache().get(program, fields)
+        compiled.load(fields)
+        compiled.run_iterations(4)  # past warm-up, into the steady tapes
+        tracemalloc.start()
+        base_cur, base_peak = tracemalloc.get_traced_memory()
+        compiled.run_iterations(30)
+        cur, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert cur - base_cur == 0, "steady-state loop leaked allocations"
+        # the transient peak is tracemalloc's own bookkeeping (a few hundred
+        # bytes); one field of this mesh is tens of kilobytes, and the
+        # interpreter allocates several temporaries of that size *per op* —
+        # any per-iteration array materialization would blow through this
+        field_bytes = fields[program.state_fields[0]].data.nbytes
+        assert peak - base_peak < min(8192, field_bytes // 2)
+
+    def test_stepwise_api_matches_one_shot(self):
+        app = jacobi3d_app((16, 14, 8))
+        program = app.program_on((16, 14, 8))
+        fields = app.fields((16, 14, 8), seed=9)
+        compiled = CompiledPlanCache().get(program, fields)
+        compiled.load(fields)
+        compiled.run_iterations(3)
+        compiled.run_iterations(4)
+        stepped = compiled.result(fields)
+        one_shot = run_program(program, fields, 7, engine="interpreter")
+        _assert_env_equal(one_shot, stepped)
+
+    def test_results_do_not_alias_internal_buffers(self):
+        app = poisson2d_app((16, 12))
+        program = app.program_on((16, 12))
+        fields = app.fields((16, 12), seed=0)
+        cache = CompiledPlanCache()
+        first = run_program_compiled(program, fields, 2, cache=cache)
+        snapshot = first["U"].data.copy()
+        run_program_compiled(program, fields, 4, cache=cache)  # reuses buffers
+        assert np.array_equal(first["U"].data, snapshot)
+
+
+# --------------------------------------------------------------------------- #
+# property test: random expression trees
+# --------------------------------------------------------------------------- #
+@st.composite
+def random_kernel_exprs(draw):
+    """A random 2D expression over U (radius <= 2) plus one coefficient."""
+    offsets = st.tuples(
+        st.integers(min_value=-2, max_value=2),
+        st.integers(min_value=-2, max_value=2),
+    )
+
+    def leaf():
+        return st.one_of(
+            st.floats(
+                min_value=-2.0, max_value=2.0, allow_nan=False, width=32
+            ).map(Const),
+            st.just(Coef("c")),
+            offsets.map(lambda off: FieldAccess("U", off)),
+        )
+
+    def compose(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda ab: ab[0] + ab[1]),
+            st.tuples(children, children).map(lambda ab: ab[0] - ab[1]),
+            st.tuples(children, children).map(lambda ab: ab[0] * ab[1]),
+            # divide only by safely-nonzero literals: bit-identity must not
+            # depend on inf/nan propagation quirks
+            st.tuples(
+                children,
+                st.floats(min_value=0.5, max_value=2.0, allow_nan=False, width=32),
+            ).map(lambda ab: ab[0] / Const(ab[1])),
+            children.map(lambda e: -e),
+        )
+
+    expr = draw(st.recursive(leaf(), compose, max_leaves=12))
+    # ensure the kernel reads at least one field (a pure-constant kernel is
+    # rejected by kernel validation)
+    if not any(isinstance(n, FieldAccess) for n in _walk(expr)):
+        expr = expr + FieldAccess("U", (draw(offsets)))
+    cval = draw(
+        st.floats(min_value=-1.5, max_value=1.5, allow_nan=False, width=32)
+    )
+    return expr, cval
+
+
+def _walk(expr):
+    from repro.stencil.expr import walk
+
+    return walk(expr)
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(data=random_kernel_exprs(), seed=st.integers(min_value=0, max_value=5))
+    def test_random_trees_bit_identical(self, data, seed):
+        expr, cval = data
+        from repro.stencil.kernel import single_output_kernel
+
+        kernel = single_output_kernel("rand", "U", expr, {"c": cval})
+        mesh = MeshSpec((11, 9))
+        program = single_kernel_program("rand_prog", mesh, kernel)
+        fields = {"U": Field.random("U", mesh, seed=seed, lo=-1.0, hi=1.0)}
+        gold = run_program(program, fields, 3, engine="interpreter")
+        got = run_program(program, fields, 3, engine="compiled")
+        assert np.array_equal(gold["U"].data, got["U"].data)
