@@ -5,8 +5,9 @@ concrete preallocated NumPy buffers and executes it. All views, scratch
 registers and scalar operands are resolved **once** at bind time — scalars
 are pre-wrapped as 0-d arrays so the ufunc machinery never allocates a
 wrapper per call — and the steady-state iteration loop is a flat sequence of
-``ufunc(a, b, out)`` invocations with zero heap allocation (asserted in the
-test suite via ``tracemalloc``).
+``ufunc(a, b, out)`` invocations that allocates no arrays (asserted in the
+test suite via ``tracemalloc``; the only heap traffic is a few bytes of
+errstate bookkeeping around flat-mode runs).
 
 :class:`CompiledPlanCache` memoizes compiled programs by execution
 semantics: ``(program structure, bound field specs, coefficient bindings)``.
@@ -18,6 +19,9 @@ program compiled anywhere is warm everywhere.
 Results are bit-identical (``np.array_equal``) to the tree-walking golden
 interpreter in :mod:`repro.stencil.numpy_eval`; the equivalence is asserted
 across every registered application and execution path in the test suite.
+Bindings the plan model cannot reproduce exactly — inputs whose dtypes are
+not uniform, where the interpreter's NumPy promotion rules apply — fall
+back to the interpreter inside :func:`run_program_compiled`.
 """
 
 from __future__ import annotations
@@ -56,6 +60,11 @@ _UFUNCS = {
 #: a bound tape op: ``fn(*args)`` with the out array included in ``args``
 BoundOp = tuple[Callable, tuple]
 
+#: FP-warning suppression for plans with flat-mode ops: their ghost lanes
+#: (wrapped neighbours) can hit overflow/invalid values the interpreter
+#: never computes
+_FLAT_ERRSTATE = {"over": "ignore", "invalid": "ignore", "under": "ignore"}
+
 
 def check_engine(engine: str) -> str:
     """Validate an engine name; returns it unchanged."""
@@ -91,6 +100,10 @@ class CompiledProgram:
         self._constants: dict[tuple, np.ndarray] = {}
         self._warm = tuple(self._bind(tape) for tape in plan.warm)
         self._steady = (self._bind(plan.steady[0]), self._bind(plan.steady[1]))
+        #: plans with flat-mode ops iterate under FP-warning suppression
+        self._suppress_fp = any(
+            op.flat for tape in plan.warm + plan.steady for op in tape
+        )
         self._iterations_done = 0
         self._lock = threading.Lock()
 
@@ -168,11 +181,38 @@ class CompiledProgram:
                     f"field '{name}' shape {field.data.shape} does not match "
                     f"the compiled plan's shape {buf.shape}"
                 )
+            if field.data.dtype != buf.dtype:
+                # a silent cast here would diverge from the interpreter,
+                # which computes with NumPy promotion on the native dtypes
+                raise ValidationError(
+                    f"field '{name}' dtype {field.data.dtype} does not match "
+                    f"the compiled plan's dtype {buf.dtype}; mixed-dtype "
+                    f"bindings run on the interpreter"
+                )
             np.copyto(buf, field.data)
         self._iterations_done = 0
 
     def run_iterations(self, n: int) -> None:
-        """Execute ``n`` further iterations; allocation-free after warm-up."""
+        """Execute ``n`` further iterations; array-allocation-free after warm-up.
+
+        Plans containing flat-mode ops run under :data:`_FLAT_ERRSTATE` for
+        the whole call: flat-mode ghost lanes can hit overflow/invalid
+        values the interpreter never computes, and the resulting warnings
+        would break callers running with warnings-as-errors or
+        ``np.errstate(all='raise')``. Results are unaffected and stay
+        bit-identical; the trade-off is that genuine FP warnings the
+        program would otherwise emit during these iterations are suppressed
+        along with the spurious ghost-lane ones. (One errstate toggle per
+        call, not per op — the hot loop stays free of per-iteration
+        bookkeeping.)
+        """
+        if self._suppress_fp:
+            with np.errstate(**_FLAT_ERRSTATE):
+                self._iterate(n)
+        else:
+            self._iterate(n)
+
+    def _iterate(self, n: int) -> None:
         done = self._iterations_done
         warm, steady = self._warm, self._steady
         warm_count = len(warm)
@@ -328,9 +368,30 @@ def run_program_compiled(
     Compiles (or reuses) the plan for this binding and replays it. Returns
     the same environment shape as the golden interpreter, with bit-identical
     field contents.
+
+    Plans compute every op in one dtype, while the interpreter applies
+    NumPy's promotion rules to the fields' native dtypes — so a binding
+    whose inputs do not all share one dtype (e.g. a float64 constant field
+    on a float32 mesh) is handed straight to the golden interpreter rather
+    than silently cast.
     """
     if niter < 0:
         raise ValidationError(f"niter must be non-negative, got {niter}")
+    for name in required_inputs(program):
+        if name not in fields:
+            raise ValidationError(
+                f"program '{program.name}' needs field '{name}' bound"
+            )
+    if niter == 0:
+        # nothing to run: do not compile (and cache) a plan for it
+        return dict(fields)
+    dtypes = {
+        fields[name].spec.dtype for name in required_inputs(program)
+    }
+    if len(dtypes) > 1:
+        from repro.stencil.numpy_eval import run_program
+
+        return run_program(program, fields, niter, coefficients, engine="interpreter")
     cache = cache if cache is not None else DEFAULT_CACHE
     compiled = cache.get(program, fields, coefficients)
     return compiled.run(fields, niter)

@@ -21,8 +21,8 @@ ufunc ops over precomputed interior views, with
   contiguous inner loops;
 * **ping-pong buffer rotation** — every produced field owns two storage
   buffers; each write alternates between them, so a kernel never reads the
-  array it is writing and the steady-state loop performs **zero heap
-  allocation**;
+  array it is writing and the steady-state loop allocates **no arrays at
+  all**;
 * **boundary slab ops** — instead of re-zeroing/copying whole output arrays
   per kernel application, the plan writes only the boundary ring (the
   interior is fully overwritten by the expression tape).
@@ -39,7 +39,10 @@ changing once the longest ``init_from`` chain has drained — a settle depth
 the lowering computes exactly via a symbolic fixpoint over boundary value
 ids (see :func:`_boundary_settle_iteration`). The warm-up tapes cover every
 iteration up to that settle point, so each rotation buffer's boundary is
-final before the steady pair takes over.
+final before the steady pair takes over. When a boundary is *not* a pure
+copy chain — an ``init_from`` ring wider than its source kernel's radius
+overlaps the source's recomputed interior — the steady tapes keep their
+boundary ops instead.
 
 Bit-identity contract: executing a plan produces results that are
 ``np.array_equal`` to the golden interpreter for every program, mesh and
@@ -137,12 +140,16 @@ class TapeOp:
 
     ``args`` are :class:`View`/:class:`Reg` references or NumPy scalars
     (folded constants); ``dest`` is where the result lands. ``fill`` takes a
-    single scalar arg; ``copy`` a single view/reg arg.
+    single scalar arg; ``copy`` a single view/reg arg. ``flat`` marks
+    flat-mode arithmetic whose ghost lanes may hit overflow/invalid values
+    the interpreter never touches; the executor runs such ops with those
+    FP warnings suppressed (interior results are unaffected).
     """
 
     op: str
     args: tuple
     dest: object  # View | Reg
+    flat: bool = False
 
     def __post_init__(self):
         if self.op not in OPS:
@@ -155,7 +162,9 @@ class ProgramPlan:
 
     #: canonical mesh the plan was lowered against
     mesh: MeshSpec
-    #: buffer slot -> storage shape ("in:<f>" inputs, "st:<f>:<k>" rotations)
+    #: buffer slot -> storage shape ("in:<f>" inputs, "st:<f>:<dims>:<k>"
+    #: rotations — the storage shape is in the name so a field re-produced
+    #: with a different component count gets its own rotation pair)
     buffers: Mapping[str, tuple[int, ...]]
     #: scratch-register shape -> pool size
     registers: Mapping[tuple[int, ...], int]
@@ -255,9 +264,14 @@ def required_inputs(program: StencilProgram) -> tuple[str, ...]:
         for kernel in group.kernels:
             for name in kernel.read_fields():
                 need(name)
+            # init_from resolves against the environment at *kernel entry*
+            # (exactly apply_kernel): an earlier output of the same kernel
+            # does not satisfy it, so defer marking this kernel's outputs
+            # as produced until all of them have been scanned
             for out in kernel.outputs:
                 if out.init_from is not None:
                     need(out.init_from)
+            for out in kernel.outputs:
                 produced.add(out.field)
     result = tuple(required)
     object.__setattr__(program, "_required_inputs", result)
@@ -268,42 +282,106 @@ def _boundary_settle_iteration(program: StencilProgram) -> int | None:
     """First iteration whose boundary values repeat the previous iteration's.
 
     Output boundaries are pure copy chains: zeros (``init_from=None``), a
-    never-produced caller field, or another output's boundary from earlier
-    this iteration / the previous one. Tracking a symbolic *value id* per
-    output position and iterating to a fixpoint gives the exact iteration
-    from which every boundary is constant — e.g. 1 for a self ping-pong, but
-    ``d+1`` for a depth-``d`` chain of ``init_from`` sources produced by
-    *later* kernels, whose initial input boundaries drain one iteration at a
-    time. Returns ``None`` if no fixpoint is found within the state-space
-    bound (callers must then keep boundary ops in every tape).
+    never-produced caller field, or another output's boundary from an
+    earlier kernel this iteration / the previous iteration (``init_from``
+    resolves at *kernel entry*, exactly as :meth:`_Lowerer._lower_kernel`
+    and the interpreter do — an earlier output of the same kernel does not
+    count). Tracking a symbolic *value id* per output position and
+    iterating to a fixpoint gives the exact iteration from which every
+    boundary is constant — e.g. 1 for a self ping-pong, but ``d+1`` for a
+    depth-``d`` chain of ``init_from`` sources produced by *later* kernels,
+    whose initial input boundaries drain one iteration at a time. Returns
+    ``None`` if any boundary is not a pure settling copy chain (callers
+    must then keep boundary ops in every tape):
+
+    * a field produced **more than once per iteration** — the per-field
+      model maps each field to one ping-pong pair advancing one write per
+      iteration; multiple writes make producers alternate rotation slots,
+      so a slot's ring can keep changing forever even when every
+      producer's ring value is constant;
+    * an ``init_from`` ring **wider than its source kernel's radius** per
+      axis — the ring overlaps the source's recomputed interior, which
+      never settles;
+    * no fixpoint within the state-space bound.
     """
-    outputs: list[tuple[str, str | None]] = []
+    kernels: list[list[tuple[str, str | None]]] = []
+    radii: dict[str, tuple[int, ...]] = {}
+    counts: dict[str, int] = {}
+    ring_edges: list[tuple[tuple[int, ...], str]] = []
     for group in program.groups:
         for kernel in group.kernels:
+            radius = tuple(kernel.radius)
+            outs: list[tuple[str, str | None]] = []
             for out in kernel.outputs:
-                outputs.append((out.field, out.init_from))
-    produced = {field for field, _ in outputs}
+                outs.append((out.field, out.init_from))
+                if out.init_from is not None:
+                    ring_edges.append((radius, out.init_from))
+                counts[out.field] = counts.get(out.field, 0) + 1
+                radii[out.field] = radius
+            kernels.append(outs)
+    if any(c > 1 for c in counts.values()):
+        return None
+    for out_radius, src in ring_edges:
+        src_radius = radii.get(src)
+        if src_radius is not None and any(
+            ro > rs for ro, rs in zip(out_radius, src_radius)
+        ):
+            return None
+    produced = set(counts)
+    total = sum(len(outs) for outs in kernels)
+    #: field -> boundary value id at the start of the iteration (the
+    #: caller's binding before iteration 0)
+    prev_final: dict[str, tuple] = {f: ("input", f) for f in produced}
     prev_vids: list | None = None
-    prev_final: dict[str, tuple] = {}
-    for k in range(len(outputs) + 3):
+    for k in range(total + 3):
+        env: dict[str, tuple] = dict(prev_final)
         vids: list[tuple] = []
-        this_iter: dict[str, tuple] = {}
-        for field, src in outputs:
-            if src is None:
-                vid: tuple = ("zero",)
-            elif src in this_iter:  # produced earlier this iteration
-                vid = this_iter[src]
-            elif src in produced:  # produced later: previous iteration's value
-                vid = ("input", src) if k == 0 else prev_final[src]
-            else:  # never produced: constant caller binding
-                vid = ("input", src)
-            this_iter[field] = vid
-            vids.append(vid)
+        for outs in kernels:
+            entry = dict(env)  # init_from resolves at kernel entry
+            for field, src in outs:
+                if src is None:
+                    vid: tuple = ("zero",)
+                else:
+                    vid = entry.get(src, ("input", src))
+                vids.append(vid)
+                env[field] = vid
         if prev_vids is not None and vids == prev_vids:
             return k
         prev_vids = vids
-        prev_final = this_iter
+        prev_final = env
     return None  # pragma: no cover - copy chains always drain
+
+
+def _args_equal(a: tuple, b: tuple) -> bool:
+    """Tape-op argument equality with NumPy scalars compared bit for bit.
+
+    Folded constants are NumPy scalars; ``==`` on them follows IEEE-754
+    (``nan != nan``), which would make the periodicity check reject valid
+    plans containing NaN constants. Bit-pattern comparison is the identity
+    that matters for replaying a tape.
+    """
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if isinstance(x, np.generic) or isinstance(y, np.generic):
+            if type(x) is not type(y) or x.tobytes() != y.tobytes():
+                return False
+        elif x != y:
+            return False
+    return True
+
+
+def _tapes_equal(t1: tuple[TapeOp, ...], t2: tuple[TapeOp, ...]) -> bool:
+    """Structural tape equality (NaN-safe on folded scalar arguments)."""
+    if len(t1) != len(t2):
+        return False
+    return all(
+        a.op == b.op
+        and a.dest == b.dest
+        and a.flat == b.flat
+        and _args_equal(a.args, b.args)
+        for a, b in zip(t1, t2)
+    )
 
 
 def _boundary_slabs(
@@ -511,7 +589,7 @@ class _Lowerer:
         # the tape and environment must repeat or the steady pair is invalid
         check = tuple(self._lower_iteration(emit_boundary=steady_boundary))
         env_check = dict(self.env)
-        if check != steady_a or env_check != envs[-2]:  # pragma: no cover
+        if not _tapes_equal(check, steady_a) or env_check != envs[-2]:  # pragma: no cover
             raise SimulationError("buffer rotation is not periodic; plan is invalid")
         # env after any iteration >= 1 depends only on parity; warm_count >= 2
         # guarantees envs[1]/envs[2] exist (iterations 1 and 2)
@@ -579,7 +657,10 @@ class _Lowerer:
         It requires purely scalar traffic — one component everywhere, every
         bound field on the mesh shape — and no division, whose ghost lanes
         could raise spurious divide warnings. Ghost values never reach a
-        buffer: outputs are written through interior views only.
+        buffer: outputs are written through interior views only. Ghost-lane
+        add/sub/mul can still hit overflow/invalid values; those ops are
+        marked ``flat=True`` so the executor suppresses the corresponding
+        FP warnings (which the interpreter would never emit).
         """
         for out in kernel.outputs:
             if len(out.exprs) != 1:
@@ -605,7 +686,11 @@ class _Lowerer:
         key = (field, shape)
         k = self._rot.get(key, 0)
         self._rot[key] = k + 1
-        slot = f"st:{field}:{k % 2}"
+        # the shape is part of the slot name: a field re-produced with a
+        # different component count within one program must not overwrite
+        # (or alias) the other shape's rotation buffers
+        dims = "x".join(map(str, shape))
+        slot = f"st:{field}:{dims}:{k % 2}"
         self.buffers[slot] = shape
         return slot
 
@@ -746,7 +831,7 @@ class _Lowerer:
                 return -operand
             self.registers.release(operand)
             dest = self.registers.alloc((layout.window,))
-            tape.append(TapeOp("neg", (operand,), dest))
+            tape.append(TapeOp("neg", (operand,), dest, flat=True))
             return dest
         if isinstance(expr, BinOp):
             lhs = self._lower_flat(expr.lhs, layout, radius, coeffs, tape)
@@ -756,7 +841,7 @@ class _Lowerer:
             self.registers.release(lhs)
             self.registers.release(rhs)
             dest = self.registers.alloc((layout.window,))
-            tape.append(TapeOp(_BINOP_NAMES[expr.op], (lhs, rhs), dest))
+            tape.append(TapeOp(_BINOP_NAMES[expr.op], (lhs, rhs), dest, flat=True))
             return dest
         raise SimulationError(f"unknown expression node {type(expr).__name__}")
 
@@ -1004,6 +1089,13 @@ def program_token(program: StencilProgram) -> _HashedKey:
             return entry[1]
     key = _structural_key(program)
     with _TOKEN_LOCK:
+        # a concurrent tokenization of the same object may have won while
+        # the structural walk ran; keep the incumbent — overwriting it
+        # would discard its weakref (the callback never fires) and leave
+        # the intern refcount permanently one too high
+        entry = _TOKENS.get(pid)
+        if entry is not None and entry[0]() is program:
+            return entry[1]
         token = _INTERNED.setdefault(key, key)
 
         def _drop(_ref, _pid=pid, _token=token):

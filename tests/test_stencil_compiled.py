@@ -9,6 +9,7 @@ and batched execution paths, and its steady-state loop allocates nothing.
 from __future__ import annotations
 
 import tracemalloc
+import warnings
 
 import numpy as np
 import pytest
@@ -28,7 +29,11 @@ from repro.stencil.compiled import (
 from repro.stencil.expr import Coef, Const, FieldAccess
 from repro.stencil.kernel import KernelOutput, StencilKernel
 from repro.stencil.numpy_eval import run_program
-from repro.stencil.plan import lower_program, program_token
+from repro.stencil.plan import (
+    _boundary_settle_iteration,
+    lower_program,
+    program_token,
+)
 from repro.stencil.program import (
     FusedGroup,
     StencilLoop,
@@ -284,6 +289,55 @@ class TestComponentMerging:
             got = run_program(program, fields, niter, engine="compiled")
             _assert_env_equal(gold, got)
 
+    def test_mixed_radius_init_from_bit_identical(self):
+        """A boundary ring wider than its init_from source never settles.
+
+        Kernel 1 produces G at radius 1; kernel 2 produces U at radius 2
+        with ``init_from="G"`` — U's boundary ring overlaps G's *interior*,
+        which is recomputed every iteration, so the steady tapes must keep
+        their boundary copy ops (regression: the settle analysis ignored
+        radii and silently dropped them, diverging from iteration 3 on).
+        """
+        mesh = MeshSpec((12, 10))
+        U = lambda dx, dy: FieldAccess("U", (dx, dy))
+        G = lambda dx, dy: FieldAccess("G", (dx, dy))
+        k1 = StencilKernel(
+            "mk_g",
+            (
+                KernelOutput(
+                    "G",
+                    (Const(0.25) * (U(-1, 0) + U(1, 0) + U(0, -1) + U(0, 1)),),
+                ),
+            ),
+        )
+        k2 = StencilKernel(
+            "mk_u",
+            (
+                KernelOutput(
+                    "U",
+                    (Const(0.25) * (G(-2, 0) + G(2, 0) + G(0, -2) + G(0, 2)),),
+                    init_from="G",
+                ),
+            ),
+        )
+        program = StencilProgram(
+            "mixed_radius",
+            mesh,
+            (FusedGroup((StencilLoop(k1), StencilLoop(k2))),),
+            state_fields=("U",),
+        )
+        assert _boundary_settle_iteration(program) is None
+        fields = {"U": Field.random("U", mesh, seed=1)}
+        for niter in range(0, 10):
+            gold = run_program(program, fields, niter, engine="interpreter")
+            got = run_program(program, fields, niter, engine="compiled")
+            _assert_env_equal(gold, got)
+
+    def test_equal_radius_init_from_still_settles(self):
+        """Matching radii keep the settle optimization: no steady boundary ops."""
+        program = _vector_program()
+        assert _boundary_settle_iteration(program) is not None
+
     def test_zero_boundary_intermediate(self):
         """init_from=None intermediates keep a zero boundary ring."""
         program = _vector_program()
@@ -295,6 +349,341 @@ class TestComponentMerging:
         w = got["W"].data
         assert np.all(w[0, :, :] == 0) and np.all(w[:, 0, :] == 0)
         assert np.all(w[-1, :, :] == 0) and np.all(w[:, -1, :] == 0)
+
+
+# --------------------------------------------------------------------------- #
+# lowering corners
+# --------------------------------------------------------------------------- #
+class TestLoweringCorners:
+    def test_field_reproduced_with_different_components(self):
+        """Rotation buffers must not collide across storage shapes.
+
+        T is produced with two components, consumed, then re-produced with
+        one component inside the same program — each storage shape needs
+        its own rotation pair (regression: the slot name omitted the shape,
+        so the 1-component registration overwrote the 2-component buffer
+        and binding crashed with an IndexError).
+        """
+        mesh = MeshSpec((10, 8))
+        U = lambda dx, dy: FieldAccess("U", (dx, dy))
+        mk_t = StencilKernel(
+            "mk_t",
+            (
+                KernelOutput(
+                    "T",
+                    (
+                        Const(0.5) * (U(-1, 0) + U(1, 0)),
+                        Const(0.5) * (U(0, -1) + U(0, 1)),
+                    ),
+                ),
+            ),
+        )
+        use_t = StencilKernel(
+            "use_t",
+            (
+                KernelOutput(
+                    "V",
+                    (
+                        FieldAccess("T", (0, 0), 0)
+                        + Const(2.0) * FieldAccess("T", (0, 0), 1),
+                    ),
+                ),
+            ),
+        )
+        re_t = StencilKernel(
+            "re_t",
+            (KernelOutput("T", (Const(0.25) * FieldAccess("V", (0, 0), 0),)),),
+        )
+        step = StencilKernel(
+            "step",
+            (
+                KernelOutput(
+                    "U",
+                    (
+                        Const(0.9) * FieldAccess("U", (0, 0))
+                        + FieldAccess("T", (0, 0), 0),
+                    ),
+                    init_from="U",
+                ),
+            ),
+        )
+        program = StencilProgram(
+            "reshape_t",
+            mesh,
+            (
+                FusedGroup(
+                    (
+                        StencilLoop(mk_t),
+                        StencilLoop(use_t),
+                        StencilLoop(re_t),
+                        StencilLoop(step),
+                    )
+                ),
+            ),
+            state_fields=("U",),
+        )
+        fields = {"U": Field.random("U", mesh, seed=6, lo=-1.0, hi=1.0)}
+        for niter in (1, 2, 3, 5):
+            gold = run_program(program, fields, niter, engine="interpreter")
+            got = run_program(program, fields, niter, engine="compiled")
+            _assert_env_equal(gold, got)
+
+    def test_field_produced_multiple_times_keeps_steady_boundary(self):
+        """Multi-production per iteration disables the settle optimization.
+
+        C is produced three times per iteration with different boundary
+        rings (zero, the U ring, zero). Three writes advance the rotation
+        counter by three per iteration, so each producer alternates slots —
+        a slot's ring alternates between different values forever even
+        though every producer's own ring is constant (regression: the
+        per-field settle model declared it settled and the steady tapes
+        dropped the boundary ops).
+        """
+        mesh = MeshSpec((10, 8))
+        U = lambda dx, dy: FieldAccess("U", (dx, dy))
+        C = lambda dx, dy: FieldAccess("C", (dx, dy))
+        k1 = StencilKernel(
+            "c_a", (KernelOutput("C", (Const(0.5) * (U(-1, 0) + U(1, 0)),)),)
+        )
+        k2 = StencilKernel(
+            "c_b",
+            (
+                KernelOutput(
+                    "C", (Const(0.5) * (C(0, -1) + C(0, 1)),), init_from="U"
+                ),
+            ),
+        )
+        k3 = StencilKernel(
+            "c_c", (KernelOutput("C", (C(0, 0) * Const(0.5) + U(0, 0),)),)
+        )
+        k4 = StencilKernel(
+            "step",
+            (
+                KernelOutput(
+                    "U",
+                    (Const(0.9) * U(0, 0) + Const(0.1) * C(0, 0),),
+                    init_from="U",
+                ),
+            ),
+        )
+        program = StencilProgram(
+            "multi_prod",
+            mesh,
+            (
+                FusedGroup(
+                    (
+                        StencilLoop(k1),
+                        StencilLoop(k2),
+                        StencilLoop(k3),
+                        StencilLoop(k4),
+                    )
+                ),
+            ),
+            state_fields=("U",),
+        )
+        assert _boundary_settle_iteration(program) is None
+        fields = {"U": Field.random("U", mesh, seed=3)}
+        for niter in range(0, 9):
+            gold = run_program(program, fields, niter, engine="interpreter")
+            got = run_program(program, fields, niter, engine="compiled")
+            _assert_env_equal(gold, got)
+
+    def test_same_kernel_init_from_resolves_at_kernel_entry(self):
+        """init_from of an earlier same-kernel output uses the *entry* value.
+
+        One kernel produces U (zero ring) then A with ``init_from="U"``:
+        A's ring at iteration i is U's ring from iteration i-1 (the
+        caller's random ring at i=0, zero only from i=1), exactly as the
+        interpreter resolves it (regression: the settle model used the
+        fresh this-iteration U, computing the warm-up one iteration short
+        and baking the caller's ring into one rotation parity forever).
+        """
+        mesh = MeshSpec((10, 8))
+        U = lambda dx, dy: FieldAccess("U", (dx, dy))
+        kernel = StencilKernel(
+            "du",
+            (
+                KernelOutput(
+                    "U",
+                    (Const(0.25) * (U(-1, 0) + U(1, 0) + U(0, -1) + U(0, 1)),),
+                ),
+                KernelOutput("A", (U(0, 0) * Const(0.5),), init_from="U"),
+            ),
+        )
+        program = StencilProgram(
+            "entry_env",
+            mesh,
+            (FusedGroup((StencilLoop(kernel),)),),
+            state_fields=("U",),
+        )
+        fields = {"U": Field.random("U", mesh, seed=8)}
+        for niter in range(0, 7):
+            gold = run_program(program, fields, niter, engine="interpreter")
+            got = run_program(program, fields, niter, engine="compiled")
+            _assert_env_equal(gold, got)
+
+    def test_same_kernel_init_from_source_is_required_input(self):
+        """An earlier same-kernel output does not satisfy init_from.
+
+        The interpreter resolves ``init_from`` against the kernel-entry
+        environment, so B's ``init_from="A"`` needs the *caller's* A even
+        though this kernel produces A first (regression: required_inputs
+        marked A as satisfied, no input buffer was bound, and lowering
+        raised ValidationError on a program the interpreter runs).
+        """
+        from repro.stencil.plan import required_inputs
+
+        mesh = MeshSpec((10, 8))
+        U = lambda dx, dy: FieldAccess("U", (dx, dy))
+        kernel = StencilKernel(
+            "ab",
+            (
+                KernelOutput("A", (U(0, 0) * Const(2.0),)),
+                KernelOutput("B", (U(0, 0) + Const(1.0),), init_from="A"),
+            ),
+        )
+        step = StencilKernel(
+            "step",
+            (
+                KernelOutput(
+                    "U",
+                    (
+                        Const(0.25) * (U(-1, 0) + U(1, 0) + U(0, -1) + U(0, 1))
+                        + FieldAccess("B", (0, 0)),
+                    ),
+                    init_from="U",
+                ),
+            ),
+        )
+        program = StencilProgram(
+            "need_a",
+            mesh,
+            (FusedGroup((StencilLoop(kernel), StencilLoop(step))),),
+            state_fields=("U",),
+        )
+        assert "A" in required_inputs(program)
+        fields = {
+            "U": Field.random("U", mesh, seed=1),
+            "A": Field.random("A", mesh, seed=2),
+        }
+        for niter in (1, 2, 3, 4):
+            gold = run_program(program, fields, niter, engine="interpreter")
+            got = run_program(program, fields, niter, engine="compiled")
+            _assert_env_equal(gold, got)
+
+    def test_nan_constant_lowers_and_matches(self):
+        """NaN constants must not trip the periodicity check.
+
+        Folded scalars are NumPy scalars; comparing steady tapes with
+        ``==`` follows IEEE-754 (``nan != nan``), which rejected valid
+        plans. Results are compared bit for bit (``array_equal`` treats
+        NaN as unequal, so compare the raw bytes).
+        """
+        mesh = MeshSpec((10, 8))
+        U = lambda dx, dy: FieldAccess("U", (dx, dy))
+        expr = Const(0.25) * (U(-1, 0) + U(1, 0)) + Const(float("nan")) * U(0, 0)
+        kernel = StencilKernel("nan_k", (KernelOutput("U", (expr,), init_from="U"),))
+        program = single_kernel_program("nan_prog", mesh, kernel)
+        fields = {"U": Field.random("U", mesh, seed=2)}
+        gold = run_program(program, fields, 4, engine="interpreter")
+        got = run_program(program, fields, 4, engine="compiled")
+        assert gold["U"].data.tobytes() == got["U"].data.tobytes()
+
+
+# --------------------------------------------------------------------------- #
+# dtype handling
+# --------------------------------------------------------------------------- #
+def _mixed_dtype_setup():
+    """A float32 state relaxed against a float64 constant field."""
+    mesh = MeshSpec((14, 10))
+    U = lambda dx, dy: FieldAccess("U", (dx, dy))
+    kernel = StencilKernel(
+        "relax",
+        (
+            KernelOutput(
+                "U",
+                (
+                    Const(0.25) * (U(-1, 0) + U(1, 0) + U(0, -1) + U(0, 1))
+                    + FieldAccess("Z", (0, 0)),
+                ),
+                init_from="U",
+            ),
+        ),
+    )
+    program = StencilProgram(
+        "mixed_dtype",
+        mesh,
+        (FusedGroup((StencilLoop(kernel),)),),
+        state_fields=("U",),
+        constant_fields=("Z",),
+    )
+    spec64 = MeshSpec(mesh.shape, 1, np.float64)
+    fields = {
+        "U": Field.random("U", mesh, seed=1),
+        "Z": Field(
+            "Z", spec64, Field.random("Z", mesh, seed=2).data.astype(np.float64)
+        ),
+    }
+    return program, fields
+
+
+class TestMixedDtypeBindings:
+    def test_mixed_dtype_falls_back_to_interpreter(self):
+        """Non-uniform input dtypes run on the interpreter, bit-identically.
+
+        The interpreter computes with NumPy promotion on the fields' native
+        dtypes (float64 here, rounded to float32 on assignment); a plan
+        casting inputs to one dtype up front would round *before* computing
+        (regression: ``load()`` silently cast via ``np.copyto``).
+        """
+        program, fields = _mixed_dtype_setup()
+        cache = CompiledPlanCache()
+        gold = run_program(program, fields, 4, engine="interpreter")
+        got = run_program_compiled(program, fields, 4, cache=cache)
+        _assert_env_equal(gold, got)
+        assert len(cache) == 0  # no plan was compiled: pure fallback
+
+    def test_load_rejects_dtype_mismatch(self):
+        """The step-wise API refuses to cast rather than silently diverge."""
+        program, fields = _mixed_dtype_setup()
+        uniform = dict(fields)
+        uniform["Z"] = Field.random("Z", MeshSpec((14, 10), 1), seed=2)
+        compiled = CompiledPlanCache().get(program, uniform)
+        with pytest.raises(ValidationError, match="dtype"):
+            compiled.load(fields)
+
+
+# --------------------------------------------------------------------------- #
+# flat-mode ghost-lane warning suppression
+# --------------------------------------------------------------------------- #
+class TestFlatModeWarnings:
+    def test_ghost_lanes_do_not_leak_fp_warnings(self):
+        """Flat-mode ghost lanes must not emit warnings or trip errstate.
+
+        The huge values sit on the x=0 boundary two rows apart: no interior
+        cell ever multiplies them together, so the interpreter is silent —
+        but the flat lane window wraps rows, and the ghost lane between the
+        two cells computes ``1e30 * 1e30`` every iteration. The zero-weight
+        x-term only widens the kernel radius so the huge column stays on
+        the boundary.
+        """
+        mesh = MeshSpec((12, 10))
+        U = lambda dx, dy: FieldAccess("U", (dx, dy))
+        expr = Const(0.5) * (U(0, -1) * U(0, 1)) + Const(0.0) * U(1, 0)
+        kernel = StencilKernel("vmul", (KernelOutput("U", (expr,), init_from="U"),))
+        program = single_kernel_program("ghost_warn", mesh, kernel)
+        plan = lower_program(program, mesh, {"U": mesh})
+        assert any(op.flat for op in plan.steady[0])  # flat mode engaged
+        data = np.ones(mesh.storage_shape, dtype=np.float32)
+        data[3, 0, 0] = 1e30
+        data[5, 0, 0] = 1e30
+        fields = {"U": Field("U", mesh, data)}
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            gold = run_program(program, fields, 5, engine="interpreter")
+            with np.errstate(all="raise"):
+                got = run_program(program, fields, 5, engine="compiled")
+        _assert_env_equal(gold, got)
 
 
 # --------------------------------------------------------------------------- #
@@ -335,6 +724,18 @@ class TestCompiledPlanCache:
         assert c is a  # unknown coefficient names do not fragment the cache
         assert d is a
         assert len(cache) == 2
+
+    def test_niter_zero_does_not_compile(self):
+        """niter=0 returns the bindings untouched without building a plan."""
+        app = poisson2d_app((20, 16))
+        program = app.program_on((20, 16))
+        fields = app.fields((20, 16), seed=0)
+        cache = CompiledPlanCache()
+        result = run_program_compiled(program, fields, 0, cache=cache)
+        assert result == dict(fields)
+        assert len(cache) == 0 and cache.misses == 0
+        with pytest.raises(ValidationError):  # field validation still applies
+            run_program_compiled(program, {}, 0, cache=cache)
 
     def test_capacity_eviction(self):
         cache = CompiledPlanCache(capacity=2)
@@ -423,15 +824,22 @@ class TestSteadyStateAllocation:
         compiled.load(fields)
         compiled.run_iterations(4)  # past warm-up, into the steady tapes
         tracemalloc.start()
+        # first traced rounds absorb one-time ufunc-config/contextvar cache
+        # warm-up behind the flat-mode errstate suppression
+        compiled.run_iterations(30)
+        compiled.run_iterations(30)
         base_cur, base_peak = tracemalloc.get_traced_memory()
         compiled.run_iterations(30)
         cur, peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()
-        assert cur - base_cur == 0, "steady-state loop leaked allocations"
-        # the transient peak is tracemalloc's own bookkeeping (a few hundred
-        # bytes); one field of this mesh is tens of kilobytes, and the
-        # interpreter allocates several temporaries of that size *per op* —
-        # any per-iteration array materialization would blow through this
+        # numpy's errstate toggling around flat-mode runs churns a few tens
+        # of bytes of contextvar bookkeeping; an array on this mesh is tens
+        # of kilobytes, so even a single 0-d scalar wrapper per iteration
+        # (~112 B x 30 iterations) would blow through this bound
+        assert cur - base_cur < 512, "steady-state loop leaked allocations"
+        # one field of this mesh is tens of kilobytes, and the interpreter
+        # allocates several temporaries of that size *per op* — any
+        # per-iteration array materialization would blow through this
         field_bytes = fields[program.state_fields[0]].data.nbytes
         assert peak - base_peak < min(8192, field_bytes // 2)
 
