@@ -37,6 +37,21 @@ def _parse_mesh(text: str) -> tuple[int, ...]:
     return shape
 
 
+def _parse_batches(text: str | None) -> tuple[int, ...]:
+    """A ``batch`` search axis from e.g. ``"1,4,16"`` (default: no axis)."""
+    if not text:
+        return (1,)
+    try:
+        batches = tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise ReproError(
+            f"cannot parse batches {text!r}; expected e.g. 1,4,16"
+        ) from None
+    if not batches or any(b < 1 for b in batches):
+        raise ReproError(f"batch sizes must be positive, got {text!r}")
+    return batches
+
+
 def _cmd_apps(_: argparse.Namespace) -> int:
     from repro.model.resources import gdsp_program
     from repro.util.tables import TextTable
@@ -93,7 +108,8 @@ def _explore_study(args: argparse.Namespace, objectives, tiled, constraints=()):
     program = app.program_on(mesh)
     device = device_by_name(args.device)
     workload = Workload(program.mesh, args.niter, args.batch)
-    space = model_space(program, device, workload, tiled=tiled)
+    batches = _parse_batches(getattr(args, "batches", None))
+    space = model_space(program, device, workload, tiled=tiled, batches=batches)
     evaluator = Evaluator(
         program,
         device,
@@ -246,6 +262,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument("--mesh", help="mesh shape, e.g. 400x400")
     p_dse.add_argument("--niter", type=int, default=1000)
     p_dse.add_argument("--batch", type=int, default=1)
+    p_dse.add_argument(
+        "--batches",
+        help="comma-separated batch sizes to add as a search axis "
+        "(e.g. 1,4,16); the design must serve the whole mix",
+    )
     p_dse.add_argument("--tiled", action="store_true")
     p_dse.add_argument("--device", default="U280")
     p_dse.add_argument(

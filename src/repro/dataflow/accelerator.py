@@ -143,7 +143,13 @@ class FPGAAccelerator:
         niter: int,
         coefficients: Mapping[str, float] | None = None,
     ) -> tuple[list[dict[str, Field]], SimReport]:
-        """Solve a batch of independent same-shaped meshes."""
+        """Solve a batch of independent same-shaped meshes.
+
+        On the default compiled engine the batch executes batch-major: one
+        stacked tape replay advances all meshes at once (Section IV-B,
+        eq. (15)), bit-identical per mesh to :meth:`run`; the report uses
+        the batched stream's cycle accounting.
+        """
         if self.batcher is None:
             raise ValidationError("batched execution is not supported on tiled designs")
         results = self.batcher.run(batch_fields, niter, coefficients)

@@ -8,7 +8,7 @@ traversal plus the chained fill latency ``p * sum(D_i/2)`` lines.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.dataflow.module import StencilModule
 from repro.mesh.mesh import Field
@@ -16,6 +16,7 @@ from repro.stencil.compiled import (
     CompiledPlanCache,
     check_engine,
     run_program_compiled,
+    run_program_stacked,
 )
 from repro.stencil.program import StencilProgram
 from repro.util.errors import ValidationError
@@ -91,6 +92,39 @@ class IterativePipeline:
                 f"niter={niter} is not a multiple of the unroll factor p={self.p}"
             )
         return self._run_iterations(fields, niter, coefficients)
+
+    def run_batch(
+        self,
+        batch_fields: Sequence[Mapping[str, Field]],
+        niter: int,
+        coefficients: Mapping[str, float] | None = None,
+    ) -> list[dict[str, Field]]:
+        """Run a batch of independent same-spec meshes (paper Section IV-B).
+
+        On the compiled engine the whole batch is stacked batch-major and
+        advances through **one** replay of the op tape per solve — the
+        software analogue of streaming the meshes back to back through one
+        pipeline (eq. (15)); per-mesh results are bit-identical to ``B``
+        independent :meth:`run` calls. The interpreter engine replays the
+        golden path per mesh. ``niter`` must be a multiple of ``p`` exactly
+        as for :meth:`run`.
+        """
+        if not batch_fields:
+            raise ValidationError("batch must contain at least one mesh")
+        check_positive("niter", niter)
+        if niter % self.p:
+            raise ValidationError(
+                f"niter={niter} is not a multiple of the unroll factor p={self.p}"
+            )
+        if self.engine == "compiled":
+            return run_program_stacked(
+                self.program, batch_fields, niter, coefficients,
+                cache=self.plan_cache,
+            )
+        return [
+            dict(self._run_iterations(env, niter, coefficients))
+            for env in batch_fields
+        ]
 
     # -- structural cycle accounting ------------------------------------------
     def pass_cycles(self, mesh_shape: tuple[int, ...], batch: int = 1, ii: float = 1.0) -> float:

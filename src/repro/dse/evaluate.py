@@ -135,7 +135,45 @@ class Evaluator:
         dsp = max(1, self.device.dsp_blocks // (p * self._space.gdsp))
         return max(1, min(bw, dsp))
 
-    # -- config -> design ---------------------------------------------------------
+    # -- config -> workload/design -------------------------------------------------
+    def workload_for(self, config: Mapping[str, Any]) -> Workload:
+        """The workload a configuration denotes.
+
+        A ``batch`` axis (see :func:`repro.dse.space.model_space`) overrides
+        the study workload's batch size: the trial scores one design serving
+        that many same-shaped meshes streamed back to back (eq. (15)).
+        """
+        batch = int(config.get("batch", self.workload.batch))
+        if batch == self.workload.batch:
+            return self.workload
+        return Workload(self.workload.mesh, self.workload.niter, batch)
+
+    def batch_runner(
+        self,
+        config: Mapping[str, Any],
+        engine: str = "compiled",
+        plan_cache=None,
+    ):
+        """A :class:`~repro.dataflow.batcher.BatchRunner` realizing a trial.
+
+        Functional companion to the ``batch`` axis: the returned runner
+        executes batches through the stacked tape (one compiled replay for
+        all ``B`` meshes) on the design the configuration denotes, so
+        search results can be validated — bit-identically against the
+        golden interpreter — on the very batched workloads they were scored
+        for. Tiled designs are rejected, mirroring
+        :meth:`~repro.dataflow.accelerator.FPGAAccelerator.run_batch` (and
+        the evaluator scores tiled batch>1 configurations as infeasible).
+        """
+        from repro.dataflow.batcher import BatchRunner
+
+        design = self.design_for(config)
+        if design.tile is not None:
+            raise ValidationError(
+                "batched execution is not supported on tiled designs"
+            )
+        return BatchRunner(self.program, design, engine, plan_cache)
+
     def design_for(self, config: Mapping[str, Any]) -> DesignPoint:
         """The concrete design point a configuration denotes.
 
@@ -221,25 +259,36 @@ class Evaluator:
     def _evaluate_uncached(self, config: Config) -> TrialResult:
         boards = int(config.get("boards", 1))
         try:
+            workload = self.workload_for(config)
+            if int(config.get("batch", 1)) > 1 and config.get("tiled", False):
+                # the executable surface (FPGAAccelerator.run_batch /
+                # BatchRunner) has no batched path for tiled designs; a
+                # tiled batch>1 *axis* config must not win a front it
+                # cannot run. A study-level batched workload (Workload
+                # batch, no batch axis) keeps its pre-existing analytic
+                # scoring on tiled designs.
+                raise InfeasibleDesignError(
+                    "batched execution is not supported on tiled designs"
+                )
             design = self.design_for(config)
-            self._space.check(design, self.workload)
+            self._space.check(design, workload)
             predictor = RuntimePredictor(
                 self.program,
                 self.device,
                 design,
                 logical_bytes_per_cell_iter=self.logical_bytes_per_cell_iter,
             )
-            metrics = predictor.predict(self.workload)
+            metrics = predictor.predict(workload)
             seconds = metrics.seconds
             if boards > 1:
                 scaled = spatial_scaling_seconds(
-                    self.program, design, self.workload, MultiFPGAConfig(boards)
+                    self.program, design, workload, MultiFPGAConfig(boards)
                 )
                 # keep the memory model consistent across the boards axis:
                 # each board streams its slab through its own memory system,
                 # so the single-board memory floor shrinks with the count
                 floor = (
-                    predictor.memory_cycles(self.workload)
+                    predictor.memory_cycles(workload)
                     / design.clock_hz
                     / boards
                 )
@@ -247,7 +296,7 @@ class Evaluator:
         except (InfeasibleDesignError, ValidationError) as exc:
             return TrialResult(config, False, None, reason=str(exc))
         ctx = EvalContext(
-            self.program, self.device, self.workload, design, metrics, seconds, boards
+            self.program, self.device, workload, design, metrics, seconds, boards
         )
         for constraint in self.constraints:
             if not constraint.ok(ctx):

@@ -26,6 +26,7 @@ from repro.model.resources import gdsp_program, max_unroll, module_mem_bytes
 from repro.stencil.program import StencilProgram
 from repro.util.errors import ValidationError
 from repro.util.units import MHZ
+from repro.util.validation import check_positive
 
 #: a configuration: one value per axis, JSON-scalar values only
 Config = dict[str, Any]
@@ -192,16 +193,21 @@ def model_space(
     tiled: bool | Sequence[bool] = False,
     boards: Sequence[int] = (1,),
     memories: Sequence[str] | None = None,
+    batches: Sequence[int] = (1,),
 ) -> ParameterSpace:
     """The feasibility-aware design space of the analytic model.
 
     Axes: ``memory`` (external memory target), ``V`` (powers of two up to
     the bandwidth bound, eq. (4)), ``p`` (densified near the per-(memory, V)
-    caps from eqs. (6)/(7)), ``tiled`` (spatial blocking on/off) and
-    ``boards`` (multi-FPGA spatial scaling).  The grid is deliberately
-    rectangular — combinations outside a particular (memory, V) cap simply
-    evaluate as infeasible, which keeps configurations declarative and
-    resumable.
+    caps from eqs. (6)/(7)), ``tiled`` (spatial blocking on/off), ``boards``
+    (multi-FPGA spatial scaling) and ``batch`` (how many same-shaped meshes
+    are streamed back to back per solve, eq. (15) — a *workload* axis: one
+    design must serve every batch size well, and the functional path behind
+    it is the stacked-tape :class:`~repro.dataflow.batcher.BatchRunner`, see
+    :meth:`repro.dse.evaluate.Evaluator.batch_runner`).  The grid is
+    deliberately rectangular — combinations outside a particular
+    (memory, V) cap simply evaluate as infeasible, which keeps
+    configurations declarative and resumable.
     """
     memories = tuple(memories or device.memory_targets)
     for memory in memories:
@@ -239,6 +245,11 @@ def model_space(
     boards_axis = tuple(boards)
     if boards_axis != (1,):
         parameters.append(Parameter("boards", boards_axis))
+    batches_axis = tuple(batches)
+    if batches_axis != (1,):
+        for batch in batches_axis:
+            check_positive("batch", batch)
+        parameters.append(Parameter("batch", batches_axis))
     return ParameterSpace(parameters)
 
 

@@ -17,7 +17,13 @@ NumPy storage is C-ordered with axes reversed relative to the paper notation
 """
 
 from repro.mesh.mesh import MeshSpec, Field
-from repro.mesh.batch import stack_fields, split_field, batched_spec
+from repro.mesh.batch import (
+    stack_fields,
+    split_field,
+    batched_spec,
+    stack_batch_major,
+    split_batch_major,
+)
 from repro.mesh.padding import (
     pad_to_vector,
     padded_row_length,
@@ -31,6 +37,8 @@ __all__ = [
     "stack_fields",
     "split_field",
     "batched_spec",
+    "stack_batch_major",
+    "split_batch_major",
     "pad_to_vector",
     "padded_row_length",
     "aligned_row_bytes",

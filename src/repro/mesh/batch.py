@@ -5,11 +5,26 @@ Batching stacks ``B`` meshes of identical shape along the outermost dimension
 long stream and the pipeline fill latency is paid once per batch instead of
 once per mesh (eq. (15)).
 
+Axis bookkeeping — why ``axis=0`` and ``shape[-1]`` agree
+---------------------------------------------------------
+:class:`~repro.mesh.mesh.MeshSpec` shapes are in *paper* order ``(m, n[, l])``
+while field storage is C-ordered *reversed* paper order
+``(l, n, m, component)`` — so the outermost paper dimension (``shape[-1]``
+of the spec) is exactly **storage axis 0**. ``batched_spec`` therefore
+multiplies ``spec.shape[-1]`` while ``stack_fields`` / ``split_field``
+concatenate/split ``Field.data`` along ``axis=0``: the two describe the same
+layout, one in paper coordinates and one in storage coordinates. The
+round-trip ``stack_fields -> batched_spec -> split_field`` is asserted on an
+asymmetric 3-D mesh in the test suite.
+
 Note that a batched stream is *not* one large PDE problem: stencil updates
-must not couple neighbouring meshes across the stacking seam.  The functional
-simulator therefore evaluates each mesh independently; batching only changes
-the cycle accounting.  ``stack_fields`` / ``split_field`` provide the data
-layout used by the data movers.
+must not couple neighbouring meshes across the stacking seam.  The
+functional simulator therefore keeps meshes isolated — the compiled engine
+runs them **batch-major** (a true leading array axis; see
+:func:`stack_batch_major` and
+:func:`repro.stencil.compiled.run_program_stacked`) — and batching only
+changes the cycle accounting. ``stack_fields`` / ``split_field`` provide the
+seam-concatenated layout used by the data movers.
 """
 
 from __future__ import annotations
@@ -24,7 +39,11 @@ from repro.util.validation import check_positive
 
 
 def batched_spec(spec: MeshSpec, batch: int) -> MeshSpec:
-    """The spec of ``batch`` meshes stacked along the outermost dimension."""
+    """The spec of ``batch`` meshes stacked along the outermost dimension.
+
+    ``spec.shape[-1]`` (paper order) is storage axis 0, so this is the spec
+    of the array :func:`stack_fields` produces.
+    """
     check_positive("batch", batch)
     shape = list(spec.shape)
     shape[-1] = shape[-1] * batch
@@ -36,6 +55,8 @@ def stack_fields(fields: Sequence[Field], name: str | None = None) -> Field:
 
     This is the host-side layout transformation the paper applies before a
     batched solve: meshes become contiguous segments of one long stream.
+    Storage axis 0 is the outermost paper dimension, so the result's spec is
+    ``batched_spec(spec, len(fields))``.
     """
     if not fields:
         raise ValidationError("stack_fields requires at least one field")
@@ -65,4 +86,39 @@ def split_field(field: Field, batch: int) -> list[Field]:
     return [
         Field(f"{field.name}[{i}]", sub_spec, chunk.copy())
         for i, chunk in enumerate(chunks)
+    ]
+
+
+def stack_batch_major(fields: Sequence[Field]) -> np.ndarray:
+    """Stack same-spec fields on a **new leading batch axis**.
+
+    Returns a ``(B, *storage_shape)`` array — the layout
+    :meth:`repro.stencil.compiled.CompiledProgram.load` accepts for batched
+    instances. Unlike :func:`stack_fields`, the batch axis is a real array
+    dimension rather than an extended spatial extent, so no stencil shift
+    can ever cross from one mesh into the next: seam isolation is
+    structural, not a bookkeeping obligation.
+    """
+    if not fields:
+        raise ValidationError("stack_batch_major requires at least one field")
+    spec = fields[0].spec
+    for f in fields[1:]:
+        if f.spec != spec:
+            raise ValidationError(
+                f"cannot stack fields with differing specs: {f.spec} vs {spec}"
+            )
+    return np.stack([f.data for f in fields], axis=0)
+
+
+def split_batch_major(
+    name: str, spec: MeshSpec, stacked: np.ndarray
+) -> list[Field]:
+    """Split a ``(B, *storage_shape)`` batch-major stack into fields."""
+    if stacked.ndim < 1 or stacked.shape[1:] != spec.storage_shape:
+        raise ValidationError(
+            f"stacked shape {stacked.shape} is not (B, *{spec.storage_shape})"
+        )
+    return [
+        Field(f"{name}[{i}]", spec, stacked[i].copy())
+        for i in range(stacked.shape[0])
     ]

@@ -39,6 +39,7 @@ from repro.stencil.compiled import (
     CompiledProgram,
     DEFAULT_CACHE,
     run_program_compiled,
+    run_program_stacked,
 )
 
 __all__ = [
@@ -78,4 +79,5 @@ __all__ = [
     "CompiledProgram",
     "DEFAULT_CACHE",
     "run_program_compiled",
+    "run_program_stacked",
 ]

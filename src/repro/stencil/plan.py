@@ -25,7 +25,14 @@ ufunc ops over precomputed interior views, with
   all**;
 * **boundary slab ops** — instead of re-zeroing/copying whole output arrays
   per kernel application, the plan writes only the boundary ring (the
-  interior is fully overwritten by the expression tape).
+  interior is fully overwritten by the expression tape);
+* **flat-mode lowering** — component runs whose operands all live in the
+  run's own lane space (the component axis folded into the linearization)
+  evaluate on contiguous 1-D windows of the flattened arrays; fixed
+  -component reads of input fields are pre-expanded into broadcast buffers
+  at load time (``ProgramPlan.expansions``), which is what lets RTM's
+  merged multi-component ops leave their strided interior views (see
+  :meth:`_Lowerer._flat_run`).
 
 Because the first iteration reads the caller's input buffers while steady
 state reads the rotation buffers, a plan carries a short sequence of
@@ -56,7 +63,7 @@ from __future__ import annotations
 
 import threading
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dc_field
 from typing import Mapping
 
 import numpy as np
@@ -91,10 +98,21 @@ class View:
 
 @dataclass(frozen=True)
 class Reg:
-    """A scratch register: one preallocated array of ``shape`` per ``idx``."""
+    """A scratch register: one preallocated array of ``shape`` per ``idx``.
+
+    ``span`` marks flat-mode lane-window registers: it is the number of
+    lanes one mesh contributes (``N`` of the run's :class:`_FlatLayout`),
+    and ``0`` for canonical interior-shaped registers. A batch-major
+    executor extends a spanned register to cover the whole stack —
+    ``shape[0] + (B-1)*span`` lanes — so flat ops stay a single contiguous
+    1-D ufunc call across all ``B`` meshes (lanes straddling a mesh seam
+    compute discarded ghost values, exactly like the row-wrap lanes within
+    one mesh).
+    """
 
     shape: tuple[int, ...]
     idx: int
+    span: int = 0
 
 
 @dataclass(frozen=True)
@@ -166,8 +184,8 @@ class ProgramPlan:
     #: rotations — the storage shape is in the name so a field re-produced
     #: with a different component count gets its own rotation pair)
     buffers: Mapping[str, tuple[int, ...]]
-    #: scratch-register shape -> pool size
-    registers: Mapping[tuple[int, ...], int]
+    #: scratch-register (shape, flat-lane span) -> pool size
+    registers: Mapping[tuple, int]
     #: warm-up tapes for iterations 0..settle (boundary ops included);
     #: iteration 0 reads the external input buffers
     warm: tuple[tuple[TapeOp, ...], ...]
@@ -184,6 +202,27 @@ class ProgramPlan:
     #: not satisfied by an earlier output — a superset check of the
     #: program's declared external contract)
     inputs: tuple[str, ...]
+    #: expanded-broadcast buffers: "inx:" slot -> (input field, component).
+    #: Each holds one fixed component of an input field splatted across the
+    #: consuming run's component axis, filled at load time so flat-mode
+    #: merged runs see every operand at the same element stride.
+    expansions: Mapping[str, tuple[str, int]] = dc_field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes a single-mesh executor binds for this plan.
+
+        Buffers plus scratch registers in the plan dtype (splatted constant
+        arrays, which depend on bind-time folding, are excluded — they are
+        a small fraction). Batch-major executors scale roughly linearly in
+        ``B``, which is what the stacked-dispatch footprint heuristic needs.
+        """
+        elems = sum(int(np.prod(shape)) for shape in self.buffers.values())
+        elems += sum(
+            count * int(np.prod(shape))
+            for (shape, _span), count in self.registers.items()
+        )
+        return elems * self.mesh.dtype.itemsize
 
     @property
     def num_ops(self) -> int:
@@ -412,23 +451,28 @@ def _boundary_slabs(
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class _FlatLayout:
-    """Linearized geometry of a flat-mode kernel on a given mesh.
+    """Linearized geometry of a flat-mode component run on a given mesh.
 
-    A shift by paper offset ``(dx, dy[, dz])`` on C-ordered scalar storage is
-    the linear delta ``dx + dy*m + dz*m*n``; ``R`` is the radius-weighted
-    bound on any such delta, so every operand of the kernel fits in the lane
-    window ``[R, N-R)`` and the first interior lane is exactly ``R``.
+    With the component axis folded into the linearization, a shift by paper
+    offset ``(dx, dy[, dz])`` on C-ordered ``C``-component storage is the
+    linear delta ``C*(dx + dy*m + dz*m*n)``; ``R`` is the radius-weighted
+    bound on any such delta, so every operand of the run fits in the lane
+    window ``[R, N-R)`` and the first interior point's component-0 lane is
+    exactly ``R``.
     """
 
-    #: linear stride of each paper axis
+    #: element stride of each paper axis (component axis folded in)
     axis_strides: tuple[int, ...]
+    #: components per mesh element of the run's lane space
+    components: int
     #: lane-window margin (max absolute linear delta)
     R: int
-    #: total lanes (mesh points)
+    #: total lanes (mesh points x components)
     N: int
     #: compute-window length ``N - 2R``
     window: int
-    #: interior shape/strides in storage order, for the flat->strided bridge
+    #: spatial interior shape/strides in storage order, for the
+    #: flat->strided bridge (strides in elements, component axis folded in)
     interior_shape: tuple[int, ...]
     interior_strides: tuple[int, ...]
 
@@ -436,10 +480,12 @@ class _FlatLayout:
         return sum(d * s for d, s in zip(offset, self.axis_strides))
 
 
-def _flat_layout(mesh: MeshSpec, radius: tuple[int, ...]) -> _FlatLayout:
+def _flat_layout(
+    mesh: MeshSpec, radius: tuple[int, ...], components: int = 1
+) -> _FlatLayout:
     shape = mesh.shape  # paper order (m, n[, l])
     strides = []
-    acc = 1
+    acc = components  # paper axis 0 steps over `components` elements
     for extent in shape:
         strides.append(acc)
         acc *= extent
@@ -451,6 +497,7 @@ def _flat_layout(mesh: MeshSpec, radius: tuple[int, ...]) -> _FlatLayout:
     interior_strides = tuple(reversed(strides))
     return _FlatLayout(
         axis_strides=tuple(strides),
+        components=components,
         R=R,
         N=N,
         window=N - 2 * R,
@@ -505,23 +552,29 @@ def _merge_template(e1: Expr, c1: int, e2: Expr, c2: int, dtype, classes: list) 
 # lowering
 # --------------------------------------------------------------------------- #
 class _RegisterPool:
-    """Shape-keyed scratch pool with free-list reuse (liveness = tape order)."""
+    """Shape-keyed scratch pool with free-list reuse (liveness = tape order).
+
+    Pools are keyed by ``(shape, span)``: flat lane-window registers (which
+    a batch-major executor sizes differently) never share storage with a
+    same-shaped canonical register.
+    """
 
     def __init__(self):
-        self.high_water: dict[tuple[int, ...], int] = {}
-        self._free: dict[tuple[int, ...], list[int]] = {}
+        self.high_water: dict[tuple, int] = {}
+        self._free: dict[tuple, list[int]] = {}
 
-    def alloc(self, shape: tuple[int, ...]) -> Reg:
-        free = self._free.setdefault(shape, [])
+    def alloc(self, shape: tuple[int, ...], span: int = 0) -> Reg:
+        key = (shape, span)
+        free = self._free.setdefault(key, [])
         if free:
-            return Reg(shape, free.pop())
-        idx = self.high_water.get(shape, 0)
-        self.high_water[shape] = idx + 1
-        return Reg(shape, idx)
+            return Reg(shape, free.pop(), span)
+        idx = self.high_water.get(key, 0)
+        self.high_water[key] = idx + 1
+        return Reg(shape, idx, span)
 
     def release(self, ref) -> None:
         if isinstance(ref, Reg):
-            self._free[ref.shape].append(ref.idx)
+            self._free[(ref.shape, ref.span)].append(ref.idx)
 
     def reset(self) -> None:
         """Restore every free list to canonical order (lowest index first).
@@ -531,8 +584,8 @@ class _RegisterPool:
         at each iteration boundary makes register assignment a pure function
         of tape structure, which the steady-tape periodicity check requires.
         """
-        for shape, count in self.high_water.items():
-            self._free[shape] = list(range(count - 1, -1, -1))
+        for key, count in self.high_water.items():
+            self._free[key] = list(range(count - 1, -1, -1))
 
 
 class _Lowerer:
@@ -550,6 +603,8 @@ class _Lowerer:
         self.dtype = mesh.dtype
         self.overrides = dict(coefficients or {})
         self.buffers: dict[str, tuple[int, ...]] = {}
+        #: "inx:" slot -> (input field, fixed component) broadcast expansions
+        self.expansions: dict[str, tuple[str, int]] = {}
         self.registers = _RegisterPool()
         self.produced_specs: dict[str, MeshSpec] = {}
         #: per-(field, storage shape) write counter driving ping-pong rotation
@@ -607,6 +662,7 @@ class _Lowerer:
             env_after_even={f: env_even[f] for f in produced},
             produced_specs=dict(self.produced_specs),
             inputs=self.inputs,
+            expansions=dict(self.expansions),
         )
 
     def _lower_iteration(self, emit_boundary: bool = True) -> list[TapeOp]:
@@ -635,48 +691,95 @@ class _Lowerer:
         # init_from resolves against the environment at kernel entry, while
         # expression reads see earlier outputs fresh — exactly apply_kernel
         start_env = dict(self.env)
-        layout = self._flat_mode(kernel, radius)
         for out in kernel.outputs:
             out_spec = MeshSpec(self.mesh.shape, out.components, self.dtype)
             dest = self._alloc_output_slot(out.field, out_spec)
             if emit_boundary:
                 self._lower_boundary(out, out_spec, dest, interior, start_env, tape)
-            self._lower_components(
-                out, dest, interior, radius, coeffs, tape, layout
-            )
+            self._lower_components(out, dest, interior, radius, coeffs, tape)
             self.env[out.field] = dest
             self.specs[out.field] = out_spec
             self.produced_specs[out.field] = out_spec
 
-    def _flat_mode(self, kernel: StencilKernel, radius: tuple[int, ...]):
-        """The flat layout for this kernel, or ``None`` for interior mode.
+    def _classify(self, access: FieldAccess, comp: int, components: int):
+        """Unmerged-run analogue of the merge-template classification.
+
+        ``"vary"`` when the access component tracks the output component
+        over a field in the run's lane space (same component count); the
+        fixed component index otherwise — exactly what a width-1 template
+        walk would have produced.
+        """
+        spec = self.specs.get(access.field)
+        if (
+            spec is not None
+            and spec.components == components
+            and access.component == comp
+        ):
+            return "vary"
+        return access.component
+
+    def _flat_run(
+        self,
+        out,
+        expr: Expr,
+        comp: int,
+        comp_sel,
+        classes: list | None,
+        radius: tuple[int, ...],
+    ) -> _FlatLayout | None:
+        """The flat layout for one component run, or ``None`` for interior mode.
 
         Flat mode evaluates every inner op on contiguous 1-D lane windows of
-        the full arrays (edge lanes compute discarded ghost values from
-        wrapped neighbours); only the root op touches the strided interior.
-        It requires purely scalar traffic — one component everywhere, every
-        bound field on the mesh shape — and no division, whose ghost lanes
-        could raise spurious divide warnings. Ghost values never reach a
-        buffer: outputs are written through interior views only. Ghost-lane
-        add/sub/mul can still hit overflow/invalid values; those ops are
-        marked ``flat=True`` so the executor suppresses the corresponding
-        FP warnings (which the interpreter would never emit).
+        the full arrays, the component axis folded into the linearization
+        (edge lanes compute discarded ghost values from wrapped neighbours;
+        lanes outside the run's component band compute ghost components);
+        only the root op touches the strided interior. Requirements:
+
+        * every *varying* access reads a field in the run's own lane space —
+          same component count as the output, on the mesh shape — so a shift
+          is one constant linear delta for every lane;
+        * every *fixed-component* access reads a pure **input** field (an
+          ``in:`` slot) on the mesh shape, which the executor pre-expands at
+          load time into an ``inx:`` broadcast buffer with the run's element
+          stride (produced fields would need re-expansion every iteration);
+        * no division, whose ghost lanes could raise spurious divide
+          warnings — ghost-lane add/sub/mul overflow/invalid warnings are
+          suppressed via the ``flat=True`` op marking;
+        * the run covers at least half the output's components — narrower
+          runs would burn more ghost-component lanes than the contiguous
+          inner loop wins back.
+
+        Ghost values never reach a buffer: outputs are written through
+        strided interior views only.
         """
-        for out in kernel.outputs:
-            if len(out.exprs) != 1:
+        components = out.components
+        width = 1 if isinstance(comp_sel, int) else comp_sel.stop - comp_sel.start
+        if 2 * width < components:
+            return None
+        cls_iter = iter(classes) if classes is not None else None
+        for node in walk(expr):
+            if isinstance(node, BinOp) and node.op == "/":
                 return None
-            for node in walk(out.exprs[0]):
-                if isinstance(node, BinOp) and node.op == "/":
+            if not isinstance(node, FieldAccess):
+                continue
+            spec = self.specs.get(node.field)
+            if spec is None or spec.shape != self.mesh.shape:
+                return None
+            cls = (
+                next(cls_iter)
+                if cls_iter is not None
+                else self._classify(node, comp, components)
+            )
+            if cls == "vary":
+                if spec.components != components:
                     return None
-                if isinstance(node, FieldAccess):
-                    if node.component != 0:
-                        return None
-                    spec = self.specs.get(node.field)
-                    if spec is not None and (
-                        spec.components != 1 or spec.shape != self.mesh.shape
-                    ):
-                        return None
-        layout = _flat_layout(self.mesh, radius)
+            else:
+                slot = self.env.get(node.field)
+                if slot is None or not slot.startswith("in:"):
+                    return None
+                if cls >= spec.components:
+                    return None
+        layout = _flat_layout(self.mesh, radius, components)
         if layout.window < 1:
             return None
         return layout
@@ -738,14 +841,7 @@ class _Lowerer:
         radius: tuple[int, ...],
         coeffs: Mapping[str, float],
         tape: list[TapeOp],
-        layout: _FlatLayout | None = None,
     ) -> None:
-        if layout is not None:
-            dest_view = View(dest, interior + (0,))
-            self._lower_flat_root(
-                out.exprs[0], layout, dest_view, radius, coeffs, tape
-            )
-            return
         exprs = out.exprs
         comp = 0
         while comp < len(exprs):
@@ -763,14 +859,20 @@ class _Lowerer:
                 end += 1
             if end == comp + 1:
                 comp_sel: object = comp
-                classes = None
             else:
                 comp_sel = slice(comp, end)
-                classes = iter(template)
             dest_view = View(dest, interior + (comp_sel,))
-            self._lower_expr_root(
-                exprs[comp], comp, comp_sel, dest_view, radius, coeffs, tape, classes
-            )
+            layout = self._flat_run(out, exprs[comp], comp, comp_sel, template, radius)
+            if layout is not None:
+                self._lower_flat_root(
+                    exprs[comp], layout, dest_view, comp, comp_sel, radius,
+                    coeffs, tape, template,
+                )
+            else:
+                self._lower_expr_root(
+                    exprs[comp], comp, comp_sel, dest_view, radius, coeffs,
+                    tape, iter(template) if template is not None else None,
+                )
             comp = end
 
     # -- flat-mode lowering --------------------------------------------------
@@ -779,31 +881,60 @@ class _Lowerer:
         expr: Expr,
         layout: _FlatLayout,
         dest: View,
+        comp: int,
+        comp_sel,
         radius: tuple[int, ...],
         coeffs: Mapping[str, float],
         tape: list[TapeOp],
+        classes: list | None,
     ) -> None:
         """Finish a flat-mode tree: compute on lanes, bridge to the interior.
 
         The whole expression runs on contiguous lane windows (every op on
-        the SIMD fast path); one final ``copyto`` maps the result lanes back
-        to the strided interior view — measurably cheaper than computing the
-        root op on strided operands directly.
+        the SIMD fast path); one final ``copyto`` maps the run's result
+        lanes back to the strided interior view — measurably cheaper than
+        computing the ops on strided operands directly.
         """
-        ref = self._lower_flat(expr, layout, radius, coeffs, tape)
+        cls_iter = iter(classes) if classes is not None else None
+        ref = self._lower_flat(
+            expr, layout, comp, comp_sel, radius, coeffs, tape, cls_iter
+        )
         if isinstance(ref, np.generic):
             tape.append(TapeOp("fill", (ref,), dest))
+        elif isinstance(ref, FlatView):
+            tape.append(TapeOp("copy", (View(ref.slot, ref.index),), dest))
         else:
-            tape.append(TapeOp("copy", (self._strided(ref, layout),), dest))
+            tape.append(TapeOp("copy", (self._reg_window(ref, layout, comp_sel),), dest))
             self.registers.release(ref)
+
+    def _reg_window(self, reg: Reg, layout: _FlatLayout, comp_sel) -> RegWindow:
+        """Interior-shaped window over a flat register, for the run's lanes.
+
+        The first interior point's component-0 lane sits at window offset 0,
+        so the run's band starts at its first component; a merged run keeps
+        a trailing component axis of unit stride.
+        """
+        if isinstance(comp_sel, int):
+            return RegWindow(
+                reg, comp_sel, layout.interior_shape, layout.interior_strides
+            )
+        return RegWindow(
+            reg,
+            comp_sel.start,
+            layout.interior_shape + (comp_sel.stop - comp_sel.start,),
+            layout.interior_strides + (1,),
+        )
 
     def _lower_flat(
         self,
         expr: Expr,
         layout: _FlatLayout,
+        comp: int,
+        comp_sel,
         radius: tuple[int, ...],
         coeffs: Mapping[str, float],
         tape: list[TapeOp],
+        classes,
     ):
         if isinstance(expr, Const):
             return self.dtype.type(expr.value)
@@ -815,35 +946,63 @@ class _Lowerer:
                     f"coefficient '{expr.name}' has no value"
                 ) from None
         if isinstance(expr, FieldAccess):
-            slot = self.env.get(expr.field)
-            if slot is None:
-                raise SimulationError(f"field '{expr.field}' is not bound")
+            cls = (
+                next(classes)
+                if classes is not None
+                else self._classify(expr, comp, layout.components)
+            )
+            if cls == "vary":
+                slot = self.env.get(expr.field)
+                if slot is None:
+                    raise SimulationError(f"field '{expr.field}' is not bound")
+            else:
+                slot = self._expanded_slot(expr.field, cls, layout.components)
             d = layout.delta(expr.offset)
             return FlatView(
                 slot,
                 layout.R + d,
                 layout.N - layout.R + d,
-                _shifted_index(expr.offset, radius, self.mesh.shape, 0),
+                _shifted_index(expr.offset, radius, self.mesh.shape, comp_sel),
             )
         if isinstance(expr, Neg):
-            operand = self._lower_flat(expr.operand, layout, radius, coeffs, tape)
+            operand = self._lower_flat(
+                expr.operand, layout, comp, comp_sel, radius, coeffs, tape, classes
+            )
             if isinstance(operand, np.generic):
                 return -operand
             self.registers.release(operand)
-            dest = self.registers.alloc((layout.window,))
+            dest = self.registers.alloc((layout.window,), span=layout.N)
             tape.append(TapeOp("neg", (operand,), dest, flat=True))
             return dest
         if isinstance(expr, BinOp):
-            lhs = self._lower_flat(expr.lhs, layout, radius, coeffs, tape)
-            rhs = self._lower_flat(expr.rhs, layout, radius, coeffs, tape)
+            lhs = self._lower_flat(
+                expr.lhs, layout, comp, comp_sel, radius, coeffs, tape, classes
+            )
+            rhs = self._lower_flat(
+                expr.rhs, layout, comp, comp_sel, radius, coeffs, tape, classes
+            )
             if isinstance(lhs, np.generic) and isinstance(rhs, np.generic):
                 return self._fold(expr.op, lhs, rhs)
             self.registers.release(lhs)
             self.registers.release(rhs)
-            dest = self.registers.alloc((layout.window,))
+            dest = self.registers.alloc((layout.window,), span=layout.N)
             tape.append(TapeOp(_BINOP_NAMES[expr.op], (lhs, rhs), dest, flat=True))
             return dest
         raise SimulationError(f"unknown expression node {type(expr).__name__}")
+
+    def _expanded_slot(self, field: str, comp: int, components: int) -> str:
+        """The ``inx:`` broadcast-expansion slot for one fixed-component read.
+
+        Holds component ``comp`` of the input field splatted across
+        ``components`` lanes per mesh point; filled by the executor at load
+        time (the key carries both, so e.g. a scalar coefficient mesh read
+        by 3- and 6-component runs gets one buffer per element stride).
+        """
+        slot = f"inx:{field}:{comp}x{components}"
+        if slot not in self.buffers:
+            self.buffers[slot] = tuple(reversed(self.mesh.shape)) + (components,)
+            self.expansions[slot] = (field, comp)
+        return slot
 
     @staticmethod
     def _fold(op: str, lhs: np.generic, rhs: np.generic) -> np.generic:
@@ -854,14 +1013,6 @@ class _Lowerer:
         if op == "*":
             return lhs * rhs
         return lhs / rhs
-
-    def _strided(self, ref, layout: _FlatLayout):
-        """Canonical-layout twin of a flat ref, for the root op's operands."""
-        if isinstance(ref, np.generic):
-            return ref
-        if isinstance(ref, FlatView):
-            return View(ref.slot, ref.index)
-        return RegWindow(ref, 0, layout.interior_shape, layout.interior_strides)
 
     def _lower_expr_root(
         self,

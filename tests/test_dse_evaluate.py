@@ -131,6 +131,82 @@ class TestBoardsAxis:
         assert with_axis.value("runtime") == without.value("runtime")
 
 
+class TestBatchAxis:
+    def test_batch_axis_scales_the_scored_workload(self, setup):
+        """A ``batch`` value re-scores the design on the batched workload.
+
+        More meshes take longer in total but amortize the fill latency, so
+        a batch-B trial must sit strictly between 1x and Bx the single-mesh
+        runtime (eq. (15)).
+        """
+        program, workload, evaluator, _ = setup
+        single = evaluator.evaluate(GOOD)
+        batched = evaluator.evaluate(dict(GOOD, batch=8))
+        assert batched.feasible
+        assert evaluator.workload_for(dict(GOOD, batch=8)).batch == 8
+        assert single.value("runtime") < batched.value("runtime")
+        assert batched.value("runtime") < 8 * single.value("runtime")
+
+    def test_batch_one_matches_no_axis(self, setup):
+        _, _, evaluator, _ = setup
+        with_axis = evaluator.evaluate(dict(GOOD, batch=1))
+        without = evaluator.evaluate(GOOD)
+        assert with_axis.value("runtime") == without.value("runtime")
+
+    def test_tiled_batched_configs_are_infeasible(self, jacobi_app):
+        """tiled x batch>1 has no executable surface, so it must not score.
+
+        ``FPGAAccelerator.run_batch`` raises on tiled designs; a config the
+        runtime cannot execute must not win a Pareto front, and
+        ``batch_runner`` must refuse to construct a runner for it.
+        """
+        program = jacobi_app.program_on((400, 400, 400))
+        workload = Workload(program.mesh, 100)
+        evaluator = Evaluator(program, ALVEO_U280, workload)
+        tiled = {"memory": "HBM", "V": 1, "p": 2, "tiled": True}
+        assert evaluator.evaluate(tiled).feasible
+        batched = evaluator.evaluate(dict(tiled, batch=4))
+        assert not batched.feasible
+        assert "tiled" in batched.reason
+        assert evaluator.evaluate(dict(tiled, batch=1)).feasible
+        with pytest.raises(ValidationError, match="tiled"):
+            evaluator.batch_runner(tiled)
+        # only the *axis* is gated: a study-level batched workload keeps its
+        # pre-existing analytic scoring on tiled designs
+        study_batched = Evaluator(program, ALVEO_U280, Workload(program.mesh, 100, 4))
+        assert study_batched.evaluate(tiled).feasible
+
+    def test_batch_runner_realizes_the_trial_functionally(self, jacobi_app):
+        """The stacked BatchRunner backs the batch axis, bit-identically.
+
+        A study exploring batch sizes can validate its best design on the
+        very batched workload it was scored for: the runner executes the
+        batch through one stacked tape and matches the golden interpreter.
+        """
+        import numpy as np
+
+        from repro.stencil.compiled import CompiledPlanCache
+        from repro.stencil.numpy_eval import run_program
+
+        shape = (16, 14, 8)
+        program = jacobi_app.program_on(shape)
+        workload = Workload(program.mesh, 100)
+        evaluator = Evaluator(program, ALVEO_U280, workload)
+        config = dict(GOOD, batch=4)
+        assert evaluator.evaluate(config).feasible
+        cache = CompiledPlanCache()
+        runner = evaluator.batch_runner(config, plan_cache=cache)
+        assert runner.design.V == GOOD["V"] and runner.design.p == GOOD["p"]
+        batch = [jacobi_app.fields(shape, seed=s) for s in range(4)]
+        results = runner.run(batch, runner.design.p * 2)
+        assert cache.misses == 1  # one stacked plan for the whole batch
+        for env, res in zip(batch, results):
+            gold = run_program(
+                program, env, runner.design.p * 2, engine="interpreter"
+            )
+            assert np.array_equal(res["U"].data, gold["U"].data)
+
+
 class TestModelBounds:
     def test_unroll_cap_honors_hard_dsp_limit(self, setup):
         _, _, evaluator, _ = setup

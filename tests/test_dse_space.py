@@ -127,3 +127,12 @@ class TestModelSpace:
         workload = Workload(program.mesh, 100)
         with pytest.raises(ValidationError):
             model_space(program, ALVEO_U250, workload, memories=("HBM",))
+
+    def test_batch_axis_optional(self, jacobi_app):
+        program = jacobi_app.program_on((64, 64, 64))
+        workload = Workload(program.mesh, 100)
+        space = model_space(program, ALVEO_U280, workload, batches=(1, 4, 16))
+        assert space["batch"].values == (1, 4, 16)
+        assert "batch" not in model_space(program, ALVEO_U280, workload)
+        with pytest.raises(ValidationError):
+            model_space(program, ALVEO_U280, workload, batches=(0, 4))

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.mesh.batch import batched_spec, split_field, stack_fields
+from repro.mesh.batch import (
+    batched_spec,
+    split_batch_major,
+    split_field,
+    stack_batch_major,
+    stack_fields,
+)
 from repro.mesh.mesh import Field, MeshSpec
 from repro.util.errors import ValidationError
 
@@ -59,3 +65,52 @@ class TestStackSplit:
         f = Field.zeros("U", MeshSpec((4, 8)))
         parts = split_field(f, 2)
         assert [p.name for p in parts] == ["U[0]", "U[1]"]
+
+    def test_spec_and_data_axes_agree_on_asymmetric_3d_mesh(self):
+        """``axis=0`` concatenation is exactly the ``shape[-1]`` extension.
+
+        Paper-order shapes reverse into storage order, so the outermost
+        paper dimension (``spec.shape[-1]``, the one ``batched_spec``
+        multiplies) *is* storage axis 0 (the one ``stack_fields``
+        concatenates). The asymmetric extents make any axis mix-up change
+        the storage shape and fail loudly.
+        """
+        spec = MeshSpec((5, 7, 3), components=2)
+        fields = [Field.random("U", spec, seed=i) for i in range(4)]
+        stacked = stack_fields(fields)
+        assert stacked.spec == batched_spec(spec, 4)
+        assert stacked.spec.shape == (5, 7, 12)  # only l extends
+        assert stacked.data.shape == (12, 7, 5, 2)  # storage axis 0 extends
+        # full round-trip: stack -> batched_spec storage -> split
+        parts = split_field(stacked, 4)
+        for orig, part in zip(fields, parts):
+            assert part.spec == spec
+            assert np.array_equal(orig.data, part.data)
+        # and each mesh is a contiguous segment of the stream, in order
+        for i, orig in enumerate(fields):
+            assert np.array_equal(stacked.data[3 * i : 3 * (i + 1)], orig.data)
+
+
+class TestBatchMajor:
+    def test_roundtrip(self):
+        spec = MeshSpec((5, 7, 3), components=2)
+        fields = [Field.random("U", spec, seed=i) for i in range(3)]
+        stacked = stack_batch_major(fields)
+        assert stacked.shape == (3,) + spec.storage_shape
+        parts = split_batch_major("U", spec, stacked)
+        assert [p.name for p in parts] == ["U[0]", "U[1]", "U[2]"]
+        for orig, part in zip(fields, parts):
+            assert np.array_equal(orig.data, part.data)
+
+    def test_rejects_empty_and_mixed_specs(self):
+        with pytest.raises(ValidationError):
+            stack_batch_major([])
+        a = Field.zeros("U", MeshSpec((4, 4)))
+        b = Field.zeros("U", MeshSpec((4, 5)))
+        with pytest.raises(ValidationError):
+            stack_batch_major([a, b])
+
+    def test_split_rejects_wrong_storage_shape(self):
+        spec = MeshSpec((4, 4))
+        with pytest.raises(ValidationError):
+            split_batch_major("U", spec, np.zeros((2, 4, 5, 1), np.float32))

@@ -246,10 +246,13 @@ class TestComponentMerging:
             "G": MeshSpec(program.mesh.shape, 1),
         }
         merged = lower_program(program, program.mesh, specs)
-        # all three components collapse into one sliced run per output (the
-        # fixed-component G read becomes a width-1 broadcast): W lowers to 7
-        # merged ops, U to 2, and steady tapes carry no boundary ops
-        assert len(merged.steady_odd) == 9
+        # all three components collapse into one flat-mode run per output:
+        # W lowers to 7 merged lane ops + 1 interior bridge copy, U to 2 + 1,
+        # and steady tapes carry no boundary ops
+        assert len(merged.steady_odd) == 11
+        assert sum(1 for op in merged.steady_odd if op.flat) == 9
+        # the fixed-component G read rides a load-time broadcast expansion
+        assert merged.expansions == {"inx:G:0x3": ("G", 0)}
 
     def test_deep_init_from_chain_boundary_transient(self):
         """Boundary transients drain one iteration per chain link.
