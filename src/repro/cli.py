@@ -10,9 +10,13 @@ Commands
     Regenerate EXPERIMENTS.md.
 ``explore APP --mesh MxN[xL] [--niter N] [--tiled]``
     Rank feasible design points for an application workload.
-``dse APP [--strategy S] [--trials N] [--study PATH] [--resume] [--top K]``
+``dse [APP] [--strategy S] [--trials N] [--study PATH] [--resume] [--top K]``
     Run a design-space exploration study with a pluggable search strategy,
     journalling every trial (resumable) and reporting the Pareto front.
+    ``--workloads app:MESH:NITERxBATCH,...`` scores every configuration
+    against a whole workload mix instead of a single workload
+    (``--validate-mix`` then replays the winner bit-identically against
+    the golden interpreter).
 ``codegen APP [--out DIR] [--mesh MxN[xL]]``
     Emit the Vivado HLS project for an application's paper design.
 """
@@ -98,25 +102,69 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _explore_study(args: argparse.Namespace, objectives, tiled, constraints=()):
-    """Build and run a study from common CLI arguments."""
+    """Build and run a study from common CLI arguments.
+
+    ``--workloads`` switches the study onto a workload mix: the space is
+    the union :func:`~repro.dse.space.mix_space` over the mix's programs
+    and every configuration is scored against the whole mix (predicted
+    runtime = weighted sum over specs). Otherwise a single workload is
+    built from ``APP --mesh --niter --batch`` as before.
+    """
     from repro.arch.device import device_by_name
     from repro.dse import Evaluator, Study, model_space, strategy_by_name
+    from repro.dse.space import mix_space
     from repro.model.design import Workload
+    from repro.workload import WorkloadMix
 
-    app = app_by_name(args.app)
-    mesh = _parse_mesh(args.mesh) if args.mesh else app.program.mesh.shape
-    program = app.program_on(mesh)
     device = device_by_name(args.device)
-    workload = Workload(program.mesh, args.niter, args.batch)
     batches = _parse_batches(getattr(args, "batches", None))
-    space = model_space(program, device, workload, tiled=tiled, batches=batches)
+    mix_text = getattr(args, "workloads", None)
+    if mix_text:
+        # a mix fully specifies apps/meshes/iterations/batches: refuse the
+        # single-workload flags instead of silently dropping them
+        clashes = [
+            flag
+            for flag, value in (
+                ("APP", args.app),
+                ("--mesh", args.mesh),
+                ("--niter", getattr(args, "niter", None)),
+                ("--batch", getattr(args, "batch", None)),
+            )
+            if value is not None
+        ]
+        if clashes:
+            raise ReproError(
+                f"--workloads already names apps, meshes, iterations and "
+                f"batches; drop {', '.join(clashes)}"
+            )
+        mix = WorkloadMix.parse(mix_text)
+        rep = mix.heaviest()
+        app = app_by_name(rep.app)
+        program = app.program_on(rep.mesh.shape)
+        workload, workloads = rep, mix  # rep reported, mix scored
+        space = mix_space(mix, device, tiled=tiled, batches=batches)
+    else:
+        if not args.app:
+            raise ReproError("name an APP or pass --workloads MIX")
+        app = app_by_name(args.app)
+        mesh = _parse_mesh(args.mesh) if args.mesh else app.program.mesh.shape
+        program = app.program_on(mesh)
+        # the dse parser defaults niter/batch to None so --workloads can
+        # detect explicit use; the single-workload path fills them here
+        niter = args.niter if getattr(args, "niter", None) is not None else 1000
+        batch = args.batch if getattr(args, "batch", None) is not None else 1
+        workload = Workload(program.mesh, niter, batch)
+        workloads = None
+        space = model_space(program, device, workload, tiled=tiled, batches=batches)
     evaluator = Evaluator(
         program,
         device,
-        workload,
+        # workload= and workloads= are mutually exclusive on the Evaluator
+        workload if workloads is None else None,
         objectives=objectives,
         constraints=constraints,
         max_workers=getattr(args, "workers", None),
+        workloads=workloads,
     )
     study = Study(
         space,
@@ -175,6 +223,8 @@ def _cmd_dse(args: argparse.Namespace) -> int:
 
     if args.resume and not args.study:
         raise ReproError("--resume needs --study PATH to know which journal to replay")
+    if args.validate_mix and not args.workloads:
+        raise ReproError("--validate-mix needs --workloads MIX to know what to run")
     objectives = parse_objectives(args.objectives)
     # the report table always shows runtime/bandwidth/power: score them too
     extra = tuple(
@@ -185,11 +235,16 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     app, device, workload, study = _explore_study(
         args, objectives=objectives + extra, tiled=args.tiled
     )
+    mix = study.evaluator.mix
+    subject = (
+        f"mix {mix.describe()}" if mix is not None
+        else f"{app.name}, {workload.niter} iters"
+    )
     table = TextTable(
         ["rank", "memory", "V", "p", "clock MHz", "tile", "runtime (s)", "GB/s", "W"],
         title=(
-            f"{app.name} on {device.name}: {args.strategy} search, "
-            f"{workload.niter} iters, primary objective '{objectives[0].name}'"
+            f"{subject} on {device.name}: {args.strategy} search, "
+            f"primary objective '{objectives[0].name}'"
         ),
     )
     top = study.top(args.top)
@@ -214,6 +269,13 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     if not top:
         print("no feasible designs found — try --tiled for large meshes")
         return 1
+    if mix is not None and getattr(args, "validate_mix", False):
+        best = study.best()
+        run = study.evaluator.validate_mix(best.config)
+        print(
+            f"mix validation: {run.meshes} meshes bit-identical to the golden "
+            f"interpreter in {run.dispatches} chunked stacked dispatches"
+        )
     return 0
 
 
@@ -258,14 +320,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.set_defaults(fn=_cmd_explore)
 
     p_dse = sub.add_parser("dse", help="design-space exploration study")
-    p_dse.add_argument("app", help="app name (poisson2d | jacobi3d | rtm)")
+    p_dse.add_argument(
+        "app", nargs="?",
+        help="app name (poisson2d | jacobi3d | rtm); optional with --workloads",
+    )
     p_dse.add_argument("--mesh", help="mesh shape, e.g. 400x400")
-    p_dse.add_argument("--niter", type=int, default=1000)
-    p_dse.add_argument("--batch", type=int, default=1)
+    # None defaults (filled to 1000/1 in _explore_study) let --workloads
+    # reject explicitly passed single-workload flags instead of ignoring them
+    p_dse.add_argument("--niter", type=int, default=None)
+    p_dse.add_argument("--batch", type=int, default=None)
     p_dse.add_argument(
         "--batches",
         help="comma-separated batch sizes to add as a search axis "
-        "(e.g. 1,4,16); the design must serve the whole mix",
+        "(e.g. 1,4,16); the design must serve the whole mix. With "
+        "--workloads each value is a *multiplier* on every spec's own "
+        "batch count rather than a replacement",
+    )
+    p_dse.add_argument(
+        "--workloads",
+        help="workload mix to score every configuration against: "
+        "comma-separated app:MESH:NITER[xBATCH][@WEIGHT] specs "
+        "(e.g. jacobi3d:96x96x96:100x4,rtm:64x64x64:36x2)",
+    )
+    p_dse.add_argument(
+        "--validate-mix",
+        action="store_true",
+        help="after the study, run the best design's whole mix through the "
+        "chunked stacked engine and assert bit-identity to the interpreter",
     )
     p_dse.add_argument("--tiled", action="store_true")
     p_dse.add_argument("--device", default="U280")

@@ -20,9 +20,14 @@ from repro.dataflow.pipeline import IterativePipeline
 from repro.dataflow.datamover import DataMover, TransferStats
 from repro.dataflow.tiler import SpatialTiler, plan_blocks, BlockPlan
 from repro.dataflow.batcher import BatchRunner
-from repro.dataflow.accelerator import FPGAAccelerator, SimReport, HostModel
+from repro.dataflow.scheduler import GroupRun, MixRunResult, MixScheduler
+from repro.dataflow.accelerator import FPGAAccelerator, MixReport, SimReport, HostModel
 
 __all__ = [
+    "GroupRun",
+    "MixReport",
+    "MixRunResult",
+    "MixScheduler",
     "LineBufferStream",
     "stream_iterate_2d",
     "stream_iterate_3d",

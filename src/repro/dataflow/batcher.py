@@ -34,12 +34,17 @@ class BatchRunner:
         design: DesignPoint,
         engine: str = "compiled",
         plan_cache=None,
+        stacked_bytes_limit: float | None = None,
     ):
         self.program = program
         self.design = design
+        #: per-chunk working-set budget for stacked dispatch (None: the
+        #: module default, :data:`repro.stencil.compiled.STACKED_BYTES_LIMIT`)
+        self.stacked_bytes_limit = stacked_bytes_limit
         # every mesh in a batch shares the same spec, so the whole batch
-        # rides one compiled plan — stacked batch-major on the compiled
-        # engine, replayed per mesh on the interpreter
+        # rides one compiled plan — stacked batch-major (in footprint-
+        # bounded chunks) on the compiled engine, replayed per mesh on the
+        # interpreter
         self.pipeline = IterativePipeline(
             program, design.V, design.p, engine, plan_cache
         )
@@ -54,8 +59,13 @@ class BatchRunner:
         batch_fields: Sequence[Mapping[str, Field]],
         niter: int,
         coefficients: Mapping[str, float] | None = None,
+        stacked_bytes_limit: float | None = None,
     ) -> list[dict[str, Field]]:
-        """Solve every mesh in the batch for ``niter`` iterations."""
+        """Solve every mesh in the batch for ``niter`` iterations.
+
+        ``stacked_bytes_limit`` overrides the runner's per-chunk budget for
+        this call only.
+        """
         if not batch_fields:
             raise ValidationError("batch must contain at least one mesh")
         spec = None
@@ -71,7 +81,32 @@ class BatchRunner:
                     "all meshes in a batch must share the same spec "
                     f"({s} != {spec})"
                 )
-        return self.pipeline.run_batch(batch_fields, niter, coefficients)
+        limit = (
+            stacked_bytes_limit
+            if stacked_bytes_limit is not None
+            else self.stacked_bytes_limit
+        )
+        return self.pipeline.run_batch(batch_fields, niter, coefficients, limit)
+
+    def run_mix(
+        self,
+        groups: Sequence[tuple[Sequence[Mapping[str, Field]], int]],
+        coefficients: Mapping[str, float] | None = None,
+        stacked_bytes_limit: float | None = None,
+    ) -> list[list[dict[str, Field]]]:
+        """Solve a mix of batches: each ``(batch_fields, niter)`` group in turn.
+
+        Specs must agree within a group but may differ across groups
+        (differing mesh shapes and iteration counts ride separate compiled
+        plans). See :class:`repro.dataflow.scheduler.MixScheduler` for
+        workload-level mix orchestration.
+        """
+        if not groups:
+            raise ValidationError("mix must contain at least one group")
+        return [
+            self.run(batch_fields, niter, coefficients, stacked_bytes_limit)
+            for batch_fields, niter in groups
+        ]
 
     def total_cycles(self, niter: int, batch: int, mesh_shape: tuple[int, ...]) -> float:
         """Structural cycles for the batched solve (stacked stream)."""

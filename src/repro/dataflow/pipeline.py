@@ -98,16 +98,22 @@ class IterativePipeline:
         batch_fields: Sequence[Mapping[str, Field]],
         niter: int,
         coefficients: Mapping[str, float] | None = None,
+        stacked_bytes_limit: float | None = None,
     ) -> list[dict[str, Field]]:
         """Run a batch of independent same-spec meshes (paper Section IV-B).
 
-        On the compiled engine the whole batch is stacked batch-major and
-        advances through **one** replay of the op tape per solve — the
-        software analogue of streaming the meshes back to back through one
-        pipeline (eq. (15)); per-mesh results are bit-identical to ``B``
-        independent :meth:`run` calls. The interpreter engine replays the
-        golden path per mesh. ``niter`` must be a multiple of ``p`` exactly
-        as for :meth:`run`.
+        On the compiled engine the batch is stacked batch-major and
+        advances through one replay of the op tape per footprint-bounded
+        chunk — the software analogue of streaming the meshes back to back
+        through one pipeline (eq. (15)); per-mesh results are bit-identical
+        to ``B`` independent :meth:`run` calls. The interpreter engine
+        replays the golden path per mesh. ``niter`` must be a multiple of
+        ``p`` exactly as for :meth:`run`.
+
+        ``stacked_bytes_limit`` overrides the per-chunk working-set budget
+        (default :data:`repro.stencil.compiled.STACKED_BYTES_LIMIT`) so
+        DSE sweeps and benchmarks can tune the chunking instead of
+        monkeypatching the module constant.
         """
         if not batch_fields:
             raise ValidationError("batch must contain at least one mesh")
@@ -119,11 +125,35 @@ class IterativePipeline:
         if self.engine == "compiled":
             return run_program_stacked(
                 self.program, batch_fields, niter, coefficients,
-                cache=self.plan_cache,
+                cache=self.plan_cache, max_stack_bytes=stacked_bytes_limit,
             )
         return [
             dict(self._run_iterations(env, niter, coefficients))
             for env in batch_fields
+        ]
+
+    def run_mix(
+        self,
+        groups: Sequence[tuple[Sequence[Mapping[str, Field]], int]],
+        coefficients: Mapping[str, float] | None = None,
+        stacked_bytes_limit: float | None = None,
+    ) -> list[list[dict[str, Field]]]:
+        """Run a mix of independent batches back to back.
+
+        Each group is a ``(batch_fields, niter)`` pair; meshes within a
+        group must share one spec (they ride one chunked stacked dispatch,
+        see :meth:`run_batch`), while specs and iteration counts may differ
+        freely across groups — the compiled engine keys plans by the bound
+        field specs, so one pipeline serves every mesh shape in the mix.
+        Higher-level mix orchestration (grouping a
+        :class:`~repro.workload.WorkloadMix`, dispatch accounting) lives in
+        :class:`repro.dataflow.scheduler.MixScheduler`.
+        """
+        if not groups:
+            raise ValidationError("mix must contain at least one group")
+        return [
+            self.run_batch(batch_fields, niter, coefficients, stacked_bytes_limit)
+            for batch_fields, niter in groups
         ]
 
     # -- structural cycle accounting ------------------------------------------

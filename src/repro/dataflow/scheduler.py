@@ -1,0 +1,216 @@
+"""Workload-mix scheduling: execute a whole mix end-to-end.
+
+The :class:`MixScheduler` is the host-side orchestrator the paper's batched
+mode (Section IV-B) implies but never names: given a
+:class:`~repro.workload.WorkloadMix` — many meshes of differing shapes and
+iteration counts in flight at once — it
+
+1. **groups** members by identical job shape
+   (:meth:`~repro.workload.WorkloadMix.job_groups`: same app, mesh, dtype
+   and ``niter``), so every group rides one compiled plan;
+2. **executes** each group through the compiled engine in chunked stacked
+   mode (:func:`repro.stencil.compiled.run_program_stacked`): meshes stack
+   batch-major in footprint-bounded chunks, paying one tape dispatch per
+   chunk instead of one per mesh;
+3. **accounts** for the dispatches actually issued, so callers (harness
+   experiments, benchmarks, DSE validation) can compare scheduling
+   policies structurally rather than by wall clock alone.
+
+The scheduler runs *exact* iteration counts: it orchestrates at the engine
+level, where the unroll factor ``p`` is a cycle-accounting concern rather
+than a functional constraint (the accelerator's cycle reports already
+charge ``ceil(niter / p)`` passes). Results are bit-identical per mesh to
+the golden interpreter; ``validate=True`` re-derives every mesh on the
+interpreter and raises on any mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.mesh.mesh import Field, MeshSpec
+from repro.stencil.compiled import (
+    CompiledPlanCache,
+    check_engine,
+    run_program_stacked,
+)
+from repro.stencil.program import StencilProgram
+from repro.util.errors import ValidationError
+from repro.workload import MixLike, WorkloadMix, WorkloadSpec, as_mix
+
+#: makes the initial conditions of one group member: ``(spec, index) -> env``
+FieldsFor = Callable[[WorkloadSpec, int], Mapping[str, Field]]
+#: resolves the program a spec runs: ``spec -> StencilProgram``
+ProgramFor = Callable[[WorkloadSpec], StencilProgram]
+
+
+@dataclass(frozen=True)
+class GroupRun:
+    """Execution record of one job group of a mix."""
+
+    #: the merged execution spec (batch = total meshes of the group)
+    spec: WorkloadSpec
+    #: per-mesh final field environments, in member order
+    results: tuple[dict[str, Field], ...]
+    #: tape dispatches issued for the group
+    dispatches: int
+    #: stacked chunk sizes the dispatches used (``[1]*B`` on per-mesh paths)
+    chunks: tuple[int, ...]
+
+    @property
+    def meshes(self) -> int:
+        """Meshes solved in this group."""
+        return len(self.results)
+
+
+@dataclass(frozen=True)
+class MixRunResult:
+    """Outcome of scheduling one mix."""
+
+    groups: tuple[GroupRun, ...]
+    #: True when every mesh was re-derived on the golden interpreter
+    validated: bool = False
+
+    @property
+    def meshes(self) -> int:
+        """Total meshes solved across the mix."""
+        return sum(g.meshes for g in self.groups)
+
+    @property
+    def dispatches(self) -> int:
+        """Total tape dispatches issued across the mix."""
+        return sum(g.dispatches for g in self.groups)
+
+    def group_for(self, spec: WorkloadSpec) -> GroupRun:
+        """The group run a spec's members landed in."""
+        for group in self.groups:
+            if group.spec.job_key == spec.job_key:
+                return group
+        raise ValidationError(f"no group in this run matches {spec}")
+
+
+@dataclass
+class MixScheduler:
+    """Runs workload mixes through the (chunked) stacked compiled engine.
+
+    ``fields_for`` and ``program_for`` default to resolution through the
+    application registry for specs carrying app names; app-less specs need
+    a ``program_for`` (their initial conditions are then synthesized
+    reproducibly from the program's field contract unless ``fields_for``
+    supplies them). ``stacked_bytes_limit`` tunes the per-chunk working-set
+    budget (None: the module default); ``engine="interpreter"`` runs every
+    mesh on the golden path instead (per-mesh dispatch, for reference
+    measurements).
+    """
+
+    engine: str = "compiled"
+    plan_cache: CompiledPlanCache | None = None
+    stacked_bytes_limit: float | None = None
+    fields_for: FieldsFor | None = None
+    program_for: ProgramFor | None = None
+    #: base seed mixed into default initial conditions per member
+    seed: int = 0
+    coefficients: Mapping[str, float] | None = dc_field(default=None)
+
+    def __post_init__(self):
+        check_engine(self.engine)
+
+    # -- members ------------------------------------------------------------------
+    def _program(self, spec: WorkloadSpec) -> StencilProgram:
+        if self.program_for is not None:
+            return self.program_for(spec)
+        return spec.program()
+
+    def _fields(
+        self, spec: WorkloadSpec, index: int, program: StencilProgram
+    ) -> Mapping[str, Field]:
+        if self.fields_for is not None:
+            return self.fields_for(spec, index)
+        if spec.app is not None:
+            return spec.fields(seed=self.seed + index)
+        return self._synthesized_fields(program, spec, index)
+
+    def _synthesized_fields(
+        self, program: StencilProgram, spec: WorkloadSpec, index: int
+    ) -> Mapping[str, Field]:
+        """Reproducible random initial conditions from the program contract.
+
+        App-less specs have no registered field maker; for execution and
+        bit-identity validation any values serve, so synthesize them from
+        what the program declares — state fields on the mesh spec itself,
+        constant fields scalar (the program's external-contract convention).
+        """
+        from repro.stencil.plan import required_inputs
+
+        state = set(program.state_fields)
+        env: dict[str, Field] = {}
+        for offset, name in enumerate(required_inputs(program)):
+            fspec = (
+                spec.mesh
+                if name in state
+                else MeshSpec(spec.mesh.shape, 1, spec.mesh.dtype)
+            )
+            env[name] = Field.random(
+                name, fspec, seed=(self.seed + index) * 1009 + offset
+            )
+        return env
+
+    # -- execution ----------------------------------------------------------------
+    def run(self, mix: MixLike, validate: bool = False) -> MixRunResult:
+        """Execute every member of the mix; returns per-group results.
+
+        Members are grouped by job shape and each group executes in
+        chunked stacked mode (one compiled tape dispatch per chunk). With
+        ``validate=True`` every mesh is additionally solved on the golden
+        interpreter and compared bitwise — any divergence raises.
+        """
+        mix = as_mix(mix)
+        groups = []
+        for spec in mix.job_groups().values():
+            groups.append(self._run_group(spec, validate))
+        return MixRunResult(tuple(groups), validated=validate)
+
+    def _run_group(self, spec: WorkloadSpec, validate: bool) -> GroupRun:
+        program = self._program(spec)
+        envs = [self._fields(spec, i, program) for i in range(spec.batch)]
+        stats: dict = {}
+        if self.engine == "compiled":
+            results = run_program_stacked(
+                program,
+                envs,
+                spec.niter,
+                self.coefficients,
+                cache=self.plan_cache,
+                max_stack_bytes=self.stacked_bytes_limit,
+                stats=stats,
+            )
+        else:
+            results = [
+                self._golden(program, env, spec.niter) for env in envs
+            ]
+            stats = {"chunks": [1] * len(envs), "dispatches": len(envs)}
+        if validate and self.engine == "compiled":
+            for index, (env, result) in enumerate(zip(envs, results)):
+                golden = self._golden(program, env, spec.niter)
+                for name, field in golden.items():
+                    if not np.array_equal(field.data, result[name].data):
+                        raise ValidationError(
+                            f"mix group {spec} member {index}: field "
+                            f"'{name}' diverges from the golden interpreter"
+                        )
+        return GroupRun(
+            spec,
+            tuple(results),
+            dispatches=int(stats.get("dispatches", len(envs))),
+            chunks=tuple(stats.get("chunks", [1] * len(envs))),
+        )
+
+    def _golden(self, program: StencilProgram, env, niter: int):
+        from repro.stencil.numpy_eval import run_program
+
+        return run_program(
+            program, env, niter, self.coefficients, engine="interpreter"
+        )

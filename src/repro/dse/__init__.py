@@ -32,6 +32,7 @@ from repro.dse.objectives import (
     max_power,
     objective_by_name,
     parse_objectives,
+    weighted_sum,
 )
 from repro.dse.pareto import FrontMember, ParetoFront, dominates
 from repro.dse.space import Parameter, ParameterSpace, config_key, model_space
@@ -80,4 +81,5 @@ __all__ = [
     "objective_by_name",
     "parse_objectives",
     "strategy_by_name",
+    "weighted_sum",
 ]

@@ -12,6 +12,14 @@ never evaluated twice within a study (or across a resumed one: the study
 seeds the cache from its journal).  Batch evaluation fans out over
 ``concurrent.futures`` worker threads.
 
+With ``workloads=`` (a :class:`~repro.workload.WorkloadMix` or a list of
+specs) a single configuration is scored against a whole workload
+population: the design must be feasible for every spec, predicted mix
+runtime is the weighted sum over specs, and
+:meth:`Evaluator.validate_mix` realizes the winning configuration
+functionally through the chunked stacked engine, bit-identical to the
+golden interpreter.
+
 The per-trial model path leans on program-level memoization:
 ``program.bytes_per_cell_pass()`` and ``G_dsp`` are cached on the program
 instance, so constructing a predictor per trial no longer re-walks every
@@ -46,6 +54,18 @@ from repro.model.tiling import TileDesign
 from repro.stencil.program import StencilProgram
 from repro.util.errors import InfeasibleDesignError, ValidationError
 from repro.util.units import MHZ
+from repro.workload import MixLike, WorkloadMix, WorkloadSpec, as_mix
+
+
+@dataclass(frozen=True)
+class _MixBinding:
+    """One mix entry resolved against the model: program, space, traffic."""
+
+    spec: WorkloadSpec
+    weight: float
+    program: StencilProgram
+    space: DesignSpace
+    traffic: float | None
 
 
 @dataclass(frozen=True)
@@ -75,31 +95,89 @@ class Evaluator:
         self,
         program: StencilProgram,
         device: FPGADevice,
-        workload: Workload,
+        workload: Workload | None = None,
         objectives: Sequence[Objective] = (RUNTIME,),
         constraints: Sequence[Constraint] = (),
         clock_model: ClockModel = DEFAULT_CLOCK_MODEL,
         logical_bytes_per_cell_iter: float | None = None,
         max_workers: int | None = None,
+        workloads: MixLike | None = None,
     ):
         if not objectives:
             raise ValidationError("an Evaluator needs at least one objective")
         if max_workers is not None and max_workers < 0:
             raise ValidationError(f"max_workers must be >= 0, got {max_workers}")
+        if workload is None and workloads is None:
+            raise ValidationError(
+                "an Evaluator needs a workload (or a workload mix via workloads=)"
+            )
+        if workload is not None and workloads is not None:
+            raise ValidationError(
+                "pass either workload= (single) or workloads= (mix), not both"
+            )
         self.program = program
         self.device = device
-        self.workload = workload
         self.objectives = tuple(objectives)
         self.constraints = tuple(constraints)
         self.logical_bytes_per_cell_iter = logical_bytes_per_cell_iter
         self.max_workers = max_workers
-        self._space = DesignSpace(program, device, clock_model)
+        #: the workload mix this evaluator scores configurations against
+        #: (None when scoring a single workload the pre-mix way)
+        self.mix: WorkloadMix | None = None
+        if workloads is not None:
+            self.mix = as_mix(workloads)
+            self._entries = self._bind_mix(self.mix, clock_model)
+            # the heaviest member stands for the mix wherever one value
+            # must (clock estimation, line-buffer sizing, unroll caps) —
+            # the same selection the CLI uses to pick its program
+            rep_spec = self.mix.heaviest()
+            rep = next(b for b in self._entries if b.spec == rep_spec)
+            self.workload = rep.spec
+            self._rep_program = rep.program
+            self._space = rep.space
+        else:
+            self.workload = workload
+            self._entries = ()
+            self._rep_program = program
+            self._space = DesignSpace(program, device, clock_model)
         self._cache: dict[ConfigKey, TrialResult] = {}
         self._lock = threading.Lock()
         #: configurations actually run through the model
         self.evaluations = 0
         #: requests answered from the memo table
         self.cache_hits = 0
+
+    def _bind_mix(
+        self, mix: WorkloadMix, clock_model: ClockModel
+    ) -> tuple[_MixBinding, ...]:
+        """Resolve every distinct mix spec against the model, once.
+
+        Specs carrying an app name resolve their program (and logical
+        traffic profile) through the application registry; app-less specs
+        rebind this evaluator's base program to their mesh. Duplicate specs
+        fold into one binding with summed weight, so scoring a mix costs
+        one model walk per *distinct* spec.
+        """
+        from repro.apps.registry import app_by_name  # lazy: apps import dse consumers
+
+        bindings = []
+        for spec, weight in mix.group_by_spec().items():
+            if spec.app is not None:
+                prog = app_by_name(spec.app).program_on(spec.mesh.shape)
+            else:
+                prog = self.program.with_mesh(spec.mesh)
+            # one traffic convention for every entry point: the explicit
+            # parameter, else the predictor's program-derived default —
+            # the same workload spelled as workload= or workloads= must
+            # score identically (per-app GPU traffic profiles are an
+            # explicit opt-in, as in the harness)
+            bindings.append(
+                _MixBinding(
+                    spec, weight, prog, DesignSpace(prog, self.device, clock_model),
+                    self.logical_bytes_per_cell_iter,
+                )
+            )
+        return tuple(bindings)
 
     @property
     def primary(self) -> Objective:
@@ -116,24 +194,49 @@ class Evaluator:
         and the optimum regularly sits in that gap.  Baseline designs are
         additionally line-buffer bound (eq. 7); tiled designs trade buffer
         for redundant compute, leaving the DSP bound only.
+
+        Mix-scored evaluators take the **minimum over every spec** of the
+        mix: one design must be buildable for all of them, so e.g. an RTM
+        member's huge ``G_dsp`` caps the whole mix's unroll axis — which is
+        exactly what steers warm-started searches into the jointly feasible
+        region.
         """
-        dsp_cap = max(1, self.device.dsp_blocks // (V * self._space.gdsp))
-        if tiled:
-            return dsp_cap
-        module_bytes = module_mem_bytes(self.program, self.workload.mesh.shape)
-        return min(dsp_cap, max(1, self.device.usable_on_chip_bytes() // module_bytes))
+        caps = []
+        for program, space, mesh in self._cap_bindings():
+            dsp_cap = max(1, self.device.dsp_blocks // (V * space.gdsp))
+            if tiled:
+                caps.append(dsp_cap)
+                continue
+            module_bytes = module_mem_bytes(program, mesh.shape)
+            caps.append(
+                min(
+                    dsp_cap,
+                    max(1, self.device.usable_on_chip_bytes() // module_bytes),
+                )
+            )
+        return min(caps)
 
     def vector_cap(self, memory: str, p: int = 1) -> int:
         """Widest vectorization that can possibly be feasible on ``memory``.
 
         The minimum of the bandwidth bound (eq. 4, at the device's default
-        clock) and the hard DSP bound at the requested unroll depth.
+        clock) and the hard DSP bound at the requested unroll depth — over
+        every spec of a mix, as for :meth:`unroll_cap`.
         """
-        bw = feasible_vectorization(
-            self.program, self.device, memory, self.device.default_clock_mhz * MHZ
-        )
-        dsp = max(1, self.device.dsp_blocks // (p * self._space.gdsp))
-        return max(1, min(bw, dsp))
+        caps = []
+        for program, space, _ in self._cap_bindings():
+            bw = feasible_vectorization(
+                program, self.device, memory, self.device.default_clock_mhz * MHZ
+            )
+            dsp = max(1, self.device.dsp_blocks // (p * space.gdsp))
+            caps.append(max(1, min(bw, dsp)))
+        return min(caps)
+
+    def _cap_bindings(self):
+        """(program, design space, mesh) triples the model bounds range over."""
+        if self.mix is None:
+            return ((self._rep_program, self._space, self.workload.mesh),)
+        return tuple((b.program, b.space, b.spec.mesh) for b in self._entries)
 
     # -- config -> workload/design -------------------------------------------------
     def workload_for(self, config: Mapping[str, Any]) -> Workload:
@@ -142,7 +245,15 @@ class Evaluator:
         A ``batch`` axis (see :func:`repro.dse.space.model_space`) overrides
         the study workload's batch size: the trial scores one design serving
         that many same-shaped meshes streamed back to back (eq. (15)).
+        Mix-scored evaluators have no single such workload — their trials
+        aggregate over every spec — so this refuses rather than silently
+        answering for the representative member alone.
         """
+        if self.mix is not None:
+            raise ValidationError(
+                "this evaluator scores a workload mix; no single workload "
+                "denotes a trial — iterate mix.specs (or use validate_mix())"
+            )
         batch = int(config.get("batch", self.workload.batch))
         if batch == self.workload.batch:
             return self.workload
@@ -167,6 +278,11 @@ class Evaluator:
         """
         from repro.dataflow.batcher import BatchRunner
 
+        if self.mix is not None:
+            raise ValidationError(
+                "this evaluator scores a workload mix; a BatchRunner would "
+                "exercise only one member — use validate_mix()/mix_scheduler()"
+            )
         design = self.design_for(config)
         if design.tile is not None:
             raise ValidationError(
@@ -189,10 +305,11 @@ class Evaluator:
 
     def _derive_tile(self, p: int) -> TileDesign:
         """The largest buffer-feasible tile for unroll ``p`` (Section IV-A)."""
-        tile = tile_for_unroll(self.program, self.device, self.workload.mesh, p)
-        if min(tile.tile) <= p * self.program.order:
+        tile = tile_for_unroll(self._rep_program, self.device, self.workload.mesh, p)
+        if min(tile.tile) <= p * self._rep_program.order:
             raise InfeasibleDesignError(
-                f"tile {tile.tile} is consumed by the p*D={p * self.program.order} halo"
+                f"tile {tile.tile} is consumed by the "
+                f"p*D={p * self._rep_program.order} halo"
             )
         return tile
 
@@ -255,8 +372,107 @@ class Evaluator:
         with self._lock:
             return self._cache.get(config_key(config))
 
+    def mix_scheduler(
+        self,
+        plan_cache=None,
+        stacked_bytes_limit: float | None = None,
+        seed: int = 0,
+        fields_for=None,
+    ):
+        """A :class:`~repro.dataflow.scheduler.MixScheduler` for this mix.
+
+        Bound to the same per-spec programs the evaluator scores against,
+        so functional validation runs exactly what the model priced —
+        including app-less specs, whose programs resolve through this
+        evaluator's bindings (their initial conditions are synthesized
+        from the program contract unless ``fields_for`` supplies them).
+        """
+        from repro.dataflow.scheduler import MixScheduler
+
+        if self.mix is None:
+            raise ValidationError(
+                "this evaluator scores a single workload; use batch_runner()"
+            )
+        by_key = {b.spec.job_key: b.program for b in self._entries}
+
+        def program_for(spec):
+            prog = by_key.get(spec.job_key)  # job_key already excludes batch
+            return prog if prog is not None else spec.program()
+
+        return MixScheduler(
+            plan_cache=plan_cache,
+            stacked_bytes_limit=stacked_bytes_limit,
+            fields_for=fields_for,
+            program_for=program_for,
+            seed=seed,
+        )
+
+    def validate_mix(
+        self,
+        config: Mapping[str, Any],
+        plan_cache=None,
+        stacked_bytes_limit: float | None = None,
+        seed: int = 0,
+        fields_for=None,
+    ):
+        """Functionally validate a configuration against the whole mix.
+
+        Executes every member of the mix (at the configuration's batch
+        scaling) through the chunked stacked compiled engine and asserts
+        bit-identity against per-mesh golden-interpreter replay; returns
+        the :class:`~repro.dataflow.scheduler.MixRunResult` with its
+        dispatch accounting. Tiled configurations are rejected, mirroring
+        :meth:`batch_runner`.
+        """
+        if self.mix is None:
+            raise ValidationError(
+                "this evaluator scores a single workload; use batch_runner()"
+            )
+        design = self.design_for(config)
+        if design.tile is not None:
+            raise ValidationError(
+                "batched execution is not supported on tiled designs"
+            )
+        batch_factor = int(config.get("batch", 1))
+        scheduler = self.mix_scheduler(
+            plan_cache, stacked_bytes_limit, seed, fields_for
+        )
+        return scheduler.run(self.mix.scaled(batch_factor), validate=True)
+
     # -- internals ----------------------------------------------------------------
+    def _score_workload(
+        self, program, workload, design, boards, traffic
+    ) -> tuple:
+        """Predict one workload on one design: ``(metrics, seconds)``.
+
+        Shared by the single-workload and mix paths so the boards-axis
+        model cannot diverge between them. For ``boards > 1`` the runtime
+        comes from the multi-FPGA spatial-scaling model, floored by the
+        memory model kept consistent across the boards axis: each board
+        streams its slab through its own memory system, so the
+        single-board memory floor shrinks with the count.
+        """
+        predictor = RuntimePredictor(
+            program,
+            self.device,
+            design,
+            logical_bytes_per_cell_iter=traffic,
+        )
+        metrics = predictor.predict(workload)
+        seconds = metrics.seconds
+        if boards > 1:
+            scaled = spatial_scaling_seconds(
+                program, design, workload, MultiFPGAConfig(boards)
+            )
+            floor = (
+                predictor.memory_cycles(workload) / design.clock_hz / boards
+            )
+            seconds = max(scaled, floor)
+        return metrics, seconds
+
     def _evaluate_uncached(self, config: Config) -> TrialResult:
+        if self.mix is not None:
+            return self._evaluate_mix(config)
         boards = int(config.get("boards", 1))
         try:
             workload = self.workload_for(config)
@@ -272,27 +488,10 @@ class Evaluator:
                 )
             design = self.design_for(config)
             self._space.check(design, workload)
-            predictor = RuntimePredictor(
-                self.program,
-                self.device,
-                design,
-                logical_bytes_per_cell_iter=self.logical_bytes_per_cell_iter,
+            metrics, seconds = self._score_workload(
+                self.program, workload, design, boards,
+                self.logical_bytes_per_cell_iter,
             )
-            metrics = predictor.predict(workload)
-            seconds = metrics.seconds
-            if boards > 1:
-                scaled = spatial_scaling_seconds(
-                    self.program, design, workload, MultiFPGAConfig(boards)
-                )
-                # keep the memory model consistent across the boards axis:
-                # each board streams its slab through its own memory system,
-                # so the single-board memory floor shrinks with the count
-                floor = (
-                    predictor.memory_cycles(workload)
-                    / design.clock_hz
-                    / boards
-                )
-                seconds = max(scaled, floor)
         except (InfeasibleDesignError, ValidationError) as exc:
             return TrialResult(config, False, None, reason=str(exc))
         ctx = EvalContext(
@@ -315,4 +514,87 @@ class Evaluator:
             values,
             score=self.primary.signed(values[self.primary.name]),
             memory_bound=metrics.memory_bound,
+        )
+
+    def _evaluate_mix(self, config: Config) -> TrialResult:
+        """Score one configuration against every spec of the mix.
+
+        The design must be feasible for **all** specs; each objective then
+        aggregates per-spec values over the mix by its declared mode —
+        weighted sum for extensive quantities (predicted mix runtime is the
+        weighted sum over specs), weighted mean for intensive ones. A
+        ``batch`` axis scales every spec's batch count; a ``boards`` axis
+        applies the spatial-scaling model per spec, exactly as the
+        single-workload path does.
+        """
+        boards = int(config.get("boards", 1))
+        batch_factor = int(config.get("batch", 1))
+        contexts: list[tuple[EvalContext, float]] = []
+        try:
+            if config.get("tiled", False):
+                if batch_factor > 1:
+                    # mirror the single-workload batch-axis rule: the
+                    # executable surface has no batched path for tiled
+                    # designs. Spec-level batches (like a study-level
+                    # batched workload) keep their analytic tiled scoring.
+                    raise InfeasibleDesignError(
+                        "batched execution is not supported on tiled designs"
+                    )
+                ranks = {b.spec.mesh.ndim for b in self._entries}
+                if len(ranks) > 1:
+                    # one DesignPoint carries one tile; a 2D (M,) tile and a
+                    # 3D (M, N) tile are different shapes, so no single tiled
+                    # design can serve a mixed-rank mix
+                    raise InfeasibleDesignError(
+                        "tiled designs cannot serve a mixed-rank workload "
+                        "mix (2D and 3D members need different tile shapes)"
+                    )
+            design = self.design_for(config)
+            for binding in self._entries:
+                workload = binding.spec.with_batch(
+                    binding.spec.batch * batch_factor
+                )
+                binding.space.check(design, workload)
+                metrics, seconds = self._score_workload(
+                    binding.program, workload, design, boards, binding.traffic
+                )
+                contexts.append(
+                    (
+                        EvalContext(
+                            binding.program, self.device, workload, design,
+                            metrics, seconds, boards,
+                        ),
+                        binding.weight,
+                    )
+                )
+        except (InfeasibleDesignError, ValidationError) as exc:
+            return TrialResult(config, False, None, reason=str(exc))
+        memory_bound = any(ctx.metrics.memory_bound for ctx, _ in contexts)
+        for constraint in self.constraints:
+            for ctx, _ in contexts:
+                if not constraint.ok(ctx):
+                    return TrialResult(
+                        config,
+                        False,
+                        design,
+                        reason=(
+                            f"violates constraint {constraint.name} "
+                            f"on {ctx.workload}"
+                        ),
+                        memory_bound=memory_bound,
+                    )
+        total_weight = sum(w for _, w in contexts)
+        values = {}
+        for objective in self.objectives:
+            total = sum(w * objective.value(ctx) for ctx, w in contexts)
+            values[objective.name] = (
+                total / total_weight if objective.aggregate == "mean" else total
+            )
+        return TrialResult(
+            config,
+            True,
+            design,
+            values,
+            score=self.primary.signed(values[self.primary.name]),
+            memory_bound=memory_bound,
         )

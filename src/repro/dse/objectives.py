@@ -13,6 +13,7 @@ draw, and the DSP / on-chip-memory headroom left for other logic.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -53,17 +54,29 @@ class EvalContext:
 
 @dataclass(frozen=True)
 class Objective:
-    """A named figure of merit with an optimization direction."""
+    """A named figure of merit with an optimization direction.
+
+    ``aggregate`` says how the objective combines over a workload *mix*
+    (see :meth:`repro.dse.evaluate.Evaluator` with ``workloads=``):
+    extensive quantities (runtime, energy) take the weighted **sum** over
+    the mix's specs; intensive ones (power, bandwidth, headroom) take the
+    weighted **mean**.
+    """
 
     name: str
     direction: str  # "min" | "max"
     fn: Callable[[EvalContext], float]
     unit: str = ""
+    aggregate: str = "sum"  # "sum" | "mean"
 
     def __post_init__(self):
         if self.direction not in ("min", "max"):
             raise ValidationError(
                 f"objective direction must be 'min' or 'max', got {self.direction!r}"
+            )
+        if self.aggregate not in ("sum", "mean"):
+            raise ValidationError(
+                f"objective aggregate must be 'sum' or 'mean', got {self.aggregate!r}"
             )
 
     def value(self, ctx: EvalContext) -> float:
@@ -92,15 +105,18 @@ class Constraint:
 # --------------------------------------------------------------------------- #
 RUNTIME = Objective("runtime", "min", lambda c: c.seconds, unit="s")
 ENERGY = Objective("energy", "min", lambda c: c.energy_j, unit="J")
-POWER = Objective("power", "min", lambda c: c.power_w, unit="W")
+POWER = Objective("power", "min", lambda c: c.power_w, unit="W", aggregate="mean")
 BANDWIDTH = Objective(
-    "bandwidth", "max", lambda c: c.metrics.logical_bandwidth, unit="B/s"
+    "bandwidth", "max", lambda c: c.metrics.logical_bandwidth, unit="B/s",
+    aggregate="mean",
 )
 DSP_HEADROOM = Objective(
-    "dsp_headroom", "max", lambda c: 1.0 - c.metrics.resources.dsp_utilization
+    "dsp_headroom", "max", lambda c: 1.0 - c.metrics.resources.dsp_utilization,
+    aggregate="mean",
 )
 MEM_HEADROOM = Objective(
-    "mem_headroom", "max", lambda c: 1.0 - c.metrics.resources.mem_utilization
+    "mem_headroom", "max", lambda c: 1.0 - c.metrics.resources.mem_utilization,
+    aggregate="mean",
 )
 
 _BUILTIN: dict[str, Objective] = {
@@ -128,6 +144,54 @@ def parse_objectives(spec: str | Sequence[str]) -> tuple[Objective, ...]:
     if len({o.name for o in objectives}) != len(objectives):
         raise ValidationError(f"duplicate objectives in spec {spec!r}")
     return objectives
+
+
+# --------------------------------------------------------------------------- #
+# scalarization
+# --------------------------------------------------------------------------- #
+def weighted_sum(
+    objectives: Sequence[Objective],
+    weights: Sequence[float],
+    name: str | None = None,
+) -> Objective:
+    """Scalarize several objectives into one minimized figure of merit.
+
+    The value is ``sum(w_i * signed_i)`` over the component objectives —
+    every component direction-folded first, so mixing minimized and
+    maximized objectives is well-defined and lower is always better.
+    Usable anywhere an :class:`Objective` is (in particular as an
+    :class:`~repro.dse.evaluate.Evaluator`'s *primary*): unlike pure Pareto
+    dominance, which leaves trade-off points mutually incomparable, a
+    weighted sum imposes a total order — the classic scalarization step of
+    multi-objective DSE.
+
+    Weights express the caller's exchange rate between objectives; they
+    need not sum to 1. Note that raw objective magnitudes differ wildly
+    (seconds vs joules vs bytes/s), so weights typically fold in a
+    normalization of the caller's choosing.
+    """
+    objectives = tuple(objectives)
+    weights = tuple(float(w) for w in weights)
+    if not objectives:
+        raise ValidationError("weighted_sum needs at least one objective")
+    if len(objectives) != len(weights):
+        raise ValidationError(
+            f"{len(objectives)} objectives but {len(weights)} weights"
+        )
+    for w in weights:
+        if not math.isfinite(w):
+            raise ValidationError(f"weights must be finite, got {weights}")
+    if name is None:
+        name = "weighted(" + "+".join(
+            f"{o.name}*{w:g}" for o, w in zip(objectives, weights)
+        ) + ")"
+
+    def fn(ctx: EvalContext) -> float:
+        return sum(
+            w * o.signed(o.value(ctx)) for o, w in zip(objectives, weights)
+        )
+
+    return Objective(name, "min", fn)
 
 
 # --------------------------------------------------------------------------- #

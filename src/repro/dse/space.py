@@ -242,6 +242,14 @@ def model_space(
         Parameter("p", tuple(sorted(p_values))),
         Parameter("tiled", tiled_axis),
     ]
+    _append_scale_axes(parameters, boards, batches)
+    return ParameterSpace(parameters)
+
+
+def _append_scale_axes(
+    parameters: list[Parameter], boards: Sequence[int], batches: Sequence[int]
+) -> None:
+    """Append the optional ``boards``/``batch`` axes (omitted when trivial)."""
     boards_axis = tuple(boards)
     if boards_axis != (1,):
         parameters.append(Parameter("boards", boards_axis))
@@ -250,6 +258,63 @@ def model_space(
         for batch in batches_axis:
             check_positive("batch", batch)
         parameters.append(Parameter("batch", batches_axis))
+
+
+def mix_space(
+    mix,
+    device: FPGADevice,
+    tiled: bool | Sequence[bool] = False,
+    boards: Sequence[int] = (1,),
+    memories: Sequence[str] | None = None,
+    batches: Sequence[int] = (1,),
+    program: StencilProgram | None = None,
+) -> ParameterSpace:
+    """The union design space of every distinct program in a workload mix.
+
+    A mix-scored study needs one grid that covers each member's sweet spot:
+    an RTM member's huge ``G_dsp`` caps feasible unrolls near the bottom of
+    a Jacobi member's axis, so a space built from either program alone is
+    blind to the other's optimum. This unions the per-program ``V``/``p``
+    axes of :func:`model_space` across the mix's distinct specs — the grid
+    stays rectangular and declarative; combinations infeasible for *any*
+    member simply evaluate as infeasible (the evaluator checks every spec).
+
+    Specs carrying app names resolve their programs through the registry;
+    app-less specs rebind ``program`` to their mesh, exactly as
+    :class:`~repro.dse.evaluate.Evaluator` does with ``workloads=``.
+    """
+    from repro.workload import as_mix  # lazy: workload layer is model-free
+
+    mix = as_mix(mix)
+    v_values: set[int] = set()
+    p_values: set[int] = set()
+    tiled_axis: tuple[bool, ...] | None = None
+    mems: tuple[str, ...] | None = None
+    for spec in mix.group_by_spec():
+        if spec.app is None:
+            if program is None:
+                raise ValidationError(
+                    f"workload {spec} names no application; pass program= "
+                    f"so app-less specs can be bound"
+                )
+            prog = program.with_mesh(spec.mesh)
+        else:
+            prog = spec.program()
+        space = model_space(
+            prog, device, spec,
+            tiled=tiled, boards=(1,), memories=memories, batches=(1,),
+        )
+        v_values.update(space["V"].values)
+        p_values.update(space["p"].values)
+        mems = space["memory"].values
+        tiled_axis = space["tiled"].values
+    parameters = [
+        Parameter("memory", mems),
+        Parameter("V", tuple(sorted(v_values))),
+        Parameter("p", tuple(sorted(p_values))),
+        Parameter("tiled", tiled_axis),
+    ]
+    _append_scale_axes(parameters, boards, batches)
     return ParameterSpace(parameters)
 
 

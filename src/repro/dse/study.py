@@ -193,7 +193,7 @@ class Study:
         ones, so resume refuses on a mismatch.
         """
         ev = self.evaluator
-        return {
+        fp = {
             "program": ev.program.name,
             "mesh": list(ev.workload.mesh.shape),
             "niter": ev.workload.niter,
@@ -204,6 +204,12 @@ class Study:
             "traffic": ev.logical_bytes_per_cell_iter,
             "space": {p.name: list(p.values) for p in self.space.parameters},
         }
+        # mix-scored studies additionally pin the whole workload population;
+        # single-workload fingerprints are unchanged, so pre-mix journals
+        # keep resuming
+        if getattr(ev, "mix", None) is not None:
+            fp["workloads"] = ev.mix.token()
+        return fp
 
     def _record(self, result: TrialResult) -> Trial:
         trial = Trial(len(self.trials), result)

@@ -42,6 +42,10 @@ _EXPERIMENTS = (
         "dse-multifpga", "DSE - multi-FPGA scaling", "table",
         runner.run_dse_multifpga,
     ),
+    Experiment(
+        "mix-throughput", "Workload mix - chunked stacked scheduling", "table",
+        runner.run_mix_throughput,
+    ),
 )
 
 

@@ -30,6 +30,7 @@ from repro.stencil.program import StencilProgram
 from repro.util.errors import InfeasibleDesignError, ValidationError
 from repro.util.units import MHZ
 from repro.util.validation import check_one_of, check_positive
+from repro.workload.spec import WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -74,27 +75,11 @@ class DesignPoint:
         return replace(self, clock_mhz=clock_mhz)
 
 
-@dataclass(frozen=True)
-class Workload:
-    """What is being solved: a mesh (possibly batched) for ``niter`` iterations."""
-
-    mesh: MeshSpec
-    niter: int
-    batch: int = 1
-
-    def __post_init__(self):
-        check_positive("niter", self.niter)
-        check_positive("batch", self.batch)
-
-    @property
-    def total_points(self) -> int:
-        """Mesh points over the whole batch."""
-        return self.mesh.num_points * self.batch
-
-    @property
-    def footprint_bytes(self) -> int:
-        """Bytes of one state field over the whole batch."""
-        return self.mesh.footprint_bytes * self.batch
+#: compatibility alias: the workload layer's frozen spec subsumed this
+#: module's original ``Workload`` dataclass (same fields, same positional
+#: construction — ``Workload(mesh, niter, batch)`` — plus an optional app
+#: name, string grammar and JSON round-trips; see :mod:`repro.workload`)
+Workload = WorkloadSpec
 
 
 class DesignSpace:

@@ -10,10 +10,12 @@ test suite via ``tracemalloc``; the only heap traffic is a few bytes of
 errstate bookkeeping around flat-mode runs).
 
 Batches of same-spec meshes execute **batch-major**: :func:`run_program_stacked`
-stacks ``B`` meshes on a true leading axis and replays one tape over the
-stack, so every op vectorises across the whole batch in a single NumPy call
-(the software analogue of the paper's back-to-back batch streaming,
-Section IV-B eq. (15)).
+stacks meshes on a true leading axis and replays one tape over each stack,
+so every op vectorises across a whole stack in a single NumPy call (the
+software analogue of the paper's back-to-back batch streaming, Section IV-B
+eq. (15)). Batches whose stacked working set would spill out of cache are
+executed in footprint-bounded chunks (:func:`stacked_chunk_sizes`) rather
+than falling all the way back to per-mesh replay.
 
 :class:`CompiledPlanCache` memoizes compiled programs by execution
 semantics: ``(program structure, bound field specs, coefficient bindings,
@@ -572,13 +574,44 @@ class CompiledPlanCache:
 #: process-wide cache shared by every default execution path
 DEFAULT_CACHE = CompiledPlanCache()
 
-#: default ceiling on a stacked batch's resident bytes (buffers + registers
-#: over all B meshes). Stacking amortizes per-op Python/ufunc launch cost,
-#: which dominates while the working set is cache-resident; past roughly the
-#: L2 scale the stacked stream spills and per-mesh replay (whose per-mesh
-#: working set still fits) is faster — measured crossover on the batched
-#: benchmarks sits between ~0.4 and ~4 MB
+#: default ceiling on a stacked chunk's resident bytes (buffers + registers
+#: over all meshes in the chunk). Stacking amortizes per-op Python/ufunc
+#: launch cost, which dominates while the working set is cache-resident;
+#: past roughly the L2 scale the stacked stream spills and smaller chunks
+#: (whose working set still fits) are faster — measured crossover on the
+#: batched benchmarks sits between ~0.4 and ~4 MB. Batches too large to
+#: stack whole are executed in footprint-bounded chunks rather than
+#: replayed per mesh (see :func:`stacked_chunk_sizes`).
 STACKED_BYTES_LIMIT = 1 << 20
+
+
+def stacked_chunk_sizes(
+    batch: int, per_mesh_bytes: int, max_bytes: float
+) -> list[int]:
+    """Footprint-bounded chunk sizes for stacking ``batch`` meshes.
+
+    The chunk capacity is the largest ``C`` whose stacked working set
+    ``C * per_mesh_bytes`` stays within ``max_bytes`` (at least 1: even a
+    single over-budget mesh must run). The batch splits into full chunks of
+    that capacity plus one remainder, so every full chunk reuses **one**
+    compiled batch-major instance — ``[C, C, ..., r]`` rather than
+    near-equal sizes, minimizing distinct plan bindings in the cache.
+
+    Degenerate ends recover the previous all-or-nothing behaviour: a budget
+    covering the whole batch yields ``[batch]`` (one stacked dispatch), a
+    budget below one mesh yields ``[1] * batch`` (per-mesh replay).
+    """
+    if batch < 1:
+        raise ValidationError(f"batch must be positive, got {batch}")
+    if max_bytes != max_bytes or max_bytes < 0:  # NaN or negative
+        raise ValidationError(f"max_bytes must be >= 0, got {max_bytes}")
+    if per_mesh_bytes <= 0 or max_bytes == float("inf"):
+        cap = batch
+    else:
+        cap = int(max_bytes // per_mesh_bytes)
+    cap = max(1, min(batch, cap))
+    full, rem = divmod(batch, cap)
+    return [cap] * full + ([rem] if rem else [])
 
 
 def run_program_compiled(
@@ -629,28 +662,37 @@ def run_program_stacked(
     coefficients: Mapping[str, float] | None = None,
     cache: CompiledPlanCache | None = None,
     max_stack_bytes: float | None = None,
+    stats: dict | None = None,
 ) -> list[dict[str, Field]]:
-    """Solve ``B`` independent same-spec meshes with **one** tape replay.
+    """Solve ``B`` independent same-spec meshes in stacked tape dispatches.
 
     The batch members are stacked batch-major — a true leading axis, so
     meshes can never couple across the stacking boundary — and every tape
-    op vectorises over all of them in a single NumPy call (paper Section
+    op vectorises over a whole stack in a single NumPy call (paper Section
     IV-B: the pipeline fill latency, and here the whole per-mesh Python
-    dispatch, is paid once per batch). Element ``b`` of the returned list
+    dispatch, is paid once per stack). Element ``b`` of the returned list
     is bit-identical to ``run_program_compiled(program, batch_fields[b],
     niter)`` — and therefore to the golden interpreter.
 
-    ``max_stack_bytes`` bounds the stacked working set (default
-    :data:`STACKED_BYTES_LIMIT`): batches whose ``B`` meshes would exceed
-    it replay the cached single-mesh plan per mesh instead — stacking
-    amortizes per-op launch overhead, which stops paying once the stacked
-    stream falls out of cache. Pass ``float("inf")`` to force stacking
-    regardless (the benchmarks do, to measure the mechanism itself).
+    ``max_stack_bytes`` bounds each stack's working set (default
+    :data:`STACKED_BYTES_LIMIT`): a batch whose ``B`` meshes exceed it is
+    executed in footprint-bounded **chunks** (:func:`stacked_chunk_sizes`)
+    — full chunks share one compiled batch-major instance, so a
+    large-working-set batch still pays one tape dispatch per chunk instead
+    of one per mesh, while each chunk's stream stays cache-resident. A
+    budget below one mesh footprint degrades to per-mesh replay; pass
+    ``float("inf")`` to force one whole-batch stack (the benchmarks do, to
+    measure the mechanism itself).
 
     Other per-mesh fallbacks: a single-member batch routes through the
     single-mesh path (sharing its cached plan), and bindings with
     non-uniform input dtypes run each mesh on the interpreter exactly as
     :func:`run_program_compiled` would.
+
+    ``stats``, when given, receives the dispatch accounting of the call:
+    ``chunks`` (the chunk-size list), ``dispatches`` (tape dispatches
+    actually issued — ``len(chunks)``) and ``stacked_meshes`` (meshes that
+    rode a stack of size > 1).
     """
     if not batch_fields:
         raise ValidationError("batch must contain at least one mesh")
@@ -671,25 +713,43 @@ def run_program_stacked(
                     f"'{name}' has {env[name].spec} in member {b} vs "
                     f"{first[name].spec} in member 0"
                 )
+
+    def _account(chunks: list[int]) -> None:
+        if stats is not None:
+            stats["chunks"] = list(chunks)
+            stats["dispatches"] = len(chunks)
+            stats["stacked_meshes"] = sum(c for c in chunks if c > 1)
+
     if niter == 0:
+        _account([])
         return [dict(env) for env in batch_fields]
     dtypes = {first[name].spec.dtype for name in required}
     if len(dtypes) > 1:
         from repro.stencil.numpy_eval import run_program
 
+        _account([1] * len(batch_fields))
         return [
             run_program(program, env, niter, coefficients, engine="interpreter")
             for env in batch_fields
         ]
     cache = cache if cache is not None else DEFAULT_CACHE
     if len(batch_fields) == 1:
+        _account([1])
         return [run_program_compiled(program, first, niter, coefficients, cache)]
     limit = max_stack_bytes if max_stack_bytes is not None else STACKED_BYTES_LIMIT
     plan = cache.plan_for(program, first, coefficients)
-    if plan.nbytes * len(batch_fields) > limit:
-        return [
-            run_program_compiled(program, env, niter, coefficients, cache)
-            for env in batch_fields
-        ]
-    compiled = cache.get(program, first, coefficients, batch=len(batch_fields))
-    return compiled.run_stacked(batch_fields, niter)
+    chunks = stacked_chunk_sizes(len(batch_fields), plan.nbytes, limit)
+    _account(chunks)
+    results: list[dict[str, Field]] = []
+    start = 0
+    for size in chunks:
+        members = batch_fields[start : start + size]
+        start += size
+        if size == 1:
+            results.append(
+                run_program_compiled(program, members[0], niter, coefficients, cache)
+            )
+        else:
+            compiled = cache.get(program, first, coefficients, batch=size)
+            results.extend(compiled.run_stacked(members, niter))
+    return results

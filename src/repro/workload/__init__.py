@@ -1,0 +1,30 @@
+"""Workloads as a first-class layer.
+
+What a deployment *serves* — job shapes and their populations — lives here,
+decoupled from how any single layer executes or scores them:
+
+* :class:`WorkloadSpec` — one job shape (app, mesh, iterations, batch),
+  frozen and hashable, with a string grammar and JSON round-trips. It
+  subsumes the original ``repro.model.design.Workload`` (that name remains
+  a compatibility alias of this class).
+* :class:`WorkloadMix` — a weighted list of specs: the population a design
+  must serve. Weights scale scoring; execution groups are derived with
+  :meth:`WorkloadMix.job_groups`.
+
+Consumers: :class:`repro.dataflow.scheduler.MixScheduler` executes a mix
+end-to-end through the chunked stacked compiled engine;
+:class:`repro.dse.evaluate.Evaluator` scores one design configuration
+against a whole mix (``workloads=``); the CLI parses mixes for
+``repro dse --workloads``.
+"""
+
+from repro.workload.mix import MixEntry, MixLike, WorkloadMix, as_mix
+from repro.workload.spec import WorkloadSpec
+
+__all__ = [
+    "MixEntry",
+    "MixLike",
+    "WorkloadMix",
+    "WorkloadSpec",
+    "as_mix",
+]

@@ -1,0 +1,283 @@
+"""Workload mixes: weighted populations of job shapes.
+
+A :class:`WorkloadMix` is a weighted list of :class:`~repro.workload.spec.WorkloadSpec`
+entries — the object a production deployment actually serves (the paper's
+financial-computing and RTM use cases: many meshes of differing shapes and
+iteration counts in flight at once). Weights express how often each job
+shape occurs in the served population and scale *scoring* (a DSE config's
+predicted mix runtime is the weighted sum over specs); *execution* solves
+each entry's ``spec.batch`` meshes exactly once (see
+:class:`repro.dataflow.scheduler.MixScheduler`).
+
+Mixes are values: dict/JSON round-trip (:meth:`to_dict`/:meth:`from_dict`),
+a stable content hash (:meth:`token`) for DSE memo keys and study
+fingerprints, and lossless grouping helpers (:meth:`group_by_spec`,
+:meth:`job_groups`) the scheduler and evaluator build on.
+
+CLI grammar: comma-separated spec strings, each optionally ``@weight``::
+
+    jacobi3d:96x96x96:100x4,rtm:64x64x64:36x2
+    poisson2d:200x100:500@3,poisson2d:100x50:500@1
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Sequence, Union
+
+from repro.util.errors import ValidationError
+from repro.workload.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class MixEntry:
+    """One weighted member of a mix."""
+
+    spec: WorkloadSpec
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not isinstance(self.spec, WorkloadSpec):
+            raise ValidationError(
+                f"mix entry spec must be a WorkloadSpec, got {self.spec!r}"
+            )
+        try:
+            w = float(self.weight)
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"mix weight must be a number, got {self.weight!r}"
+            ) from None
+        if not math.isfinite(w) or w <= 0:
+            raise ValidationError(
+                f"mix weight must be positive and finite, got {self.weight!r}"
+            )
+        object.__setattr__(self, "weight", w)
+
+
+#: anything :func:`as_mix` can coerce into a mix
+MixLike = Union["WorkloadMix", WorkloadSpec, Sequence]
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A weighted list of workload specs."""
+
+    entries: tuple[MixEntry, ...]
+
+    def __post_init__(self):
+        if not self.entries:
+            raise ValidationError("a WorkloadMix needs at least one entry")
+        normalized = []
+        for entry in self.entries:
+            if isinstance(entry, MixEntry):
+                normalized.append(entry)
+            elif isinstance(entry, WorkloadSpec):
+                normalized.append(MixEntry(entry))
+            else:
+                try:
+                    spec, weight = entry
+                except (TypeError, ValueError):
+                    raise ValidationError(
+                        f"mix entries must be WorkloadSpec, MixEntry or "
+                        f"(spec, weight) pairs, got {entry!r}"
+                    ) from None
+                normalized.append(MixEntry(spec, weight))
+        object.__setattr__(self, "entries", tuple(normalized))
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def of(cls, *items) -> "WorkloadMix":
+        """A mix from specs and/or ``(spec, weight)`` pairs."""
+        return cls(tuple(items))
+
+    @classmethod
+    def parse(cls, text: str) -> "WorkloadMix":
+        """Parse the comma-separated ``spec[@weight]`` CLI grammar."""
+        entries = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            spec_text, sep, weight_text = part.partition("@")
+            weight = 1.0
+            if sep:
+                try:
+                    weight = float(weight_text)
+                except ValueError:
+                    raise ValidationError(
+                        f"cannot parse mix weight {weight_text!r} in {part!r}"
+                    ) from None
+            entries.append(MixEntry(WorkloadSpec.parse(spec_text), weight))
+        if not entries:
+            raise ValidationError(f"no workload specs in {text!r}")
+        return cls(tuple(entries))
+
+    # -- queries ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[MixEntry]:
+        return iter(self.entries)
+
+    @property
+    def specs(self) -> tuple[WorkloadSpec, ...]:
+        """The member specs, in entry order."""
+        return tuple(e.spec for e in self.entries)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of entry weights."""
+        return sum(e.weight for e in self.entries)
+
+    @property
+    def total_cells(self) -> float:
+        """Weighted mesh cells in flight: ``sum(w * points * batch)``."""
+        return sum(e.weight * e.spec.total_points for e in self.entries)
+
+    @property
+    def total_cell_iterations(self) -> float:
+        """Weighted total cell updates: ``sum(w * points * batch * niter)``."""
+        return sum(e.weight * e.spec.cell_iterations for e in self.entries)
+
+    def heaviest(self) -> WorkloadSpec:
+        """The spec with the largest **per-mesh** memory footprint.
+
+        Used as the representative workload where one value must stand for
+        the mix (clock estimation, line-buffer sizing): buffer demands
+        scale with mesh shape — not batch count — so the biggest single
+        mesh bounds the design.
+        """
+        return max(
+            self.specs,
+            key=lambda s: (s.mesh.footprint_bytes, s.mesh.num_points),
+        )
+
+    # -- grouping ----------------------------------------------------------------
+    def group_by_spec(self) -> dict[WorkloadSpec, float]:
+        """Merge entries with *identical* specs, summing their weights.
+
+        The partition is lossless: per-spec total weight, ``total_cells``
+        and ``total_cell_iterations`` are all preserved (property-tested in
+        the suite), and :meth:`from_groups` rebuilds an equivalent mix.
+        """
+        groups: dict[WorkloadSpec, float] = {}
+        for entry in self.entries:
+            groups[entry.spec] = groups.get(entry.spec, 0.0) + entry.weight
+        return groups
+
+    @classmethod
+    def from_groups(cls, groups: Mapping[WorkloadSpec, float]) -> "WorkloadMix":
+        """Rebuild a mix from a :meth:`group_by_spec` mapping."""
+        return cls(tuple(MixEntry(spec, w) for spec, w in groups.items()))
+
+    def job_groups(self) -> dict[tuple, WorkloadSpec]:
+        """Execution groups: one merged spec per :attr:`WorkloadSpec.job_key`.
+
+        Entries solving the same problem shape (same app, mesh, dtype and
+        ``niter`` — batch counts aside) merge into one spec whose batch is
+        the total mesh count; weights do not scale execution, so a weighted
+        entry still contributes exactly ``spec.batch`` meshes. Each group
+        can ride one compiled plan in one chunked stacked dispatch.
+        """
+        groups: dict[tuple, WorkloadSpec] = {}
+        for entry in self.entries:
+            key = entry.spec.job_key
+            incumbent = groups.get(key)
+            if incumbent is None:
+                groups[key] = entry.spec
+            else:
+                groups[key] = incumbent.with_batch(
+                    incumbent.batch + entry.spec.batch
+                )
+        return groups
+
+    def scaled(self, batch_factor: int) -> "WorkloadMix":
+        """The mix with every entry's batch count multiplied.
+
+        Realizes a DSE ``batch`` axis on top of a mix: the same population
+        of job shapes, each arriving ``batch_factor`` times as many meshes
+        per solve.
+        """
+        if batch_factor == 1:
+            return self
+        return WorkloadMix(
+            tuple(
+                MixEntry(e.spec.with_batch(e.spec.batch * batch_factor), e.weight)
+                for e in self.entries
+            )
+        )
+
+    # -- serialization ------------------------------------------------------------
+    def describe(self) -> str:
+        """The canonical CLI string for this mix."""
+        parts = []
+        for e in self.entries:
+            text = e.spec.describe()
+            if e.weight != 1.0:
+                text += f"@{e.weight:g}"
+            parts.append(text)
+        return ",".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe dict representation (see :meth:`from_dict`)."""
+        return {
+            "entries": [
+                {**e.spec.to_dict(), "weight": e.weight} for e in self.entries
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "WorkloadMix":
+        """Rebuild a mix from :meth:`to_dict` output."""
+        try:
+            raw = obj["entries"]
+        except (KeyError, TypeError):
+            raise ValidationError(f"invalid mix dict {obj!r}") from None
+        return cls(
+            tuple(
+                MixEntry(WorkloadSpec.from_dict(e), float(e.get("weight", 1.0)))
+                for e in raw
+            )
+        )
+
+    def token(self) -> str:
+        """A stable content hash, usable as a DSE memo / fingerprint key.
+
+        Entry order is irrelevant: the hash is computed over the canonical
+        grouped form, sorted by spec identity — two mixes describing the
+        same weighted population hash identically across processes.
+        """
+        groups = sorted(
+            (json.dumps(spec.to_dict(), sort_keys=True), weight)
+            for spec, weight in self.group_by_spec().items()
+        )
+        payload = json.dumps(groups, sort_keys=True).encode()
+        return hashlib.sha256(payload).hexdigest()
+
+    def __str__(self) -> str:
+        return f"Mix[{self.describe()}]"
+
+
+def as_mix(value: MixLike) -> WorkloadMix:
+    """Coerce a mix, one spec, or a sequence of specs/pairs into a mix."""
+    if isinstance(value, WorkloadMix):
+        return value
+    if isinstance(value, WorkloadSpec):
+        return WorkloadMix.of(value)
+    if isinstance(value, Sequence) and not isinstance(value, (str, bytes)):
+        # a bare (spec, weight) pair reads as one weighted entry, not as a
+        # two-entry sequence whose second member is a number
+        if (
+            len(value) == 2
+            and isinstance(value[0], WorkloadSpec)
+            and isinstance(value[1], (int, float))
+        ):
+            return WorkloadMix.of(tuple(value))
+        return WorkloadMix.of(*value)
+    raise ValidationError(
+        f"cannot build a WorkloadMix from {value!r}; expected a mix, a "
+        f"WorkloadSpec, or a sequence of specs / (spec, weight) pairs"
+    )

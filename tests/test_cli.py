@@ -118,3 +118,69 @@ class TestDseCommand:
         )
         assert code == 2
         assert "different study" in capsys.readouterr().err
+
+
+class TestWorkloadMixCLI:
+    MIX = "jacobi3d:16x14x10:12x3,rtm:12x12x10:6x2,poisson2d:24x16:20x4@2"
+
+    def test_dse_workloads_runs_without_app(self, capsys):
+        assert main([
+            "dse", "--workloads", self.MIX,
+            "--strategy", "greedy", "--trials", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mix jacobi3d:16x14x10:12x3" in out
+        assert "pareto front" in out
+
+    def test_dse_workloads_validate_mix(self, capsys):
+        assert main([
+            "dse", "--workloads", self.MIX,
+            "--strategy", "greedy", "--trials", "20", "--validate-mix",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to the golden interpreter" in out
+        assert "9 meshes" in out  # 3 + 2 + 4
+
+    def test_dse_needs_app_or_workloads(self, capsys):
+        assert main(["dse"]) == 2
+        assert "APP" in capsys.readouterr().err
+
+    def test_dse_rejects_bad_workload_spec(self, capsys):
+        assert main(["dse", "--workloads", "jacobi3d:16x14x10"]) == 2
+        assert "app:MESH:NITER" in capsys.readouterr().err
+
+    def test_dse_workloads_journal_resume(self, tmp_path, capsys):
+        journal = tmp_path / "mix.jsonl"
+        args = [
+            "dse", "--workloads", self.MIX, "--strategy", "greedy",
+            "--trials", "12", "--study", str(journal),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed from journal" in out
+
+    def test_resume_refuses_different_mix(self, tmp_path, capsys):
+        journal = tmp_path / "mix.jsonl"
+        base = ["dse", "--strategy", "greedy", "--trials", "8",
+                "--study", str(journal)]
+        assert main(base + ["--workloads", self.MIX]) == 0
+        capsys.readouterr()
+        other = "jacobi3d:16x14x10:12x3"
+        assert main(base + ["--workloads", other, "--resume"]) == 2
+        assert "different study" in capsys.readouterr().err
+
+    def test_dse_workloads_rejects_single_workload_flags(self, capsys):
+        assert main([
+            "dse", "jacobi3d", "--mesh", "400x400x10", "--niter", "50",
+            "--workloads", "rtm:12x12x10:6",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "drop APP, --mesh, --niter" in err
+
+    def test_validate_mix_requires_workloads(self, capsys):
+        assert main([
+            "dse", "jacobi3d", "--trials", "5", "--validate-mix",
+        ]) == 2
+        assert "--validate-mix needs --workloads" in capsys.readouterr().err

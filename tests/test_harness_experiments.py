@@ -14,6 +14,7 @@ class TestRegistry:
             "table2", "table3", "table4", "table5", "table6",
             "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig4c",
             "fig5a", "fig5b", "dse-convergence", "dse-multifpga",
+            "mix-throughput",
         }
         assert ids == expected
 
@@ -27,7 +28,9 @@ class TestRegistry:
 
 
 class TestExecution:
-    @pytest.mark.parametrize("exp_id", ["table2", "table3", "fig3a"])
+    @pytest.mark.parametrize(
+        "exp_id", ["table2", "table3", "fig3a", "mix-throughput"]
+    )
     def test_experiments_run_and_render(self, exp_id):
         result = experiment_by_id(exp_id).run()
         text = result.render()
@@ -40,3 +43,15 @@ class TestExecution:
         md = result_markdown(result)
         assert md.startswith("## ")
         assert "```" in md
+
+
+class TestMixThroughput:
+    def test_dispatch_win_and_validation(self):
+        result = experiment_by_id("mix-throughput").run()
+        totals = [r for r in result.records if r["group"] == "total"]
+        assert len(totals) == 1
+        total = totals[0]
+        # chunked stacked scheduling must beat one-dispatch-per-mesh
+        assert total["dispatches"] < total["per_mesh_dispatches"]
+        assert total["per_mesh_dispatches"] == total["meshes"]
+        assert "bit-identical" in result.notes

@@ -53,4 +53,5 @@ class TestWriteReport:
         # one section per registered artifact
         for artifact in ("Table II", "Table III", "Fig 3(a)", "Fig 4(c)", "Fig 5(b)", "Table VI"):
             assert artifact in text
-        assert text.count("## ") == 15  # 13 paper artifacts + 2 DSE experiments
+        # 13 paper artifacts + 2 DSE experiments + the workload-mix experiment
+        assert text.count("## ") == 16

@@ -506,3 +506,252 @@ class TestPropertyStackedEquivalence:
             _assert_env_equal(replay, got)
             gold = run_program(program, env, niter, engine="interpreter")
             _assert_env_equal(gold, got)
+
+
+# --------------------------------------------------------------------------- #
+# chunked stacking
+# --------------------------------------------------------------------------- #
+class TestChunkedStacking:
+    def test_chunk_sizes_shapes(self):
+        from repro.stencil.compiled import stacked_chunk_sizes
+
+        assert stacked_chunk_sizes(10, 100, 450) == [4, 4, 2]
+        assert stacked_chunk_sizes(8, 100, float("inf")) == [8]
+        assert stacked_chunk_sizes(8, 100, 800) == [8]
+        assert stacked_chunk_sizes(5, 100, 99) == [1] * 5
+        assert stacked_chunk_sizes(5, 100, 0) == [1] * 5
+        assert stacked_chunk_sizes(1, 100, 0) == [1]
+        assert stacked_chunk_sizes(6, 0, 100) == [6]  # degenerate footprint
+        with pytest.raises(ValidationError):
+            stacked_chunk_sizes(0, 100, 100)
+        with pytest.raises(ValidationError):
+            stacked_chunk_sizes(4, 100, -1)
+
+    def test_chunk_sizes_partition_the_batch(self):
+        from repro.stencil.compiled import stacked_chunk_sizes
+
+        for batch in range(1, 40):
+            for limit in (0, 1, 150, 450, 1000, 10**6, float("inf")):
+                chunks = stacked_chunk_sizes(batch, 100, limit)
+                assert sum(chunks) == batch
+                assert all(c >= 1 for c in chunks)
+                if limit >= 100:
+                    # every chunk respects the budget when one mesh fits it
+                    assert all(c * 100 <= limit for c in chunks)
+
+    @pytest.mark.parametrize("app_key", ["poisson2d", "jacobi3d", "rtm"])
+    def test_chunked_equals_unchunked_and_interpreter(self, app_key):
+        """Forcing small chunks changes dispatch, never results."""
+        app = all_apps()[app_key]
+        shape = APP_MESHES[app_key]
+        program = app.program_on(shape)
+        batch = [app.fields(shape, seed=40 + s) for s in range(5)]
+        niter = 4
+        cache = CompiledPlanCache()
+        plan_bytes = cache.plan_for(program, batch[0]).nbytes
+        stats_chunked: dict = {}
+        chunked = run_program_stacked(
+            program, batch, niter, cache=cache,
+            max_stack_bytes=plan_bytes * 2,  # chunks of 2 (+ remainder 1)
+            stats=stats_chunked,
+        )
+        assert stats_chunked["chunks"] == [2, 2, 1]
+        assert stats_chunked["dispatches"] == 3
+        whole = run_program_stacked(
+            program, batch, niter, cache=cache, max_stack_bytes=float("inf")
+        )
+        for env, got_chunked, got_whole in zip(batch, chunked, whole):
+            gold = run_program(program, env, niter, engine="interpreter")
+            _assert_env_equal(gold, got_chunked)
+            _assert_env_equal(gold, got_whole)
+
+    def test_full_chunks_share_one_compiled_instance(self):
+        """[C, C, ..., r] chunking binds at most two batch-major instances."""
+        app = all_apps()["poisson2d"]
+        shape = APP_MESHES["poisson2d"]
+        program = app.program_on(shape)
+        batch = [app.fields(shape, seed=s) for s in range(7)]
+        cache = CompiledPlanCache()
+        plan_bytes = cache.plan_for(program, batch[0]).nbytes
+        stats: dict = {}
+        run_program_stacked(
+            program, batch, 2, cache=cache,
+            max_stack_bytes=plan_bytes * 3, stats=stats,
+        )
+        assert stats["chunks"] == [3, 3, 1]
+        # one lowering; bound instances: batch=3 (shared by both full
+        # chunks) and the single-mesh remainder
+        assert cache.misses == 2
+
+    def test_stats_account_for_fallback_paths(self):
+        app = all_apps()["jacobi3d"]
+        shape = APP_MESHES["jacobi3d"]
+        program = app.program_on(shape)
+        batch = [app.fields(shape, seed=s) for s in range(3)]
+        stats: dict = {}
+        run_program_stacked(
+            program, batch, 0, cache=CompiledPlanCache(), stats=stats
+        )
+        assert stats == {"chunks": [], "dispatches": 0, "stacked_meshes": 0}
+        stats = {}
+        run_program_stacked(
+            program, batch[:1], 2, cache=CompiledPlanCache(), stats=stats
+        )
+        assert stats["dispatches"] == 1
+        stats = {}
+        run_program_stacked(
+            program, batch, 2, cache=CompiledPlanCache(),
+            max_stack_bytes=0, stats=stats,
+        )
+        assert stats["chunks"] == [1, 1, 1]
+        assert stats["stacked_meshes"] == 0
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        batch=st.integers(min_value=2, max_value=7),
+        chunk_meshes=st.integers(min_value=1, max_value=7),
+        niter=st.integers(min_value=1, max_value=4),
+    )
+    def test_property_chunked_bit_identical_to_per_mesh(
+        self, batch, chunk_meshes, niter
+    ):
+        """Any (batch, budget) split is bit-identical to per-mesh solves."""
+        app = all_apps()["poisson2d"]
+        shape = APP_MESHES["poisson2d"]
+        program = app.program_on(shape)
+        envs = [app.fields(shape, seed=60 + s) for s in range(batch)]
+        cache = CompiledPlanCache()
+        plan_bytes = cache.plan_for(program, envs[0]).nbytes
+        stats: dict = {}
+        chunked = run_program_stacked(
+            program, envs, niter, cache=cache,
+            max_stack_bytes=plan_bytes * chunk_meshes, stats=stats,
+        )
+        assert sum(stats["chunks"]) == batch
+        assert max(stats["chunks"]) <= max(1, chunk_meshes)
+        for env, got in zip(envs, chunked):
+            solo = run_program_compiled(program, env, niter, cache=cache)
+            _assert_env_equal(solo, got)
+
+
+class TestStackedBytesLimitKnob:
+    """The budget is a real parameter on every batched entry point."""
+
+    def _setup(self, batch=4):
+        from repro.apps.registry import all_apps as _apps
+
+        app = _apps()["poisson2d"]
+        shape = APP_MESHES["poisson2d"]
+        program = app.program_on(shape)
+        envs = [app.fields(shape, seed=s) for s in range(batch)]
+        return app, program, envs
+
+    def test_pipeline_run_batch_limit(self):
+        from repro.dataflow.pipeline import IterativePipeline
+
+        app, program, envs = self._setup()
+        cache = CompiledPlanCache()
+        pipe = IterativePipeline(program, V=1, p=2, plan_cache=cache)
+        got = pipe.run_batch(envs, 2, stacked_bytes_limit=0)
+        assert cache.misses == 1  # per-mesh: only the single-mesh instance
+        for env, res in zip(envs, got):
+            gold = run_program(program, env, 2, engine="interpreter")
+            _assert_env_equal(gold, res)
+        pipe.run_batch(envs, 2, stacked_bytes_limit=float("inf"))
+        assert cache.misses == 2  # whole-batch instance bound now
+
+    def test_batch_runner_limit_constructor_and_call(self):
+        from repro.dataflow.batcher import BatchRunner
+
+        app, program, envs = self._setup()
+        cache = CompiledPlanCache()
+        runner = BatchRunner(
+            program, app.design(p=2, V=1), plan_cache=cache,
+            stacked_bytes_limit=0,
+        )
+        runner.run(envs, 2)
+        assert cache.misses == 1  # constructor default: per-mesh
+        runner.run(envs, 2, stacked_bytes_limit=float("inf"))
+        assert cache.misses == 2  # per-call override wins
+
+    def test_accelerator_run_batch_limit(self):
+        from repro.dataflow.accelerator import FPGAAccelerator
+
+        app, program, envs = self._setup()
+        cache = CompiledPlanCache()
+        acc = FPGAAccelerator(program, app.design(p=2, V=1), plan_cache=cache)
+        results, report = acc.run_batch(
+            envs, 2, stacked_bytes_limit=float("inf")
+        )
+        assert report.passes == 1
+        for env, res in zip(envs, results):
+            gold = run_program(program, env, 2, engine="interpreter")
+            _assert_env_equal(gold, res)
+
+
+class TestRunMix:
+    """Mixes ride the same entry points batches do."""
+
+    def test_pipeline_and_accelerator_run_mix(self):
+        from repro.dataflow.accelerator import FPGAAccelerator
+        from repro.dataflow.pipeline import IterativePipeline
+
+        app = all_apps()["poisson2d"]
+        program = app.program_on((20, 16))
+        groups = [
+            ([app.fields((20, 16), seed=s) for s in range(3)], 4),
+            ([app.fields((12, 10), seed=s) for s in range(2)], 2),
+        ]
+        pipe = IterativePipeline(program, V=1, p=2)
+        got = pipe.run_mix(groups)
+        assert [len(g) for g in got] == [3, 2]
+        for (batch, niter), results in zip(groups, got):
+            for env, res in zip(batch, results):
+                gold = run_program(program, env, niter, engine="interpreter")
+                _assert_env_equal(gold, res)
+
+        acc = FPGAAccelerator(program, app.design(p=2, V=1))
+        results, mix_report = acc.run_mix(groups)
+        assert len(mix_report.reports) == 2
+        assert mix_report.seconds == pytest.approx(
+            sum(r.seconds for r in mix_report.reports)
+        )
+        assert mix_report.power_w == max(
+            r.power_w for r in mix_report.reports
+        )
+        for (batch, niter), group_results in zip(groups, results):
+            for env, res in zip(batch, group_results):
+                gold = run_program(program, env, niter, engine="interpreter")
+                _assert_env_equal(gold, res)
+
+    def test_empty_mix_rejected(self):
+        from repro.dataflow.pipeline import IterativePipeline
+
+        app = all_apps()["poisson2d"]
+        program = app.program_on((20, 16))
+        pipe = IterativePipeline(program, V=1, p=2)
+        with pytest.raises(ValidationError):
+            pipe.run_mix([])
+
+    def test_batch_runner_run_mix(self):
+        from repro.dataflow.batcher import BatchRunner
+
+        app = all_apps()["poisson2d"]
+        program = app.program_on((20, 16))
+        runner = BatchRunner(program, app.design(p=2, V=1))
+        groups = [
+            ([app.fields((20, 16), seed=s) for s in range(3)], 4),
+            ([app.fields((12, 10), seed=s) for s in range(2)], 2),
+        ]
+        got = runner.run_mix(groups)
+        assert [len(g) for g in got] == [3, 2]
+        for (batch, niter), results in zip(groups, got):
+            for env, res in zip(batch, results):
+                gold = run_program(program, env, niter, engine="interpreter")
+                _assert_env_equal(gold, res)
+        # per-group spec validation still applies inside a mix
+        mismatched = [(groups[0][0] + groups[1][0], 2)]
+        with pytest.raises(ValidationError):
+            runner.run_mix(mismatched)
+        with pytest.raises(ValidationError):
+            runner.run_mix([])

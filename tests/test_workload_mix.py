@@ -1,0 +1,216 @@
+"""Workload layer: specs, mixes, grammar, serialization, grouping."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mesh.mesh import MeshSpec
+from repro.model.design import Workload
+from repro.util.errors import ValidationError
+from repro.workload import MixEntry, WorkloadMix, WorkloadSpec, as_mix
+
+
+class TestWorkloadSpec:
+    def test_alias_subsumes_model_design_workload(self):
+        """``model.design.Workload`` is the workload layer's spec now."""
+        assert Workload is WorkloadSpec
+        w = Workload(MeshSpec((64, 64, 64)), 100, 4)
+        assert w.total_points == 64**3 * 4
+        assert w.footprint_bytes == 64**3 * 4 * 4
+        assert w.app is None
+
+    def test_of_resolves_components_and_dtype_from_app(self):
+        spec = WorkloadSpec.of("rtm", (16, 16, 12), niter=6, batch=2)
+        assert spec.mesh.components == 6
+        assert spec.dtype == np.dtype(np.float32)
+        assert spec.app == "rtm"
+
+    def test_parse_round_trips_describe(self):
+        for text in ("jacobi3d:96x96x96:100x4", "poisson2d:200x100:500",
+                     "rtm:64x64x64:36x2"):
+            spec = WorkloadSpec.parse(text)
+            assert spec.describe() == text
+            assert WorkloadSpec.parse(spec.describe()) == spec
+
+    def test_parse_defaults_batch_to_one(self):
+        assert WorkloadSpec.parse("jacobi3d:20x20x20:50").batch == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["jacobi3d", "jacobi3d:96x96x96", "jacobi3d:96:100",
+         "jacobi3d:96x96x96:ax4", "jacobi3d:96x96x96:100x4x2",
+         "nosuchapp:96x96x96:100"],
+    )
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ValidationError):
+            WorkloadSpec.parse(bad)
+
+    def test_dict_round_trip(self):
+        spec = WorkloadSpec.of("rtm", (16, 16, 12), 6, 3)
+        again = WorkloadSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+
+    def test_program_and_fields_resolve_via_registry(self):
+        spec = WorkloadSpec.parse("poisson2d:24x16:8")
+        program = spec.program()
+        assert program.mesh.shape == (24, 16)
+        env = spec.fields(seed=3)
+        for name in program.external_reads():
+            assert name in env
+
+    def test_appless_spec_cannot_resolve(self):
+        spec = Workload(MeshSpec((8, 8)), 4)
+        with pytest.raises(ValidationError):
+            spec.program()
+        with pytest.raises(ValidationError):
+            spec.fields()
+
+    def test_job_key_ignores_batch(self):
+        a = WorkloadSpec.parse("jacobi3d:20x20x20:50x2")
+        b = WorkloadSpec.parse("jacobi3d:20x20x20:50x7")
+        assert a.job_key == b.job_key
+        assert a.solo() == b.solo()
+        assert a.with_batch(7) == b
+
+    def test_hashable_for_memo_keys(self):
+        a = WorkloadSpec.parse("jacobi3d:20x20x20:50x2")
+        b = WorkloadSpec.parse("jacobi3d:20x20x20:50x2")
+        assert len({a, b}) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Workload(MeshSpec((8, 8)), 0)
+        with pytest.raises(ValidationError):
+            Workload(MeshSpec((8, 8)), 1, 0)
+        with pytest.raises(ValidationError):
+            WorkloadSpec(MeshSpec((8, 8)), 1, 1, app="bad:name")
+
+
+class TestWorkloadMix:
+    MIX = "jacobi3d:96x96x96:100x4,rtm:64x64x64:36x2,jacobi3d:96x96x96:100x4@2"
+
+    def test_parse_describe_round_trip(self):
+        mix = WorkloadMix.parse(self.MIX)
+        assert WorkloadMix.parse(mix.describe()) == mix
+        assert len(mix) == 3
+        assert mix.entries[2].weight == 2.0
+
+    def test_dict_round_trip(self):
+        mix = WorkloadMix.parse(self.MIX)
+        again = WorkloadMix.from_dict(json.loads(json.dumps(mix.to_dict())))
+        assert again == mix
+
+    def test_token_is_order_independent_and_stable(self):
+        mix = WorkloadMix.parse(self.MIX)
+        reordered = WorkloadMix(tuple(reversed(mix.entries)))
+        assert mix.token() == reordered.token()
+        different = WorkloadMix.parse("jacobi3d:96x96x96:100x4")
+        assert mix.token() != different.token()
+
+    def test_group_by_spec_merges_identical_specs(self):
+        mix = WorkloadMix.parse(self.MIX)
+        groups = mix.group_by_spec()
+        assert len(groups) == 2  # the two jacobi entries are identical specs
+        jac = WorkloadSpec.parse("jacobi3d:96x96x96:100x4")
+        assert groups[jac] == 3.0  # weights 1 + 2
+
+    def test_job_groups_merge_batches(self):
+        mix = WorkloadMix.parse(
+            "jacobi3d:20x20x20:50x2,jacobi3d:20x20x20:50x3,rtm:64x64x64:36x2"
+        )
+        groups = mix.job_groups()
+        assert len(groups) == 2
+        jac = WorkloadSpec.parse("jacobi3d:20x20x20:50").job_key
+        assert groups[jac].batch == 5
+
+    def test_heaviest_by_footprint(self):
+        mix = WorkloadMix.parse("jacobi3d:96x96x96:100x4,rtm:32x32x32:36x2")
+        assert mix.heaviest().app == "jacobi3d"
+
+    def test_scaled_multiplies_batches(self):
+        mix = WorkloadMix.parse("jacobi3d:20x20x20:50x2,rtm:64x64x64:36")
+        scaled = mix.scaled(4)
+        assert [e.spec.batch for e in scaled] == [8, 4]
+        assert [e.weight for e in scaled] == [e.weight for e in mix]
+        assert mix.scaled(1) is mix
+
+    def test_as_mix_coercions(self):
+        spec = WorkloadSpec.parse("jacobi3d:20x20x20:50")
+        assert as_mix(spec).specs == (spec,)
+        assert as_mix([spec, (spec, 2.0)]).total_weight == 3.0
+        mix = WorkloadMix.of(spec)
+        assert as_mix(mix) is mix
+        with pytest.raises(ValidationError):
+            as_mix("jacobi3d:20x20x20:50")
+
+    def test_validation(self):
+        spec = WorkloadSpec.parse("jacobi3d:20x20x20:50")
+        with pytest.raises(ValidationError):
+            WorkloadMix(())
+        with pytest.raises(ValidationError):
+            MixEntry(spec, 0.0)
+        with pytest.raises(ValidationError):
+            MixEntry(spec, float("inf"))
+        with pytest.raises(ValidationError):
+            WorkloadMix.parse(" , ")
+
+
+# --------------------------------------------------------------------------- #
+# property: grouping partitions losslessly
+# --------------------------------------------------------------------------- #
+_SPEC_POOL = (
+    "jacobi3d:20x20x20:50", "jacobi3d:20x20x20:50x3", "jacobi3d:16x16x16:50",
+    "poisson2d:24x16:8", "poisson2d:24x16:8x5", "rtm:12x12x10:6x2",
+)
+
+_entry = st.tuples(
+    st.sampled_from(_SPEC_POOL),
+    st.floats(min_value=0.25, max_value=8.0, allow_nan=False),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(_entry, min_size=1, max_size=8))
+def test_group_by_spec_partitions_losslessly(raw_entries):
+    """Grouping preserves per-spec weight mass and every total, and a mix
+    rebuilt from its groups is the same population (same token)."""
+    mix = WorkloadMix.of(
+        *((WorkloadSpec.parse(text), weight) for text, weight in raw_entries)
+    )
+    groups = mix.group_by_spec()
+    # weight mass per distinct spec is exactly the sum of matching entries
+    for spec, weight in groups.items():
+        assert weight == pytest.approx(
+            sum(e.weight for e in mix if e.spec == spec)
+        )
+    rebuilt = WorkloadMix.from_groups(groups)
+    assert rebuilt.total_weight == pytest.approx(mix.total_weight)
+    assert rebuilt.total_cells == pytest.approx(mix.total_cells)
+    assert rebuilt.total_cell_iterations == pytest.approx(
+        mix.total_cell_iterations
+    )
+    assert rebuilt.token() == mix.token()
+    # job groups preserve the total mesh count per job shape
+    total_meshes = sum(e.spec.batch for e in mix)
+    assert sum(s.batch for s in mix.job_groups().values()) == total_meshes
+
+
+class TestMalformedEntries:
+    def test_bad_entries_raise_validation_error(self):
+        spec = WorkloadSpec.parse("jacobi3d:20x20x20:50")
+        with pytest.raises(ValidationError):
+            WorkloadMix.of(spec, 2.0)  # stray number is not an entry
+        with pytest.raises(ValidationError):
+            MixEntry(spec, None)
+        with pytest.raises(ValidationError):
+            MixEntry("jacobi3d:20x20x20:50", 1.0)  # string is not a spec
+
+    def test_as_mix_reads_a_bare_pair_as_one_weighted_entry(self):
+        spec = WorkloadSpec.parse("jacobi3d:20x20x20:50")
+        mix = as_mix((spec, 2.0))
+        assert len(mix) == 1
+        assert mix.entries[0].weight == 2.0
