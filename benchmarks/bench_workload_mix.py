@@ -19,6 +19,13 @@ Two contracts are recorded per workload in ``BENCH_workload_mix.json``:
   matching the other benches): chunked stacked should not lose to per-mesh
   replay on the over-budget workloads.
 
+Since the parallel engine landed, every row also records a **parallel
+column**: the same chunk schedule under the *calibrated* per-host byte
+budget fanned across a 4-worker pool. This is the configuration that
+closes the chunked-RTM wall-clock regression (0.77-0.84x in earlier
+trajectories), so the RTM rows carry a ``speedup_parallel >= 1.0``
+contract under ``BENCH_ASSERT_SPEEDUP=1``.
+
 Every pairing re-asserts bit-identity per mesh against per-mesh *golden
 interpreter* replay — the acceptance bar for the chunked mode.
 """
@@ -34,6 +41,9 @@ import pytest
 import _trajectory
 from repro.apps.jacobi3d import jacobi3d_app
 from repro.apps.rtm import rtm_app
+from repro.parallel.calibrate import calibrated_bytes_limit
+from repro.parallel.executor import run_program_parallel
+from repro.parallel.pool import WorkerPool
 from repro.stencil.compiled import (
     STACKED_BYTES_LIMIT,
     CompiledPlanCache,
@@ -60,13 +70,21 @@ def _write_trajectory():
         _trajectory.append_record("workload_mix", dict(_RESULTS))
 
 
+@pytest.fixture(scope="module")
+def pool():
+    """One persistent 4-worker pool per module run (spin-up untimed)."""
+    with WorkerPool(max_workers=4) as p:
+        yield p
+
+
 def _time_best(fn) -> float:
     fn()  # warm caches (plan compilation is deliberately excluded)
     return min(timeit.repeat(fn, number=1, repeat=_REPEATS))
 
 
 def _record_mix_pair(
-    name: str, app, shape, niter: int, batch: int, threshold: float | None
+    name: str, app, shape, niter: int, batch: int, threshold: float | None,
+    pool=None, parallel_threshold: float | None = None,
 ):
     """Chunked stacked vs per-mesh replay on one over/under-budget batch."""
     program = app.program_on(shape)
@@ -122,14 +140,48 @@ def _record_mix_pair(
         "chunked_s": t_chunked,
         "speedup": round(speedup, 2),
     }
+    parallel_note = ""
+    if pool is not None:
+        # the regression-closing configuration: calibrated per-host budget,
+        # chunks fanned across the pool; bit-identity re-asserted first
+        calibrated = calibrated_bytes_limit()
+        pstats: dict = {}
+
+        def fanned():
+            return run_program_parallel(
+                program, envs, niter, cache=cache, max_stack_bytes=calibrated,
+                max_workers=pool.max_workers, pool=pool, stats=pstats,
+            )
+
+        for ser, par in zip(chunked(), fanned()):
+            assert np.array_equal(ser[state].data, par[state].data)
+        t_parallel = _time_best(fanned)
+        speedup_parallel = t_replay / t_parallel
+        _RESULTS[name].update(
+            {
+                "calibrated_bytes_limit": int(calibrated),
+                "parallel_chunks": list(pstats["chunks"]),
+                "parallel_workers": pstats["workers"],
+                "parallel_s": t_parallel,
+                "speedup_parallel": round(speedup_parallel, 2),
+            }
+        )
+        parallel_note = (
+            f", parallel {t_parallel * 1e3:.2f} ms -> {speedup_parallel:.2f}x"
+        )
     print(
         f"\n{name}: replay {t_replay * 1e3:.2f} ms ({batch} dispatches), "
         f"chunked {t_chunked * 1e3:.2f} ms ({dispatches} dispatches, "
-        f"chunks {stats['chunks']}) -> {speedup:.2f}x"
+        f"chunks {stats['chunks']}) -> {speedup:.2f}x{parallel_note}"
     )
     if threshold is not None and _ASSERT_SPEEDUP:
         assert speedup >= threshold, (
             f"{name}: chunked stacked {speedup:.2f}x < required {threshold}x"
+        )
+    if parallel_threshold is not None and _ASSERT_SPEEDUP:
+        assert speedup_parallel >= parallel_threshold, (
+            f"{name}: parallel engine {speedup_parallel:.2f}x < required "
+            f"{parallel_threshold}x vs per-mesh replay"
         )
 
 
@@ -141,11 +193,12 @@ def _record_mix_pair(
 # stacking overhead on these wide-element meshes roughly washes out.
 # --------------------------------------------------------------------------- #
 @pytest.mark.parametrize("batch", [6, 12])
-def test_mix_rtm_over_budget(benchmark, batch):
+def test_mix_rtm_over_budget(benchmark, pool, batch):
     app = rtm_app((12, 12, 10))
     benchmark.pedantic(
         lambda: _record_mix_pair(
-            f"rtm_b{batch}", app, (12, 12, 10), 6, batch, None
+            f"rtm_b{batch}", app, (12, 12, 10), 6, batch, None,
+            pool=pool, parallel_threshold=1.0,
         ),
         rounds=1,
         iterations=1,

@@ -17,6 +17,12 @@ Commands
     against a whole workload mix instead of a single workload
     (``--validate-mix`` then replays the winner bit-identically against
     the golden interpreter).
+``mix MIX [--engine E] [--validate] [--calibrate]``
+    Run a workload mix through the chunked stacked engine (serial,
+    parallel worker-pool, or golden interpreter) and report the dispatch
+    accounting per job group.
+``calibrate [--force]``
+    Probe this host for the best stacked-dispatch byte budget and cache it.
 ``codegen APP [--out DIR] [--mesh MxN[xL]]``
     Emit the Vivado HLS project for an application's paper design.
 """
@@ -271,11 +277,84 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         return 1
     if mix is not None and getattr(args, "validate_mix", False):
         best = study.best()
-        run = study.evaluator.validate_mix(best.config)
+        run = study.evaluator.validate_mix(
+            best.config,
+            engine=getattr(args, "engine", "compiled"),
+            max_workers=getattr(args, "max_workers", None),
+        )
         print(
             f"mix validation: {run.meshes} meshes bit-identical to the golden "
             f"interpreter in {run.dispatches} chunked stacked dispatches"
         )
+    return 0
+
+
+def _cmd_mix(args: argparse.Namespace) -> int:
+    from repro.dataflow.scheduler import MixScheduler
+    from repro.util.tables import TextTable
+    from repro.workload import WorkloadMix
+
+    mix = WorkloadMix.parse(args.workloads)
+    limit = args.stacked_bytes_limit
+    if limit is None and args.calibrate:
+        from repro.parallel.calibrate import calibrated_bytes_limit
+
+        limit = calibrated_bytes_limit()
+        print(f"calibrated stacking budget: {limit} bytes")
+    scheduler = MixScheduler(
+        engine=args.engine,
+        stacked_bytes_limit=limit,
+        seed=args.seed,
+        max_workers=args.max_workers,
+    )
+    run = scheduler.run(mix, validate=args.validate)
+    table = TextTable(
+        ["group", "meshes", "niter", "dispatches", "chunks"],
+        title=f"mix {mix.describe()} ({args.engine} engine)",
+    )
+    for group in run.groups:
+        chunk_text = ",".join(str(c) for c in group.chunks) or "-"
+        table.add_row(
+            [group.spec.describe(), group.meshes, group.spec.niter,
+             group.dispatches, chunk_text]
+        )
+    table.add_row(["total", run.meshes, "", run.dispatches, ""])
+    print(table.render())
+    if run.validated:
+        print("validated: every mesh bit-identical to the golden interpreter")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.parallel.calibrate import (
+        ENV_OVERRIDE,
+        cache_path,
+        cached_entry,
+        calibrated_bytes_limit,
+    )
+    from repro.util.tables import TextTable
+
+    if os.environ.get(ENV_OVERRIDE):
+        print(
+            f"stacking budget forced to {calibrated_bytes_limit()} bytes "
+            f"by {ENV_OVERRIDE}; no probe run"
+        )
+        return 0
+    resolved = calibrated_bytes_limit(force=args.force)
+    entry = cached_entry()
+    if entry and entry.get("timings"):
+        table = TextTable(
+            ["budget (bytes)", "best wall clock (ms)"],
+            title="stacked-dispatch budget probe (Jacobi-3D ladder)",
+        )
+        for budget, seconds in entry["timings"].items():
+            marker = " *" if int(budget) == resolved else ""
+            table.add_row([f"{budget}{marker}", f"{seconds * 1e3:.3f}"])
+        print(table.render())
+    print(f"calibrated stacking budget: {resolved} bytes")
+    print(f"cache: {cache_path()}")
     return 0
 
 
@@ -374,7 +453,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument(
         "--workers", type=int, default=None, help="evaluation worker threads"
     )
+    p_dse.add_argument(
+        "--engine",
+        default="compiled",
+        choices=("compiled", "parallel"),
+        help="execution engine for --validate-mix (parallel fans chunks "
+        "out over a worker pool; results stay bit-identical)",
+    )
+    p_dse.add_argument(
+        "--max-workers", type=int, default=None,
+        help="worker-pool width for --engine parallel (default: one per core)",
+    )
     p_dse.set_defaults(fn=_cmd_dse)
+
+    p_mix = sub.add_parser(
+        "mix", help="run a workload mix through the chunked stacked engine"
+    )
+    p_mix.add_argument(
+        "workloads",
+        help="comma-separated app:MESH:NITER[xBATCH][@WEIGHT] specs "
+        "(e.g. jacobi3d:24x24x16:50x8,rtm:16x16x12:20x4)",
+    )
+    p_mix.add_argument(
+        "--engine",
+        default="compiled",
+        choices=("compiled", "parallel", "interpreter"),
+        help="execution engine (parallel overlaps chunks of all groups "
+        "on a worker pool)",
+    )
+    p_mix.add_argument(
+        "--max-workers", type=int, default=None,
+        help="worker-pool width for --engine parallel (default: one per core)",
+    )
+    p_mix.add_argument(
+        "--stacked-bytes-limit", type=float, default=None,
+        help="per-chunk working-set budget in bytes (default: module default)",
+    )
+    p_mix.add_argument(
+        "--calibrate", action="store_true",
+        help="use the calibrated per-host stacking budget (see `repro calibrate`)",
+    )
+    p_mix.add_argument(
+        "--validate", action="store_true",
+        help="re-derive every mesh on the golden interpreter and compare bitwise",
+    )
+    p_mix.add_argument("--seed", type=int, default=0)
+    p_mix.set_defaults(fn=_cmd_mix)
+
+    p_cal = sub.add_parser(
+        "calibrate", help="measure this host's stacked-dispatch byte budget"
+    )
+    p_cal.add_argument(
+        "--force", action="store_true",
+        help="re-probe even when a cached calibration exists",
+    )
+    p_cal.set_defaults(fn=_cmd_calibrate)
 
     p_gen = sub.add_parser("codegen", help="emit the Vivado HLS project")
     p_gen.add_argument("app")

@@ -150,6 +150,7 @@ class FPGAAccelerator:
         logical_bytes_per_cell_iter: float | None = None,
         engine: str = "compiled",
         plan_cache=None,
+        max_workers: int | None = None,
     ):
         self.program = program
         self.design = design
@@ -162,17 +163,24 @@ class FPGAAccelerator:
             else float(program.bytes_per_cell_pass())
         )
         if design.tile is not None:
+            # tiled designs run tile-by-tile through the spatial tiler;
+            # batch fan-out does not apply, so "parallel" degrades to the
+            # compiled path it is built on
             self.tiler: SpatialTiler | None = SpatialTiler(
-                program, design, device, engine, plan_cache
+                program, design, device,
+                "compiled" if engine == "parallel" else engine, plan_cache,
             )
             self.pipeline = self.tiler.pipeline
         else:
             self.tiler = None
             self.pipeline = IterativePipeline(
-                program, design.V, design.p, engine, plan_cache
+                program, design.V, design.p, engine, plan_cache,
+                max_workers=max_workers,
             )
         self.batcher = (
-            BatchRunner(program, design, engine, plan_cache)
+            BatchRunner(
+                program, design, engine, plan_cache, max_workers=max_workers
+            )
             if design.tile is None
             else None
         )

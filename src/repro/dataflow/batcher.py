@@ -35,6 +35,7 @@ class BatchRunner:
         engine: str = "compiled",
         plan_cache=None,
         stacked_bytes_limit: float | None = None,
+        max_workers: int | None = None,
     ):
         self.program = program
         self.design = design
@@ -43,10 +44,12 @@ class BatchRunner:
         self.stacked_bytes_limit = stacked_bytes_limit
         # every mesh in a batch shares the same spec, so the whole batch
         # rides one compiled plan — stacked batch-major (in footprint-
-        # bounded chunks) on the compiled engine, replayed per mesh on the
+        # bounded chunks) on the compiled engine, fanned out across a
+        # worker pool on the parallel engine, replayed per mesh on the
         # interpreter
         self.pipeline = IterativePipeline(
-            program, design.V, design.p, engine, plan_cache
+            program, design.V, design.p, engine, plan_cache,
+            max_workers=max_workers,
         )
 
     @property

@@ -50,7 +50,9 @@ class StencilModule:
         coefficients: Mapping[str, float] | None = None,
     ) -> dict[str, Field]:
         """Run one time iteration; returns the updated field environment."""
-        if self.engine == "compiled":
+        # "parallel" differs from "compiled" only at batch granularity — a
+        # single-mesh single-iteration step has nothing to fan out
+        if self.engine != "interpreter":
             return run_program_compiled(
                 self.program, fields, 1, coefficients, cache=self.plan_cache
             )

@@ -30,7 +30,10 @@ class IterativePipeline:
     Functional execution defaults to the plan-compiled engine: a whole run
     (or pass) is one replay of the cached op tape, so chained passes never
     re-interpret the program. ``engine="interpreter"`` selects the golden
-    tree-walking path; results are bit-identical either way.
+    tree-walking path; ``engine="parallel"`` keeps the compiled path for
+    single meshes and fans batch chunks out over a worker pool of up to
+    ``max_workers`` lanes (:mod:`repro.parallel`). Results are
+    bit-identical on every engine.
     """
 
     def __init__(
@@ -40,6 +43,7 @@ class IterativePipeline:
         p: int,
         engine: str = "compiled",
         plan_cache: CompiledPlanCache | None = None,
+        max_workers: int | None = None,
     ):
         check_positive("p", p)
         self.program = program
@@ -47,6 +51,7 @@ class IterativePipeline:
         self.p = p
         self.engine = check_engine(engine)
         self.plan_cache = plan_cache
+        self.max_workers = max_workers
         # modules are identical hardware; one functional instance suffices
         self.module = StencilModule(program, V, engine, plan_cache)
 
@@ -57,7 +62,9 @@ class IterativePipeline:
         niter: int,
         coefficients: Mapping[str, float] | None,
     ) -> dict[str, Field]:
-        if self.engine == "compiled":
+        if self.engine != "interpreter":
+            # a single mesh has no chunks to fan out: the parallel engine
+            # and the compiled engine are the same path here
             return run_program_compiled(
                 self.program, fields, niter, coefficients, cache=self.plan_cache
             )
@@ -106,9 +113,11 @@ class IterativePipeline:
         advances through one replay of the op tape per footprint-bounded
         chunk — the software analogue of streaming the meshes back to back
         through one pipeline (eq. (15)); per-mesh results are bit-identical
-        to ``B`` independent :meth:`run` calls. The interpreter engine
-        replays the golden path per mesh. ``niter`` must be a multiple of
-        ``p`` exactly as for :meth:`run`.
+        to ``B`` independent :meth:`run` calls. The parallel engine keeps
+        the same chunk schedule but dispatches the chunks across a worker
+        pool (:func:`repro.parallel.run_program_parallel`). The
+        interpreter engine replays the golden path per mesh. ``niter``
+        must be a multiple of ``p`` exactly as for :meth:`run`.
 
         ``stacked_bytes_limit`` overrides the per-chunk working-set budget
         (default :data:`repro.stencil.compiled.STACKED_BYTES_LIMIT`) so
@@ -121,6 +130,14 @@ class IterativePipeline:
         if niter % self.p:
             raise ValidationError(
                 f"niter={niter} is not a multiple of the unroll factor p={self.p}"
+            )
+        if self.engine == "parallel":
+            from repro.parallel.executor import run_program_parallel
+
+            return run_program_parallel(
+                self.program, batch_fields, niter, coefficients,
+                cache=self.plan_cache, max_stack_bytes=stacked_bytes_limit,
+                max_workers=self.max_workers,
             )
         if self.engine == "compiled":
             return run_program_stacked(

@@ -103,7 +103,13 @@ class MixScheduler:
     supplies them). ``stacked_bytes_limit`` tunes the per-chunk working-set
     budget (None: the module default); ``engine="interpreter"`` runs every
     mesh on the golden path instead (per-mesh dispatch, for reference
-    measurements).
+    measurements); ``engine="parallel"`` submits *every group's* chunks to
+    a worker pool before collecting any of them, so independent job groups
+    — not just chunks within one group — overlap on the pool
+    (``max_workers`` bounds its width). Group order, per-mesh result order
+    and dispatch accounting are identical on every engine: chunks are
+    scheduled deterministically at submit time and reassembled by
+    position, whatever order workers finish in.
     """
 
     engine: str = "compiled"
@@ -114,6 +120,8 @@ class MixScheduler:
     #: base seed mixed into default initial conditions per member
     seed: int = 0
     coefficients: Mapping[str, float] | None = dc_field(default=None)
+    #: worker-pool width for ``engine="parallel"`` (None: one per core)
+    max_workers: int | None = None
 
     def __post_init__(self):
         check_engine(self.engine)
@@ -168,9 +176,10 @@ class MixScheduler:
         interpreter and compared bitwise — any divergence raises.
         """
         mix = as_mix(mix)
-        groups = []
-        for spec in mix.job_groups().values():
-            groups.append(self._run_group(spec, validate))
+        specs = list(mix.job_groups().values())
+        if self.engine == "parallel":
+            return self._run_parallel(specs, validate)
+        groups = [self._run_group(spec, validate) for spec in specs]
         return MixRunResult(tuple(groups), validated=validate)
 
     def _run_group(self, spec: WorkloadSpec, validate: bool) -> GroupRun:
@@ -192,15 +201,73 @@ class MixScheduler:
                 self._golden(program, env, spec.niter) for env in envs
             ]
             stats = {"chunks": [1] * len(envs), "dispatches": len(envs)}
-        if validate and self.engine == "compiled":
-            for index, (env, result) in enumerate(zip(envs, results)):
-                golden = self._golden(program, env, spec.niter)
-                for name, field in golden.items():
-                    if not np.array_equal(field.data, result[name].data):
-                        raise ValidationError(
-                            f"mix group {spec} member {index}: field "
-                            f"'{name}' diverges from the golden interpreter"
-                        )
+        if validate and self.engine != "interpreter":
+            self._validate_group(spec, program, envs, results)
+        return self._group_run(spec, envs, results, stats)
+
+    def _run_parallel(
+        self, specs: list[WorkloadSpec], validate: bool
+    ) -> MixRunResult:
+        """Fan every group's chunks out before collecting any group.
+
+        Submission order is the mix's group order; collection blocks on
+        groups in that same order, so results, accounting and error
+        precedence are deterministic while the pool interleaves chunks of
+        all groups freely. A failing chunk surfaces as
+        :class:`~repro.parallel.ParallelExecutionError` carrying the
+        originating workload spec; still-pending sibling groups are
+        drained and their shared-memory segments reclaimed before it
+        propagates.
+        """
+        from repro.parallel.executor import ParallelExecutionError, submit_stacked
+
+        pending: list[tuple[WorkloadSpec, StencilProgram, list, dict, object]] = []
+        try:
+            for spec in specs:
+                program = self._program(spec)
+                envs = [
+                    self._fields(spec, i, program) for i in range(spec.batch)
+                ]
+                stats: dict = {}
+                batch = submit_stacked(
+                    program,
+                    envs,
+                    spec.niter,
+                    self.coefficients,
+                    cache=self.plan_cache,
+                    max_stack_bytes=self.stacked_bytes_limit,
+                    stats=stats,
+                    max_workers=self.max_workers,
+                )
+                pending.append((spec, program, envs, stats, batch))
+            groups = []
+            for spec, program, envs, stats, batch in pending:
+                try:
+                    results = batch.result()
+                except ParallelExecutionError as exc:
+                    raise ParallelExecutionError(
+                        f"workload {spec.describe()}: {exc}"
+                    ) from exc
+                if validate:
+                    self._validate_group(spec, program, envs, results)
+                groups.append(self._group_run(spec, envs, results, stats))
+            return MixRunResult(tuple(groups), validated=validate)
+        finally:
+            for *_rest, batch in pending:
+                batch.close()  # no-op on collected groups
+
+    def _validate_group(self, spec, program, envs, results) -> None:
+        for index, (env, result) in enumerate(zip(envs, results)):
+            golden = self._golden(program, env, spec.niter)
+            for name, field in golden.items():
+                if not np.array_equal(field.data, result[name].data):
+                    raise ValidationError(
+                        f"mix group {spec} member {index}: field "
+                        f"'{name}' diverges from the golden interpreter"
+                    )
+
+    @staticmethod
+    def _group_run(spec, envs, results, stats: dict) -> GroupRun:
         return GroupRun(
             spec,
             tuple(results),

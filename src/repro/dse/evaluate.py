@@ -378,6 +378,8 @@ class Evaluator:
         stacked_bytes_limit: float | None = None,
         seed: int = 0,
         fields_for=None,
+        engine: str = "compiled",
+        max_workers: int | None = None,
     ):
         """A :class:`~repro.dataflow.scheduler.MixScheduler` for this mix.
 
@@ -386,6 +388,8 @@ class Evaluator:
         including app-less specs, whose programs resolve through this
         evaluator's bindings (their initial conditions are synthesized
         from the program contract unless ``fields_for`` supplies them).
+        ``engine="parallel"`` fans the groups' chunks out over a worker
+        pool of up to ``max_workers`` lanes; results stay bit-identical.
         """
         from repro.dataflow.scheduler import MixScheduler
 
@@ -400,11 +404,13 @@ class Evaluator:
             return prog if prog is not None else spec.program()
 
         return MixScheduler(
+            engine=engine,
             plan_cache=plan_cache,
             stacked_bytes_limit=stacked_bytes_limit,
             fields_for=fields_for,
             program_for=program_for,
             seed=seed,
+            max_workers=max_workers,
         )
 
     def validate_mix(
@@ -414,14 +420,17 @@ class Evaluator:
         stacked_bytes_limit: float | None = None,
         seed: int = 0,
         fields_for=None,
+        engine: str = "compiled",
+        max_workers: int | None = None,
     ):
         """Functionally validate a configuration against the whole mix.
 
         Executes every member of the mix (at the configuration's batch
-        scaling) through the chunked stacked compiled engine and asserts
-        bit-identity against per-mesh golden-interpreter replay; returns
-        the :class:`~repro.dataflow.scheduler.MixRunResult` with its
-        dispatch accounting. Tiled configurations are rejected, mirroring
+        scaling) through the chunked stacked engine — serial by default,
+        pool-fanned with ``engine="parallel"`` — and asserts bit-identity
+        against per-mesh golden-interpreter replay; returns the
+        :class:`~repro.dataflow.scheduler.MixRunResult` with its dispatch
+        accounting. Tiled configurations are rejected, mirroring
         :meth:`batch_runner`.
         """
         if self.mix is None:
@@ -435,7 +444,8 @@ class Evaluator:
             )
         batch_factor = int(config.get("batch", 1))
         scheduler = self.mix_scheduler(
-            plan_cache, stacked_bytes_limit, seed, fields_for
+            plan_cache, stacked_bytes_limit, seed, fields_for,
+            engine=engine, max_workers=max_workers,
         )
         return scheduler.run(self.mix.scaled(batch_factor), validate=True)
 

@@ -1,0 +1,381 @@
+"""Chunk fan-out: stacked batches dispatched across a worker pool.
+
+This is the ``engine="parallel"`` backend behind the compiled-plan API.
+The unit of parallelism is the **footprint-bounded stacked chunk** the
+chunked serial path already produces (:func:`stacked_chunk_sizes` made the
+units independent — a chunk never reads another chunk's meshes), so the
+schedule is identical to the serial compiled engine: same chunk sizes,
+same dispatch accounting, bit-identical per-mesh results. Only *where*
+the tape replays changes: each chunk becomes one task on a persistent
+:class:`~repro.parallel.pool.WorkerPool`.
+
+Transport is backend-dependent. Process workers (the default for chunks
+past :data:`PROCESS_BACKEND_MIN_BYTES`) receive inputs — and return
+produced fields — through a :class:`~repro.parallel.shm.SharedStack`
+segment, so arrays cross the boundary zero-copy; only the small lowered
+plan pickles. Thread workers share the address space and take the field
+environments directly. Either way the worker binds buffers at most once
+per plan token (:mod:`repro.parallel.worker`) and replays the warm tape.
+
+:func:`submit_stacked` returns a :class:`PendingBatch` rather than
+results, so a caller with several independent batches (a workload mix's
+job groups) can submit them all and let *every* chunk of *every* group
+share the pool concurrently; :func:`run_program_parallel` is the
+submit-and-wait convenience with the same signature as
+:func:`~repro.stencil.compiled.run_program_stacked`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field as dc_field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.mesh.mesh import Field
+from repro.parallel.pool import WorkerPool, default_workers, shared_pool
+from repro.parallel.shm import SharedStack
+from repro.parallel.worker import run_chunk_fields, run_chunk_shm
+from repro.stencil.compiled import (
+    STACKED_BYTES_LIMIT,
+    CompiledPlanCache,
+    DEFAULT_CACHE,
+    check_stacked_batch,
+    run_program_stacked,
+    stacked_chunk_sizes,
+)
+from repro.stencil.plan import ProgramPlan, program_token, required_inputs
+from repro.stencil.program import StencilProgram
+from repro.util.errors import ReproError, ValidationError
+
+#: chunks whose stacked working set is at least this big default to the
+#: process backend; smaller chunks stay on threads, where the dispatch is
+#: a function call instead of a task message + shared-memory segment (the
+#: crossover sits well below a millisecond of tape time, so this only
+#: needs to be the right order of magnitude)
+PROCESS_BACKEND_MIN_BYTES = 1 << 18
+
+
+class ParallelExecutionError(ReproError):
+    """A chunk failed (or its worker died) under the parallel engine."""
+
+
+#: interned plan tokens: structural binding key -> short stable string.
+#: Bounded — an evicted key re-seen later gets a *new* token, which only
+#: costs a worker-side rebind, never a wrong cache hit (distinct keys can
+#: never share a token: the counter only moves forward).
+_TOKENS: OrderedDict[tuple, str] = OrderedDict()
+_TOKENS_LOCK = threading.Lock()
+_MAX_TOKENS = 256
+_TOKEN_IDS = itertools.count()
+
+
+def plan_token_for(
+    program: StencilProgram,
+    fields: Mapping[str, Field],
+    coefficients: Mapping[str, float] | None = None,
+) -> str:
+    """A stable identity for ``(program structure, specs, coefficients)``.
+
+    The parent stamps every chunk task with this token; workers key their
+    local instance caches by it, so two chunks of the same binding share
+    one bound plan per worker without the worker re-deriving the identity.
+    Equal bindings (by the same structural key the plan cache uses) always
+    yield the same token within a parent process.
+    """
+    specs = tuple(
+        (name, fields[name].spec) for name in required_inputs(program)
+    )
+    coeffs = tuple(sorted(
+        (name, float(value)) for name, value in (coefficients or {}).items()
+    ))
+    key = (program_token(program), specs, coeffs)
+    with _TOKENS_LOCK:
+        token = _TOKENS.get(key)
+        if token is None:
+            token = f"plan-{next(_TOKEN_IDS)}"
+            _TOKENS[key] = token
+            while len(_TOKENS) > _MAX_TOKENS:
+                _TOKENS.popitem(last=False)
+        else:
+            _TOKENS.move_to_end(key)
+    return token
+
+
+@dataclass
+class _PendingChunk:
+    """One submitted chunk: its batch slice and its transport."""
+
+    index: int
+    start: int
+    size: int
+    future: object
+    #: shared-memory segment (process backend); None on threads
+    stack: SharedStack | None = None
+
+
+@dataclass
+class PendingBatch:
+    """A stacked batch in flight; :meth:`result` assembles it in order.
+
+    Results are reassembled by chunk *index*, so per-mesh order matches the
+    submitted batch no matter in which order workers finish. Chunk-size
+    accounting (``stats=``) is fixed at submit time — the schedule is
+    deterministic; only completion order is not.
+    """
+
+    batch_fields: Sequence[Mapping[str, Field]]
+    plan: ProgramPlan | None
+    niter: int
+    token: str = ""
+    pending: list[_PendingChunk] = dc_field(default_factory=list)
+    #: pre-computed results for degenerate batches that never hit the pool
+    ready: list[dict[str, Field]] | None = None
+    _results: list[dict[str, Field]] | None = None
+
+    def result(self) -> list[dict[str, Field]]:
+        """Block until every chunk finished; per-mesh results in order.
+
+        Any chunk failure — a raised exception or a worker death — drains
+        and cleans up the remaining chunks, then raises
+        :class:`ParallelExecutionError` naming the failing chunk and its
+        mesh range (callers scheduling several batches add their own
+        context, e.g. the originating workload spec).
+        """
+        if self._results is not None:
+            return self._results
+        if self.ready is not None:
+            self._results = self.ready
+            return self._results
+        failure: tuple[_PendingChunk, BaseException] | None = None
+        results: list[dict[str, Field] | None] = [None] * len(self.batch_fields)
+        for chunk in self.pending:
+            try:
+                out = chunk.future.result()
+            except BaseException as exc:  # noqa: BLE001 - rewrapped below
+                if failure is None:
+                    failure = (chunk, exc)
+                continue
+            if failure is None:
+                self._assemble(chunk, out, results)
+        self._cleanup()
+        if failure is not None:
+            chunk, exc = failure
+            raise ParallelExecutionError(
+                f"parallel chunk {chunk.index + 1}/{len(self.pending)} "
+                f"(meshes {chunk.start}..{chunk.start + chunk.size - 1}, "
+                f"plan {self.token[:12]}) failed: {exc!r}"
+            ) from exc
+        self._results = results  # type: ignore[assignment]
+        return self._results
+
+    def _assemble(self, chunk, out, results) -> None:
+        produced = self.plan.final_env(self.niter)
+        for b in range(chunk.size):
+            env = dict(self.batch_fields[chunk.start + b])
+            for fname in produced:
+                spec = self.plan.produced_specs[fname]
+                if chunk.stack is not None:
+                    # copy out of shared memory before the segment is
+                    # unlinked; thread workers already returned copies
+                    data = np.array(chunk.stack.array(f"o:{fname}")[b])
+                else:
+                    data = out[fname][b]
+                env[fname] = Field(fname, spec, data)
+            results[chunk.start + b] = env
+
+    def _cleanup(self) -> None:
+        for chunk in self.pending:
+            if chunk.stack is not None:
+                chunk.stack.unlink()
+                chunk.stack = None
+
+    def close(self) -> None:
+        """Abandon the batch: wait out in-flight chunks, free segments.
+
+        Used when a sibling batch failed and the caller unwinds — results
+        are discarded, shared memory is reclaimed, errors are swallowed.
+        """
+        if self._results is not None or self.ready is not None:
+            return
+        for chunk in self.pending:
+            chunk.future.cancel()
+            try:
+                chunk.future.result()
+            except BaseException:  # noqa: BLE001 - abandoning anyway
+                pass
+        self._cleanup()
+        self._results = []
+
+
+def submit_stacked(
+    program: StencilProgram,
+    batch_fields: Sequence[Mapping[str, Field]],
+    niter: int,
+    coefficients: Mapping[str, float] | None = None,
+    cache: CompiledPlanCache | None = None,
+    max_stack_bytes: float | None = None,
+    stats: dict | None = None,
+    max_workers: int | None = None,
+    backend: str | None = None,
+    pool: WorkerPool | None = None,
+) -> PendingBatch:
+    """Fan a stacked batch's chunks out over a worker pool; non-blocking.
+
+    Mirrors :func:`~repro.stencil.compiled.run_program_stacked` — same
+    validation, same chunk schedule, same ``stats`` accounting — but
+    returns immediately with a :class:`PendingBatch`. Degenerate batches
+    take the serial path inline and come back pre-resolved: ``niter == 0``
+    (nothing to run), mixed-dtype bindings (golden interpreter per mesh,
+    exactly as the serial engine falls back), and single-worker hosts
+    (``max_workers``/CPU count <= 1 and no explicit ``pool``), where
+    fan-out could only add dispatch overhead.
+
+    ``backend`` forces ``"process"`` or ``"thread"`` workers; the default
+    picks processes for chunks of at least
+    :data:`PROCESS_BACKEND_MIN_BYTES` and threads below (small meshes are
+    exactly where process transport costs more than the tape). If the
+    host cannot allocate shared memory at all, the dispatch degrades to
+    the thread backend rather than failing.
+    """
+    required, first = check_stacked_batch(program, batch_fields)
+    if niter < 0:
+        raise ValidationError(f"niter must be non-negative, got {niter}")
+
+    workers = max_workers if max_workers else default_workers()
+
+    def _account(chunks: list[int], backend_used: str) -> None:
+        if stats is not None:
+            stats["chunks"] = list(chunks)
+            stats["dispatches"] = len(chunks)
+            stats["stacked_meshes"] = sum(c for c in chunks if c > 1)
+            stats["backend"] = backend_used
+            stats["workers"] = 1 if backend_used == "serial" else workers
+
+    if niter == 0:
+        _account([], "serial")
+        return PendingBatch(
+            batch_fields, None, niter, ready=[dict(env) for env in batch_fields]
+        )
+    dtypes = {first[name].spec.dtype for name in required}
+    if len(dtypes) > 1:
+        from repro.stencil.numpy_eval import run_program
+
+        _account([1] * len(batch_fields), "serial")
+        return PendingBatch(
+            batch_fields, None, niter,
+            ready=[
+                run_program(program, env, niter, coefficients, engine="interpreter")
+                for env in batch_fields
+            ],
+        )
+    cache = cache if cache is not None else DEFAULT_CACHE
+    limit = max_stack_bytes if max_stack_bytes is not None else STACKED_BYTES_LIMIT
+    plan = cache.plan_for(program, first, coefficients)
+    chunks = stacked_chunk_sizes(len(batch_fields), plan.nbytes, limit)
+    if pool is None and workers <= 1:
+        # a one-lane pool cannot overlap anything; run the identical
+        # serial chunked schedule in-process (accounting included)
+        results = run_program_stacked(
+            program, batch_fields, niter, coefficients,
+            cache=cache, max_stack_bytes=limit, stats=stats,
+        )
+        _account(chunks, "serial")
+        return PendingBatch(batch_fields, plan, niter, ready=results)
+    if backend is None and pool is not None:
+        backend = pool.backend
+    if backend is None:
+        chunk_bytes = plan.nbytes * max(chunks)
+        backend = "process" if chunk_bytes >= PROCESS_BACKEND_MIN_BYTES else "thread"
+    token = plan_token_for(program, first, coefficients)
+    batch = PendingBatch(batch_fields, plan, niter, token=token)
+    try:
+        _submit_chunks(batch, plan, chunks, niter, token, batch_fields,
+                       pool if pool is not None else shared_pool(backend, workers),
+                       use_shm=backend == "process")
+    except OSError:
+        # no shared memory on this host (or it is exhausted): reclaim any
+        # segments we did get and fall back to in-process thread transport
+        batch.pending, partial = [], batch.pending
+        for chunk in partial:
+            if chunk.stack is not None:
+                chunk.stack.unlink()
+        backend = "thread"
+        _submit_chunks(batch, plan, chunks, niter, token, batch_fields,
+                       pool if pool is not None else shared_pool(backend, workers),
+                       use_shm=False)
+    _account(chunks, backend)
+    return batch
+
+
+def _submit_chunks(
+    batch: PendingBatch,
+    plan: ProgramPlan,
+    chunks: list[int],
+    niter: int,
+    token: str,
+    batch_fields: Sequence[Mapping[str, Field]],
+    pool: WorkerPool,
+    use_shm: bool,
+) -> None:
+    dtype = plan.mesh.dtype
+    produced = tuple(plan.final_env(niter))
+    start = 0
+    for index, size in enumerate(chunks):
+        members = batch_fields[start : start + size]
+        if use_shm:
+            layout: dict[str, tuple[tuple[int, ...], np.dtype]] = {}
+            for name in plan.inputs:
+                layout[f"i:{name}"] = ((size,) + plan.buffers[f"in:{name}"], dtype)
+            for fname in produced:
+                shape = plan.produced_specs[fname].storage_shape
+                layout[f"o:{fname}"] = ((size,) + shape, dtype)
+            stack = SharedStack.allocate(layout)
+            chunk = _PendingChunk(index, start, size, None, stack)
+            batch.pending.append(chunk)  # tracked before submit: cleanup-safe
+            for name in plan.inputs:
+                arr = stack.array(f"i:{name}")
+                for b, env in enumerate(members):
+                    np.copyto(arr[b], env[name].data)
+            chunk.future = pool.submit(
+                run_chunk_shm, token, plan, size, niter, stack.handle
+            )
+        else:
+            batch.pending.append(
+                _PendingChunk(
+                    index, start, size,
+                    pool.submit(run_chunk_fields, token, plan, size, niter, members),
+                )
+            )
+        start += size
+
+
+def run_program_parallel(
+    program: StencilProgram,
+    batch_fields: Sequence[Mapping[str, Field]],
+    niter: int,
+    coefficients: Mapping[str, float] | None = None,
+    cache: CompiledPlanCache | None = None,
+    max_stack_bytes: float | None = None,
+    stats: dict | None = None,
+    max_workers: int | None = None,
+    backend: str | None = None,
+    pool: WorkerPool | None = None,
+) -> list[dict[str, Field]]:
+    """Solve ``B`` same-spec meshes with chunks fanned across the pool.
+
+    The parallel drop-in for
+    :func:`~repro.stencil.compiled.run_program_stacked`: identical
+    signature semantics plus pool controls, identical chunk schedule and
+    ``stats`` accounting, bit-identical per-mesh results (asserted across
+    every registry app in the test suite). See :func:`submit_stacked` for
+    the backend-selection and degenerate-path rules.
+    """
+    return submit_stacked(
+        program, batch_fields, niter, coefficients,
+        cache=cache, max_stack_bytes=max_stack_bytes, stats=stats,
+        max_workers=max_workers, backend=backend, pool=pool,
+    ).result()

@@ -1,0 +1,150 @@
+"""Persistent worker pools for chunk fan-out.
+
+A :class:`WorkerPool` wraps a ``concurrent.futures`` executor — **process**
+backed by default (each worker is an OS process with its own interpreter,
+so NumPy tape replays scale across cores regardless of the GIL), with a
+**thread** backend used as the fallback for small meshes, where the cost
+of crossing a process boundary would eat the win (NumPy releases the GIL
+inside large ufunc calls, so threads still overlap medium-sized chunks).
+
+Pools are deliberately *persistent*: workers are started lazily on first
+submit and then reused across dispatches, so the per-chunk cost is one
+task message, not one process spawn — the per-worker compiled-plan cache
+(:mod:`repro.parallel.worker`) only pays off because the worker outlives
+the chunk. :func:`shared_pool` hands out process-wide singletons keyed by
+``(backend, max_workers)``; they are torn down at interpreter exit.
+
+A crashed worker (e.g. OOM-killed) breaks a process executor permanently;
+:class:`WorkerPool` detects the broken state on the next submit and
+replaces the executor transparently, so one lost batch does not poison
+every later dispatch through a shared pool.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    process,
+)
+
+from repro.util.errors import ValidationError
+
+#: worker-pool backends accepted across the parallel layer
+BACKENDS = ("process", "thread")
+
+
+def check_backend(backend: str) -> str:
+    """Validate a pool backend name; returns it unchanged."""
+    if backend not in BACKENDS:
+        raise ValidationError(
+            f"unknown pool backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def default_workers() -> int:
+    """The default pool width: every core the host exposes."""
+    return os.cpu_count() or 1
+
+
+class WorkerPool:
+    """A persistent, lazily-started pool of process or thread workers."""
+
+    def __init__(self, max_workers: int | None = None, backend: str = "process"):
+        if max_workers is not None and max_workers < 1:
+            raise ValidationError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        self.backend = check_backend(backend)
+        self.max_workers = max_workers if max_workers else default_workers()
+        self._executor: ProcessPoolExecutor | ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def started(self) -> bool:
+        """True once workers exist (first submit starts them)."""
+        return self._executor is not None
+
+    def _make_executor(self):
+        if self.backend == "thread":
+            return ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-parallel",
+            )
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+    def _ensure(self):
+        with self._lock:
+            executor = self._executor
+            if executor is None:
+                executor = self._executor = self._make_executor()
+            return executor
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        """Schedule ``fn(*args, **kwargs)`` on a worker.
+
+        A process executor broken by an earlier worker crash is replaced
+        with a fresh one (once) instead of failing every future submit.
+        """
+        executor = self._ensure()
+        try:
+            return executor.submit(fn, *args, **kwargs)
+        except (process.BrokenProcessPool, RuntimeError):
+            with self._lock:
+                if self._executor is executor:  # nobody replaced it yet
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    self._executor = self._make_executor()
+                executor = self._executor
+            return executor.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers; the pool restarts lazily on the next submit."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+#: process-wide pools shared by every default parallel dispatch path
+_SHARED: dict[tuple[str, int], WorkerPool] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_pool(backend: str = "process", max_workers: int | None = None) -> WorkerPool:
+    """The process-wide persistent pool for ``(backend, max_workers)``.
+
+    Sharing keeps workers (and their per-worker plan caches) warm across
+    dispatches, mixes and benchmark repeats; distinct widths get distinct
+    pools so an explicit ``max_workers=`` can never be diluted by an
+    earlier caller's choice.
+    """
+    check_backend(backend)
+    key = (backend, max_workers if max_workers else default_workers())
+    with _SHARED_LOCK:
+        pool = _SHARED.get(key)
+        if pool is None:
+            pool = _SHARED[key] = WorkerPool(key[1], backend)
+        return pool
+
+
+def shutdown_shared_pools(wait: bool = True) -> None:
+    """Tear down every shared pool (used at exit and by tests)."""
+    with _SHARED_LOCK:
+        pools = list(_SHARED.values())
+        _SHARED.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait)
+
+
+atexit.register(shutdown_shared_pools, wait=False)

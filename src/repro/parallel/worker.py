@@ -1,0 +1,147 @@
+"""Worker-side chunk execution with a per-worker compiled-plan cache.
+
+Each task message carries the lowered :class:`~repro.stencil.plan.ProgramPlan`
+(plans are small, hold no buffers, and pickle cheaply) together with its
+**plan token** — the parent-computed identity of ``(program structure,
+bound field specs, folded coefficients)``. Workers bind the plan to
+concrete buffers at most once per ``(token, batch)``: repeat chunks of the
+same job shape fetch the warm :class:`CompiledProgram` from the
+worker-local cache and only pay the load/iterate/store cost.
+
+The caches are deliberately **per worker** rather than the process-wide
+:data:`repro.stencil.compiled.DEFAULT_CACHE`: a shared compiled instance
+serializes concurrent runs on its internal lock (correct but sequential),
+while a private instance per worker keeps every lane independent — in
+processes trivially (separate address spaces), in threads via
+``threading.local``.
+
+A test-only escape hatch (:data:`CRASH_ENV`) lets the suite provoke a hard
+worker death (``os._exit``) through the full dispatch path, which is the
+only way to exercise broken-pool recovery deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.mesh.mesh import Field
+from repro.parallel.shm import SharedStack, StackHandle
+from repro.stencil.compiled import CompiledProgram
+from repro.stencil.plan import ProgramPlan
+
+#: bound instances kept warm per worker; small meshes bind in microseconds,
+#: so this only needs to cover the live job shapes of a mix
+_MAX_INSTANCES = 16
+
+#: set to "1" to make every chunk task kill its worker process outright —
+#: the deterministic stand-in for an OOM-killed worker in the test suite
+CRASH_ENV = "REPRO_PARALLEL_TEST_CRASH"
+
+#: one instance cache per worker lane: thread-local state gives process
+#: workers (which run tasks serially on their main thread) one cache per
+#: process, and thread-pool workers one cache per thread — either way no
+#: two concurrent tasks can ever share (and race on) a bound instance
+_TLS = threading.local()
+
+
+def _cache() -> OrderedDict:
+    cache = getattr(_TLS, "instances", None)
+    if cache is None:
+        cache = _TLS.instances = OrderedDict()
+    return cache
+
+
+def bind_instance(token: str, plan: ProgramPlan, batch: int) -> CompiledProgram:
+    """The worker-local compiled instance for ``(token, batch)``.
+
+    Binds (allocates buffers for) the plan on first sight, then reuses the
+    warm instance — the per-worker analogue of
+    :meth:`repro.stencil.compiled.CompiledPlanCache.get`, keyed by the
+    parent's plan token so equal bindings share work without re-hashing
+    the program structure worker-side.
+    """
+    cache = _cache()
+    key = (token, batch)
+    instance = cache.get(key)
+    if instance is None:
+        instance = CompiledProgram(plan, batch=batch)
+        cache[key] = instance
+        while len(cache) > _MAX_INSTANCES:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(key)
+    return instance
+
+
+def _load_and_run(
+    instance: CompiledProgram,
+    plan: ProgramPlan,
+    batch: int,
+    niter: int,
+    fetch,
+) -> None:
+    """Load stacked inputs (``fetch(name) -> (B, *storage)``) and iterate."""
+    if batch == 1:
+        instance.load({name: fetch(name)[0] for name in plan.inputs})
+    else:
+        instance.load({name: fetch(name) for name in plan.inputs})
+    instance.run_iterations(niter)
+
+
+def run_chunk_shm(
+    token: str, plan: ProgramPlan, batch: int, niter: int, handle: StackHandle
+) -> None:
+    """Execute one chunk against shared-memory buffers (process backend).
+
+    Inputs are read from — and every produced field written back to — the
+    parent's :class:`SharedStack`, so no array crosses the process boundary
+    through the task pipe. Returns nothing; the results live in the
+    segment.
+    """
+    if os.environ.get(CRASH_ENV) == "1":  # pragma: no cover - exits
+        os._exit(13)
+    stack = SharedStack.attach(handle)
+    try:
+        instance = bind_instance(token, plan, batch)
+        _load_and_run(instance, plan, batch, niter, lambda n: stack.array(f"i:{n}"))
+        for fname, final in instance.final_arrays().items():
+            np.copyto(stack.array(f"o:{fname}"), final)
+    finally:
+        stack.close()
+
+
+def run_chunk_fields(
+    token: str,
+    plan: ProgramPlan,
+    batch: int,
+    niter: int,
+    envs: Sequence[Mapping[str, Field]],
+) -> dict[str, np.ndarray]:
+    """Execute one chunk on in-process field environments (thread backend).
+
+    Threads share the parent's address space, so the per-mesh environments
+    travel by reference and load straight into the instance's buffers —
+    the same single copy the serial engine performs. Returns stacked
+    ``(B, *storage)`` copies of the produced fields — copies, because the
+    warm instance's buffers are overwritten by this worker's next task.
+    """
+    if os.environ.get(CRASH_ENV) == "1":  # threads cannot crash a process;
+        raise RuntimeError("crash requested by test hook")  # raise instead
+    instance = bind_instance(token, plan, batch)
+    if batch == 1:
+        instance.load(envs[0])
+    else:
+        instance.load_stacked(envs)
+    instance.run_iterations(niter)
+    out = instance.final_arrays()
+    return {fname: arr.copy() for fname, arr in out.items()}
+
+
+def instance_cache_size() -> int:
+    """Warm instances in this lane's cache (introspection for tests)."""
+    return len(_cache())

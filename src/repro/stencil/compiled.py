@@ -55,8 +55,11 @@ from repro.stencil.plan import (
 from repro.stencil.program import StencilProgram
 from repro.util.errors import ValidationError
 
-#: execution engine names accepted across the dataflow layers
-ENGINES = ("compiled", "interpreter")
+#: execution engine names accepted across the dataflow layers. "parallel"
+#: shares the compiled plans and is bit-identical to "compiled"; it differs
+#: only in *dispatch* — batches fan their stacked chunks across a worker
+#: pool (:mod:`repro.parallel`) instead of replaying them back to back
+ENGINES = ("compiled", "interpreter", "parallel")
 
 _UFUNCS = {
     "add": np.add,
@@ -396,6 +399,20 @@ class CompiledProgram:
                 envs[b][fname] = Field(fname, spec, stack[b].copy())
         return envs
 
+    def final_arrays(self) -> dict[str, np.ndarray]:
+        """Batch-major ``(B, *storage)`` views of every produced field.
+
+        The raw-buffer counterpart of :meth:`result` / :meth:`result_stacked`
+        for callers that marshal results themselves (the parallel workers
+        copy these straight into shared memory): no Field wrappers, no
+        copies — the views alias the live ping-pong buffers, so read them
+        before the next :meth:`load`.
+        """
+        return {
+            fname: self._stacked_view(self._buffers[slot])
+            for fname, slot in self.plan.final_env(self._iterations_done).items()
+        }
+
     # -- one-call API ---------------------------------------------------------
     def run(
         self, fields: Mapping[str, Field], niter: int
@@ -655,6 +672,35 @@ def run_program_compiled(
     return compiled.run(fields, niter)
 
 
+def check_stacked_batch(
+    program: StencilProgram, batch_fields: Sequence[Mapping[str, Field]]
+) -> tuple[tuple[str, ...], Mapping[str, Field]]:
+    """Validate a batch for stacked execution; shared with the parallel path.
+
+    Every member must bind all required inputs and all members must share
+    one spec per field (stacking is structural — one plan, one buffer
+    shape). Returns ``(required input names, representative environment)``.
+    """
+    if not batch_fields:
+        raise ValidationError("batch must contain at least one mesh")
+    required = required_inputs(program)
+    first = batch_fields[0]
+    for b, env in enumerate(batch_fields):
+        for name in required:
+            if name not in env:
+                raise ValidationError(
+                    f"batch member {b}: program '{program.name}' needs field "
+                    f"'{name}' bound"
+                )
+            if env[name].spec != first[name].spec:
+                raise ValidationError(
+                    f"all meshes in a batch must share the same spec: field "
+                    f"'{name}' has {env[name].spec} in member {b} vs "
+                    f"{first[name].spec} in member 0"
+                )
+    return required, first
+
+
 def run_program_stacked(
     program: StencilProgram,
     batch_fields: Sequence[Mapping[str, Field]],
@@ -694,25 +740,9 @@ def run_program_stacked(
     actually issued — ``len(chunks)``) and ``stacked_meshes`` (meshes that
     rode a stack of size > 1).
     """
-    if not batch_fields:
-        raise ValidationError("batch must contain at least one mesh")
+    required, first = check_stacked_batch(program, batch_fields)
     if niter < 0:
         raise ValidationError(f"niter must be non-negative, got {niter}")
-    required = required_inputs(program)
-    first = batch_fields[0]
-    for b, env in enumerate(batch_fields):
-        for name in required:
-            if name not in env:
-                raise ValidationError(
-                    f"batch member {b}: program '{program.name}' needs field "
-                    f"'{name}' bound"
-                )
-            if env[name].spec != first[name].spec:
-                raise ValidationError(
-                    f"all meshes in a batch must share the same spec: field "
-                    f"'{name}' has {env[name].spec} in member {b} vs "
-                    f"{first[name].spec} in member 0"
-                )
 
     def _account(chunks: list[int]) -> None:
         if stats is not None:

@@ -120,3 +120,49 @@ class TestScheduling:
         monkeypatch.setattr(scheduler_mod, "run_program_stacked", corrupted)
         with pytest.raises(ValidationError, match="diverges"):
             MixScheduler().run(spec, validate=True)
+
+
+class TestParallelScheduling:
+    """The parallel engine behind the scheduler: order, accounting, errors."""
+
+    @pytest.fixture(autouse=True, scope="class")
+    def _drain_pools(self):
+        from repro.parallel.pool import shutdown_shared_pools
+
+        yield
+        shutdown_shared_pools()
+
+    def test_parallel_matches_compiled_bitwise(self):
+        serial = MixScheduler().run(MIX, validate=True)
+        parallel = MixScheduler(max_workers=2, engine="parallel").run(
+            MIX, validate=True
+        )
+        assert parallel.validated
+        # identical group order, membership and dispatch accounting —
+        # chunks are scheduled at submit time, so out-of-order completion
+        # cannot perturb any of it
+        assert [g.spec for g in parallel.groups] == [g.spec for g in serial.groups]
+        assert [g.chunks for g in parallel.groups] == [g.chunks for g in serial.groups]
+        assert parallel.dispatches == serial.dispatches
+        for gp, gs in zip(parallel.groups, serial.groups):
+            for rp, rs in zip(gp.results, gs.results):
+                for name in rs:
+                    assert np.array_equal(rp[name].data, rs[name].data)
+
+    def test_single_worker_parallel_degrades_but_stays_correct(self):
+        serial = MixScheduler().run(MIX)
+        degraded = MixScheduler(max_workers=1, engine="parallel").run(MIX)
+        assert degraded.dispatches == serial.dispatches
+        for gp, gs in zip(degraded.groups, serial.groups):
+            for rp, rs in zip(gp.results, gs.results):
+                for name in rs:
+                    assert np.array_equal(rp[name].data, rs[name].data)
+
+    def test_worker_failure_names_the_workload(self, monkeypatch):
+        from repro.parallel.executor import ParallelExecutionError
+        from repro.parallel.worker import CRASH_ENV
+
+        monkeypatch.setenv(CRASH_ENV, "1")
+        spec = WorkloadSpec.parse("poisson2d:24x16:8x2")
+        with pytest.raises(ParallelExecutionError, match=spec.describe()):
+            MixScheduler(max_workers=2, engine="parallel").run(spec)

@@ -1,0 +1,101 @@
+"""Per-host stacking-budget calibration: probe, disk cache, overrides."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.parallel import calibrate
+from repro.stencil.compiled import STACKED_BYTES_LIMIT
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(calibrate.ENV_CACHE, str(tmp_path / "calibration.json"))
+    monkeypatch.delenv(calibrate.ENV_OVERRIDE, raising=False)
+    calibrate.forget_memo()
+    yield
+    calibrate.forget_memo()
+
+
+def _fake_probe(counter, best=12345):
+    def probe(dtype=np.float32, budgets=calibrate.DEFAULT_BUDGETS):
+        counter.append(np.dtype(dtype).str)
+        return {"best": best, "timings": {"0": 0.5, str(best): 0.1}}
+
+    return probe
+
+
+class TestCalibratedBytesLimit:
+    def test_probe_once_then_serve_from_disk(self, monkeypatch):
+        probes: list[str] = []
+        monkeypatch.setattr(calibrate, "run_probe", _fake_probe(probes))
+        assert calibrate.calibrated_bytes_limit() == 12345
+        assert probes == ["<f4"]
+        # a new process (memo dropped) reads the file, not the probe
+        calibrate.forget_memo()
+        assert calibrate.calibrated_bytes_limit() == 12345
+        assert probes == ["<f4"]
+        # and the in-process memo short-circuits even the file read
+        assert calibrate.calibrated_bytes_limit() == 12345
+        assert probes == ["<f4"]
+
+    def test_cache_file_shape(self, monkeypatch):
+        monkeypatch.setattr(calibrate, "run_probe", _fake_probe([]))
+        calibrate.calibrated_bytes_limit()
+        data = json.loads(calibrate.cache_path().read_text())
+        assert data["version"] == 1
+        entry = data["entries"][calibrate.host_key()]
+        assert entry["stacked_bytes_limit"] == 12345
+        assert "timings" in entry and "probed_at" in entry
+        assert calibrate.cached_entry() == entry
+
+    def test_dtype_gets_its_own_entry(self, monkeypatch):
+        probes: list[str] = []
+        monkeypatch.setattr(calibrate, "run_probe", _fake_probe(probes))
+        calibrate.calibrated_bytes_limit(np.float32)
+        calibrate.calibrated_bytes_limit(np.float64)
+        assert probes == ["<f4", "<f8"]
+        assert calibrate.host_key(np.float32) != calibrate.host_key(np.float64)
+
+    def test_force_reprobes_despite_cache(self, monkeypatch):
+        probes: list[str] = []
+        monkeypatch.setattr(calibrate, "run_probe", _fake_probe(probes))
+        calibrate.calibrated_bytes_limit()
+        calibrate.calibrated_bytes_limit(force=True)
+        assert probes == ["<f4", "<f4"]
+
+    def test_env_override_wins_without_probing(self, monkeypatch):
+        def exploding_probe(*a, **k):  # pragma: no cover - must not run
+            raise AssertionError("probe ran despite override")
+
+        monkeypatch.setattr(calibrate, "run_probe", exploding_probe)
+        monkeypatch.setenv(calibrate.ENV_OVERRIDE, "65536")
+        assert calibrate.calibrated_bytes_limit() == 65536
+
+    def test_probe_failure_falls_back_to_static_default(self, monkeypatch):
+        def broken_probe(*a, **k):
+            raise RuntimeError("no clock on this host")
+
+        monkeypatch.setattr(calibrate, "run_probe", broken_probe)
+        assert calibrate.calibrated_bytes_limit() == STACKED_BYTES_LIMIT
+
+    def test_corrupt_cache_is_ignored(self, monkeypatch):
+        path = calibrate.cache_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("not json {")
+        probes: list[str] = []
+        monkeypatch.setattr(calibrate, "run_probe", _fake_probe(probes))
+        assert calibrate.calibrated_bytes_limit() == 12345
+        assert probes == ["<f4"]  # probed, then rewrote the file cleanly
+        assert json.loads(path.read_text())["version"] == 1
+
+
+class TestRealProbe:
+    def test_probe_returns_a_sane_ladder(self):
+        probe = calibrate.run_probe(budgets=(0, 1 << 20))
+        assert set(probe["timings"]) == {"0", str(1 << 20)}
+        assert probe["best"] in (0, 1 << 20)
+        assert all(t > 0 for t in probe["timings"].values())

@@ -1,0 +1,322 @@
+"""The parallel engine: bit-identity, degenerate paths, failure handling.
+
+The contract: ``run_program_parallel`` produces per-mesh results
+bit-identical (``np.array_equal``, no tolerance) to the serial chunked
+``run_program_stacked`` — and therefore to the golden interpreter — on
+every registered application and on random programs, for both worker
+backends, with identical chunk-schedule accounting; worker failures
+surface as :class:`ParallelExecutionError` and never poison the shared
+pool for later dispatches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.registry import all_apps
+from repro.mesh.mesh import Field, MeshSpec
+from repro.parallel.executor import (
+    ParallelExecutionError,
+    plan_token_for,
+    run_program_parallel,
+    submit_stacked,
+)
+from repro.parallel.pool import WorkerPool, shutdown_shared_pools
+from repro.parallel.worker import CRASH_ENV, bind_instance, instance_cache_size
+from repro.stencil.builders import jacobi2d_5pt
+from repro.stencil.compiled import CompiledPlanCache, run_program_stacked
+from repro.stencil.numpy_eval import run_program
+from repro.stencil.program import single_kernel_program
+from repro.util.errors import ValidationError
+
+#: small-but-representative functional meshes per registered app
+APP_MESHES = {
+    "poisson2d": (20, 16),
+    "jacobi3d": (14, 12, 8),
+    "rtm": (12, 12, 10),
+}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _drain_pools():
+    yield
+    shutdown_shared_pools()
+
+
+def _assert_env_equal(gold, got):
+    assert set(gold) == set(got)
+    for name in gold:
+        assert np.array_equal(gold[name].data, got[name].data), name
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("app_key", ["poisson2d", "jacobi3d", "rtm"])
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_apps_match_serial_and_interpreter(self, app_key, backend):
+        app = all_apps()[app_key]
+        shape = APP_MESHES[app_key]
+        program = app.program_on(shape)
+        envs = [app.fields(shape, seed=60 + s) for s in range(5)]
+        niter = 4
+        cache = CompiledPlanCache()
+        limit = cache.plan_for(program, envs[0]).nbytes * 2  # chunks of 2+2+1
+        stats: dict = {}
+        parallel = run_program_parallel(
+            program, envs, niter, cache=cache, max_stack_bytes=limit,
+            stats=stats, max_workers=2, backend=backend,
+        )
+        assert stats["backend"] == backend
+        assert stats["workers"] == 2
+        serial_stats: dict = {}
+        serial = run_program_stacked(
+            program, envs, niter, cache=cache, max_stack_bytes=limit,
+            stats=serial_stats,
+        )
+        # identical chunk schedule, identical accounting
+        assert stats["chunks"] == serial_stats["chunks"] == [2, 2, 1]
+        assert stats["dispatches"] == serial_stats["dispatches"]
+        for env, par, ser in zip(envs, parallel, serial):
+            _assert_env_equal(ser, par)
+            gold = run_program(program, env, niter, engine="interpreter")
+            _assert_env_equal(gold, par)
+
+    def test_single_mesh_batch(self):
+        app = all_apps()["poisson2d"]
+        shape = APP_MESHES["poisson2d"]
+        program = app.program_on(shape)
+        env = app.fields(shape, seed=3)
+        got = run_program_parallel(
+            program, [env], 3, max_workers=2, backend="thread"
+        )
+        gold = run_program(program, env, 3, engine="interpreter")
+        _assert_env_equal(gold, got[0])
+
+
+class TestDegeneratePaths:
+    def test_niter_zero_returns_inputs_without_dispatch(self):
+        app = all_apps()["jacobi3d"]
+        shape = APP_MESHES["jacobi3d"]
+        program = app.program_on(shape)
+        envs = [app.fields(shape, seed=s) for s in range(3)]
+        stats: dict = {}
+        got = run_program_parallel(
+            program, envs, 0, stats=stats, max_workers=2
+        )
+        assert stats == {
+            "chunks": [], "dispatches": 0, "stacked_meshes": 0,
+            "backend": "serial", "workers": 1,
+        }
+        for env, res in zip(envs, got):
+            assert set(res) == set(env)
+            for name in env:
+                assert np.array_equal(res[name].data, env[name].data)
+
+    def test_negative_niter_and_empty_batch_raise(self):
+        app = all_apps()["jacobi3d"]
+        shape = APP_MESHES["jacobi3d"]
+        program = app.program_on(shape)
+        env = app.fields(shape, seed=0)
+        with pytest.raises(ValidationError):
+            run_program_parallel(program, [env], -1)
+        with pytest.raises(ValidationError):
+            run_program_parallel(program, [], 2)
+
+    def test_mixed_dtype_falls_back_to_interpreter(self):
+        app = all_apps()["rtm"]
+        shape = APP_MESHES["rtm"]
+        program = app.program_on(shape)
+        envs = []
+        for s in range(3):
+            env = dict(app.fields(shape, seed=s))
+            # retype one constant field: the binding no longer shares one
+            # dtype, which the serial engine hands to the interpreter
+            name = next(n for n in env if n != "U")
+            f = env[name]
+            spec64 = MeshSpec(f.spec.shape, f.spec.components, np.float64)
+            env[name] = Field(name, spec64, f.data.astype(np.float64))
+            envs.append(env)
+        stats: dict = {}
+        got = run_program_parallel(
+            program, envs, 2, stats=stats, max_workers=2, backend="thread"
+        )
+        assert stats["backend"] == "serial"
+        assert stats["dispatches"] == len(envs)
+        for env, res in zip(envs, got):
+            gold = run_program(program, env, 2, engine="interpreter")
+            _assert_env_equal(gold, res)
+
+    def test_single_worker_degrades_to_serial_in_process(self):
+        app = all_apps()["poisson2d"]
+        shape = APP_MESHES["poisson2d"]
+        program = app.program_on(shape)
+        envs = [app.fields(shape, seed=s) for s in range(4)]
+        stats: dict = {}
+        got = run_program_parallel(
+            program, envs, 3, stats=stats, max_workers=1
+        )
+        assert stats["backend"] == "serial"
+        assert stats["workers"] == 1
+        serial = run_program_stacked(program, envs, 3)
+        for par, ser in zip(got, serial):
+            _assert_env_equal(ser, par)
+
+    def test_auto_backend_picks_threads_for_tiny_chunks(self):
+        app = all_apps()["poisson2d"]
+        shape = APP_MESHES["poisson2d"]
+        program = app.program_on(shape)
+        envs = [app.fields(shape, seed=s) for s in range(3)]
+        stats: dict = {}
+        run_program_parallel(program, envs, 2, stats=stats, max_workers=2)
+        # ~5 KB per mesh is far below PROCESS_BACKEND_MIN_BYTES
+        assert stats["backend"] == "thread"
+
+
+class TestFailureHandling:
+    def test_thread_worker_exception_names_the_chunk(self, monkeypatch):
+        app = all_apps()["poisson2d"]
+        shape = APP_MESHES["poisson2d"]
+        program = app.program_on(shape)
+        envs = [app.fields(shape, seed=s) for s in range(4)]
+        monkeypatch.setenv(CRASH_ENV, "1")
+        with pytest.raises(ParallelExecutionError, match=r"chunk 1/"):
+            run_program_parallel(
+                program, envs, 2, max_workers=2, backend="thread"
+            )
+        monkeypatch.delenv(CRASH_ENV)
+        # the same shared pool serves later dispatches untouched
+        got = run_program_parallel(
+            program, envs, 2, max_workers=2, backend="thread"
+        )
+        gold = run_program(program, envs[0], 2, engine="interpreter")
+        _assert_env_equal(gold, got[0])
+
+    def test_process_worker_death_surfaces_and_pool_recovers(self, monkeypatch):
+        app = all_apps()["jacobi3d"]
+        shape = APP_MESHES["jacobi3d"]
+        program = app.program_on(shape)
+        envs = [app.fields(shape, seed=s) for s in range(4)]
+        # a dedicated pool: the crash breaks the process executor and the
+        # recovery path must replace it on the next submit
+        with WorkerPool(max_workers=2, backend="process") as pool:
+            monkeypatch.setenv(CRASH_ENV, "1")
+            with pytest.raises(ParallelExecutionError):
+                run_program_parallel(
+                    program, envs, 2, max_workers=2, backend="process",
+                    pool=pool,
+                )
+            monkeypatch.delenv(CRASH_ENV)
+            got = run_program_parallel(
+                program, envs, 2, max_workers=2, backend="process", pool=pool
+            )
+            serial = run_program_stacked(program, envs, 2)
+            for par, ser in zip(got, serial):
+                _assert_env_equal(ser, par)
+
+
+class TestPlanTokens:
+    def test_equal_bindings_share_a_token(self):
+        app = all_apps()["jacobi3d"]
+        shape = APP_MESHES["jacobi3d"]
+        env = app.fields(shape, seed=0)
+        a = plan_token_for(app.program_on(shape), env)
+        b = plan_token_for(app.program_on(shape), env)
+        assert a == b
+
+    def test_distinct_bindings_get_distinct_tokens(self):
+        app = all_apps()["jacobi3d"]
+        base = plan_token_for(
+            app.program_on((14, 12, 8)), app.fields((14, 12, 8), seed=0)
+        )
+        other_shape = plan_token_for(
+            app.program_on((12, 10, 8)), app.fields((12, 10, 8), seed=0)
+        )
+        other_coeffs = plan_token_for(
+            app.program_on((14, 12, 8)),
+            app.fields((14, 12, 8), seed=0),
+            {"k1": 0.5},
+        )
+        assert len({base, other_shape, other_coeffs}) == 3
+
+    def test_worker_instance_cache_reuses_bound_plans(self):
+        app = all_apps()["poisson2d"]
+        shape = APP_MESHES["poisson2d"]
+        program = app.program_on(shape)
+        env = app.fields(shape, seed=0)
+        cache = CompiledPlanCache()
+        plan = cache.plan_for(program, env)
+        before = instance_cache_size()
+        first = bind_instance("tok-a", plan, 2)
+        again = bind_instance("tok-a", plan, 2)
+        other = bind_instance("tok-a", plan, 3)
+        assert first is again
+        assert first is not other
+        assert instance_cache_size() == before + 2
+
+
+class TestPendingBatches:
+    def test_groups_overlap_and_collect_in_order(self):
+        apps = all_apps()
+        cache = CompiledPlanCache()
+        pending = []
+        for app_key in ("poisson2d", "jacobi3d"):
+            app = apps[app_key]
+            shape = APP_MESHES[app_key]
+            program = app.program_on(shape)
+            envs = [app.fields(shape, seed=s) for s in range(3)]
+            pending.append(
+                (program, envs,
+                 submit_stacked(program, envs, 3, cache=cache,
+                                max_workers=2, backend="thread"))
+            )
+        for program, envs, batch in pending:
+            results = batch.result()
+            assert results is batch.result()  # idempotent
+            for env, res in zip(envs, results):
+                gold = run_program(program, env, 3, engine="interpreter")
+                _assert_env_equal(gold, res)
+
+    def test_close_abandons_cleanly(self):
+        app = all_apps()["jacobi3d"]
+        shape = APP_MESHES["jacobi3d"]
+        program = app.program_on(shape)
+        envs = [app.fields(shape, seed=s) for s in range(4)]
+        batch = submit_stacked(
+            program, envs, 3, max_workers=2, backend="process",
+            max_stack_bytes=0,  # per-mesh chunks: several segments in flight
+        )
+        batch.close()
+        assert batch.result() == []
+
+
+class TestPropertyParallelEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        mesh_shape=st.tuples(
+            st.integers(min_value=9, max_value=13),
+            st.integers(min_value=7, max_value=11),
+        ),
+        batch=st.integers(min_value=1, max_value=5),
+        niter=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=3),
+        backend=st.sampled_from(["thread", "process"]),
+    )
+    def test_random_workloads_bit_identical(
+        self, mesh_shape, batch, niter, seed, backend
+    ):
+        mesh = MeshSpec(mesh_shape)
+        program = single_kernel_program("par_prop", mesh, jacobi2d_5pt())
+        envs = [
+            {"U": Field.random("U", mesh, seed=seed + b, lo=-1.0, hi=1.0)}
+            for b in range(batch)
+        ]
+        cache = CompiledPlanCache()
+        limit = cache.plan_for(program, envs[0]).nbytes  # per-mesh-ish chunks
+        got = run_program_parallel(
+            program, envs, niter, cache=cache, max_stack_bytes=limit,
+            max_workers=2, backend=backend,
+        )
+        for env, res in zip(envs, got):
+            gold = run_program(program, env, niter, engine="interpreter")
+            _assert_env_equal(gold, res)

@@ -1,0 +1,149 @@
+"""Worker pools and shared-memory stacks: the parallel engine's plumbing."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel.pool import (
+    BACKENDS,
+    WorkerPool,
+    check_backend,
+    default_workers,
+    shared_pool,
+    shutdown_shared_pools,
+)
+from repro.parallel.shm import SharedStack
+from repro.util.errors import ValidationError
+
+
+def _square(x):
+    return x * x
+
+
+def _die():  # pragma: no cover - runs in a sacrificial worker process
+    os._exit(13)
+
+
+class TestWorkerPool:
+    def test_backend_validation(self):
+        assert check_backend("process") == "process"
+        assert check_backend("thread") == "thread"
+        with pytest.raises(ValidationError):
+            check_backend("fiber")
+        with pytest.raises(ValidationError):
+            WorkerPool(backend="fiber")
+
+    def test_max_workers_validation(self):
+        with pytest.raises(ValidationError):
+            WorkerPool(max_workers=0)
+        assert WorkerPool(max_workers=3).max_workers == 3
+        assert WorkerPool().max_workers == default_workers()
+        assert default_workers() >= 1
+
+    def test_lazy_start_submit_and_shutdown(self):
+        with WorkerPool(max_workers=2, backend="thread") as pool:
+            assert not pool.started
+            assert pool.submit(_square, 7).result() == 49
+            assert pool.started
+        assert not pool.started  # context exit shut it down
+        # pools restart lazily after shutdown
+        assert pool.submit(_square, 3).result() == 9
+        pool.shutdown()
+
+    def test_process_backend_crosses_the_boundary(self):
+        with WorkerPool(max_workers=2, backend="process") as pool:
+            futures = [pool.submit(_square, n) for n in range(5)]
+            assert [f.result() for f in futures] == [0, 1, 4, 9, 16]
+
+    def test_broken_process_pool_recovers_on_next_submit(self):
+        with WorkerPool(max_workers=1, backend="process") as pool:
+            with pytest.raises(BaseException):
+                pool.submit(_die).result()
+            # the executor is now broken; the pool must replace it
+            assert pool.submit(_square, 6).result() == 36
+
+    def test_shared_pools_are_singletons_per_key(self):
+        try:
+            a = shared_pool("thread", 2)
+            b = shared_pool("thread", 2)
+            c = shared_pool("thread", 3)
+            assert a is b
+            assert a is not c
+            assert c.max_workers == 3
+        finally:
+            shutdown_shared_pools()
+        # a fresh singleton appears after a global shutdown
+        try:
+            assert shared_pool("thread", 2) is not a
+        finally:
+            shutdown_shared_pools()
+
+    def test_shared_pool_validates_backend(self):
+        with pytest.raises(ValidationError):
+            shared_pool("fiber")
+
+
+class TestSharedStack:
+    LAYOUT = {
+        "i:U": ((3, 6, 5), np.dtype(np.float32)),
+        "o:U": ((3, 6, 5), np.dtype(np.float32)),
+        "small": ((2,), np.dtype(np.float64)),
+    }
+
+    def test_roundtrip_through_handle(self):
+        with SharedStack.allocate(self.LAYOUT) as stack:
+            stack.array("i:U")[:] = 2.5
+            stack.array("small")[:] = [1.0, -1.0]
+            peer = SharedStack.attach(stack.handle)
+            try:
+                assert np.all(peer.array("i:U") == 2.5)
+                # writes travel the other way too: same pages
+                peer.array("o:U")[:] = 7.0
+                assert np.all(stack.array("o:U") == 7.0)
+                assert peer.names() == stack.names() == ("i:U", "o:U", "small")
+            finally:
+                peer.close()
+
+    def test_alignment_and_sizing(self):
+        with SharedStack.allocate(self.LAYOUT) as stack:
+            offsets = [off for _, _, _, off in stack.handle[1]]
+            assert all(off % 64 == 0 for off in offsets)
+            payload = sum(
+                int(np.prod(shape)) * dtype.itemsize
+                for shape, dtype in self.LAYOUT.values()
+            )
+            assert stack.nbytes >= payload
+
+    def test_unknown_array_and_empty_layout(self):
+        with pytest.raises(ValidationError):
+            SharedStack.allocate({})
+        with SharedStack.allocate(self.LAYOUT) as stack:
+            with pytest.raises(ValidationError, match="no array"):
+                stack.array("missing")
+
+    def test_lifecycle_is_idempotent(self):
+        stack = SharedStack.allocate(self.LAYOUT)
+        name = stack.handle[0]
+        stack.close()
+        stack.close()  # second close is a no-op
+        stack.unlink()
+        stack.unlink()  # second unlink is a no-op
+        # the segment is gone: attaching must fail
+        with pytest.raises(FileNotFoundError):
+            SharedStack.attach((name, stack.handle[1]))
+
+    def test_non_owner_exit_does_not_unlink(self):
+        owner = SharedStack.allocate(self.LAYOUT)
+        try:
+            owner.array("small")[:] = 3.0
+            with SharedStack.attach(owner.handle) as peer:
+                assert np.all(peer.array("small") == 3.0)
+            # the peer's context exit closed but did not destroy the segment
+            again = SharedStack.attach(owner.handle)
+            assert np.all(again.array("small") == 3.0)
+            again.close()
+        finally:
+            owner.unlink()

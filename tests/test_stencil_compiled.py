@@ -794,6 +794,50 @@ class TestCompiledPlanCache:
         result = kept.run(app.fields((20, 16), seed=0), 2)
         assert "U" in result
 
+    def test_concurrent_access_is_race_free(self):
+        """Hammering one cache from many threads must never duplicate or
+        corrupt entries — the parallel engine shares DEFAULT_CACHE across
+        submitting threads, so a racing compile must keep one incumbent."""
+        import threading
+
+        cache = CompiledPlanCache()
+        app = poisson2d_app((20, 16))
+        fields_by_shape = {
+            shape: app.fields(shape, seed=0)
+            for shape in ((20, 16), (24, 18), (18, 14))
+        }
+        results: dict[tuple, list] = {shape: [] for shape in fields_by_shape}
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(6)
+
+        def worker(shape):
+            try:
+                barrier.wait()
+                program = app.program_on(shape)
+                for _ in range(10):
+                    compiled = cache.get(program, fields_by_shape[shape])
+                    plan = cache.plan_for(program, fields_by_shape[shape])
+                    assert compiled.plan is plan
+                    results[shape].append(compiled)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(shape,))
+            for shape in fields_by_shape for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for shape, seen in results.items():
+            # every lookup of one binding resolved to one shared instance
+            assert len({id(c) for c in seen}) == 1
+        assert len(cache) == len(fields_by_shape)
+        assert cache.hits + cache.misses == 60
+        assert cache.misses >= len(fields_by_shape)
+
     def test_tiled_blocks_reuse_plans_across_passes(self):
         from repro.stencil.compiled import CompiledPlanCache as Cache
 
