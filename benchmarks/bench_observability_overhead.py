@@ -1,0 +1,150 @@
+"""Bench: observability overhead — instrumented vs disabled steady loop.
+
+The observability contract is that the default (disabled) state costs one
+module-attribute read per instrumented call site and *nothing* on the
+zero-alloc steady loop, and that the fully enabled state (registry +
+ring-buffer event log + tracer, no file sink) stays within noise of the
+disabled run on a realistic chunked stacked workload. This bench times
+the same Jacobi-3D chunked stacked loop three ways:
+
+* ``disabled`` — observability off (the default every other bench runs in);
+* ``enabled`` — metrics + events + spans recording into memory;
+* ``steady`` — the raw ``CompiledProgram.run_iterations`` loop on a warm
+  instance, timed disabled and enabled, where the deltas must be pure
+  noise because that loop carries no instrumentation at all.
+
+Results are appended to ``BENCH_observability.json`` at the repo root.
+The headline contract — enabled <= 1.03x disabled on the chunked stacked
+loop — is recorded unconditionally but only *asserted* under
+``BENCH_ASSERT_SPEEDUP=1``: shared CI runners are too noisy to hard-fail
+unrelated PRs on a 3% wall-clock band.
+"""
+
+from __future__ import annotations
+
+import os
+import timeit
+
+import pytest
+
+import _trajectory
+from repro import observability
+from repro.apps.jacobi3d import jacobi3d_app
+from repro.stencil.compiled import CompiledPlanCache, run_program_stacked
+
+#: collected (workload -> metrics) rows, flushed to the trajectory file
+_RESULTS: dict[str, dict] = {}
+
+#: timing repeats (best-of); the workloads are deterministic
+_REPEATS = 9
+
+#: opt-in hard assertion of the overhead band (off on shared CI runners)
+_ASSERT_SPEEDUP = os.environ.get("BENCH_ASSERT_SPEEDUP") == "1"
+
+#: the enabled run must stay within this factor of the disabled run
+_MAX_OVERHEAD = 1.03
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_trajectory():
+    yield
+    observability.disable()  # never leak an enabled state into other benches
+    if _RESULTS:
+        _trajectory.append_record("observability", dict(_RESULTS))
+
+
+def _time_best(fn) -> float:
+    fn()  # warm plan caches so compilation stays out of the timed region
+    return min(timeit.repeat(fn, number=1, repeat=_REPEATS))
+
+
+def test_observability_overhead_stacked(benchmark):
+    """Chunked stacked dispatch: enabled within 3% of disabled.
+
+    The mesh is sized so each chunk carries real tape work (~milliseconds):
+    the per-dispatch instrumentation cost is constant, so the band is a
+    statement about realistic chunks, not about dispatch-dominated toys.
+    """
+    shape = (32, 32, 24)
+    app = jacobi3d_app(shape)
+    program = app.program_on(shape)
+    envs = [app.fields(shape, seed=11 + s) for s in range(8)]
+    cache = CompiledPlanCache()
+    plan = cache.plan_for(program, envs[0])
+    limit = plan.nbytes * 2  # force a multi-chunk schedule
+
+    def loop():
+        return run_program_stacked(
+            program, envs, 48, cache=cache, max_stack_bytes=limit
+        )
+
+    def run() -> None:
+        observability.disable()
+        t_disabled = _time_best(loop)
+        observability.enable()  # ring sink + registry + tracer, no file
+        try:
+            t_enabled = _time_best(loop)
+        finally:
+            observability.disable()
+        overhead = t_enabled / t_disabled
+        _RESULTS["stacked_loop"] = {
+            "mesh": list(shape),
+            "niter": 48,
+            "batch": len(envs),
+            "disabled_s": t_disabled,
+            "enabled_s": t_enabled,
+            "overhead": round(overhead, 4),
+        }
+        print(
+            f"\nstacked loop: disabled {t_disabled * 1e3:.2f} ms, enabled "
+            f"{t_enabled * 1e3:.2f} ms -> {overhead:.3f}x"
+        )
+        if _ASSERT_SPEEDUP:
+            assert overhead <= _MAX_OVERHEAD, (
+                f"instrumentation overhead {overhead:.3f}x exceeds "
+                f"{_MAX_OVERHEAD}x on the chunked stacked loop"
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_observability_overhead_steady(benchmark):
+    """The zero-alloc steady loop itself carries no instrumentation."""
+    shape = (12, 12, 10)
+    app = jacobi3d_app(shape)
+    program = app.program_on(shape)
+    env = app.fields(shape, seed=3)
+    cache = CompiledPlanCache()
+    compiled = cache.get(program, env)
+    compiled.load(env)
+
+    def loop():
+        compiled.run_iterations(16)
+
+    def run() -> None:
+        observability.disable()
+        t_disabled = _time_best(loop)
+        observability.enable()
+        try:
+            t_enabled = _time_best(loop)
+        finally:
+            observability.disable()
+        overhead = t_enabled / t_disabled
+        _RESULTS["steady_loop"] = {
+            "mesh": list(shape),
+            "niter": 16,
+            "disabled_s": t_disabled,
+            "enabled_s": t_enabled,
+            "overhead": round(overhead, 4),
+        }
+        print(
+            f"\nsteady loop: disabled {t_disabled * 1e3:.2f} ms, enabled "
+            f"{t_enabled * 1e3:.2f} ms -> {overhead:.3f}x"
+        )
+        if _ASSERT_SPEEDUP:
+            assert overhead <= _MAX_OVERHEAD, (
+                f"steady loop saw {overhead:.3f}x under instrumentation; "
+                f"it must not be instrumented at all"
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

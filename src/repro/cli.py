@@ -17,10 +17,14 @@ Commands
     against a whole workload mix instead of a single workload
     (``--validate-mix`` then replays the winner bit-identically against
     the golden interpreter).
-``mix MIX [--engine E] [--validate] [--calibrate]``
+``mix MIX [--engine E] [--validate] [--calibrate] [--trace FILE]``
     Run a workload mix through the chunked stacked engine (serial,
     parallel worker-pool, or golden interpreter) and report the dispatch
-    accounting per job group.
+    accounting and latency percentiles per job group. ``--trace FILE``
+    records the run's structured events and span tree as JSONL.
+``metrics MIX [--engine E] [--trace FILE]``
+    Run a mix fully instrumented and dump the Prometheus-style metrics
+    and the human-readable trace table.
 ``calibrate [--force]``
     Probe this host for the best stacked-dispatch byte budget and cache it.
 ``codegen APP [--out DIR] [--mesh MxN[xL]]``
@@ -30,7 +34,9 @@ Commands
 from __future__ import annotations
 
 import argparse
+import math
 import sys
+from contextlib import contextmanager
 from typing import Sequence
 
 from repro.apps.registry import all_apps, app_by_name
@@ -60,6 +66,27 @@ def _parse_batches(text: str | None) -> tuple[int, ...]:
     if not batches or any(b < 1 for b in batches):
         raise ReproError(f"batch sizes must be positive, got {text!r}")
     return batches
+
+
+@contextmanager
+def _traced_run(trace_path: str | None):
+    """Enable observability around a command body when ``--trace`` is set."""
+    if not trace_path:
+        yield
+        return
+    from repro import observability
+
+    observability.enable(trace_path=trace_path)
+    try:
+        yield
+    finally:
+        observability.disable()
+        print(f"event log: {trace_path}")
+
+
+def _ms(seconds: float) -> str:
+    """A latency cell: milliseconds, or ``-`` when no samples exist."""
+    return "-" if math.isnan(seconds) else f"{seconds * 1e3:.2f}"
 
 
 def _cmd_apps(_: argparse.Namespace) -> int:
@@ -224,6 +251,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 
 def _cmd_dse(args: argparse.Namespace) -> int:
+    with _traced_run(getattr(args, "trace", None)):
+        return _dse_body(args)
+
+
+def _dse_body(args: argparse.Namespace) -> int:
     from repro.dse import BANDWIDTH, POWER, RUNTIME, parse_objectives
     from repro.util.tables import TextTable
 
@@ -307,21 +339,49 @@ def _cmd_mix(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_workers=args.max_workers,
     )
-    run = scheduler.run(mix, validate=args.validate)
+    with _traced_run(getattr(args, "trace", None)):
+        run = scheduler.run(mix, validate=args.validate)
     table = TextTable(
-        ["group", "meshes", "niter", "dispatches", "chunks"],
+        ["group", "meshes", "niter", "dispatches", "chunks",
+         "p50 ms", "p95 ms", "p99 ms"],
         title=f"mix {mix.describe()} ({args.engine} engine)",
     )
     for group in run.groups:
         chunk_text = ",".join(str(c) for c in group.chunks) or "-"
+        lat = group.latency_percentiles()
         table.add_row(
             [group.spec.describe(), group.meshes, group.spec.niter,
-             group.dispatches, chunk_text]
+             group.dispatches, chunk_text,
+             _ms(lat["p50"]), _ms(lat["p95"]), _ms(lat["p99"])]
         )
-    table.add_row(["total", run.meshes, "", run.dispatches, ""])
+    table.add_row(["total", run.meshes, "", run.dispatches, "", "", "", ""])
     print(table.render())
     if run.validated:
         print("validated: every mesh bit-identical to the golden interpreter")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro import observability
+    from repro.dataflow.scheduler import MixScheduler
+    from repro.workload import WorkloadMix
+
+    mix = WorkloadMix.parse(args.workloads)
+    observability.enable(trace_path=getattr(args, "trace", None))
+    try:
+        scheduler = MixScheduler(
+            engine=args.engine,
+            seed=args.seed,
+            max_workers=args.max_workers,
+        )
+        scheduler.run(mix)
+    finally:
+        observability.disable()
+    print(observability.render_metrics(), end="")
+    print()
+    print(observability.render_trace(), end="")
+    if getattr(args, "trace", None):
+        print(f"event log: {args.trace}")
     return 0
 
 
@@ -464,6 +524,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-workers", type=int, default=None,
         help="worker-pool width for --engine parallel (default: one per core)",
     )
+    p_dse.add_argument(
+        "--trace",
+        help="record the study's structured events and span tree to this "
+        "JSONL file (enables instrumentation for the run)",
+    )
     p_dse.set_defaults(fn=_cmd_dse)
 
     p_mix = sub.add_parser(
@@ -498,7 +563,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-derive every mesh on the golden interpreter and compare bitwise",
     )
     p_mix.add_argument("--seed", type=int, default=0)
+    p_mix.add_argument(
+        "--trace",
+        help="record the run's structured events and span tree to this "
+        "JSONL file (enables instrumentation for the run)",
+    )
     p_mix.set_defaults(fn=_cmd_mix)
+
+    p_met = sub.add_parser(
+        "metrics",
+        help="run a mix fully instrumented and dump metrics + trace table",
+    )
+    p_met.add_argument(
+        "workloads",
+        help="comma-separated app:MESH:NITER[xBATCH][@WEIGHT] specs "
+        "(e.g. jacobi3d:24x24x16:50x8,rtm:16x16x12:20x4)",
+    )
+    p_met.add_argument(
+        "--engine",
+        default="compiled",
+        choices=("compiled", "parallel", "interpreter"),
+        help="execution engine to instrument",
+    )
+    p_met.add_argument(
+        "--max-workers", type=int, default=None,
+        help="worker-pool width for --engine parallel (default: one per core)",
+    )
+    p_met.add_argument("--seed", type=int, default=0)
+    p_met.add_argument(
+        "--trace",
+        help="also write the structured events and span tree to this JSONL file",
+    )
+    p_met.set_defaults(fn=_cmd_metrics)
 
     p_cal = sub.add_parser(
         "calibrate", help="measure this host's stacked-dispatch byte budget"

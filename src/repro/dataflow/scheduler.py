@@ -26,12 +26,15 @@ interpreter and raises on any mismatch.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field as dc_field
 from typing import Callable, Mapping
 
 import numpy as np
 
+from repro import observability as obs
 from repro.mesh.mesh import Field, MeshSpec
+from repro.observability.metrics import percentiles
 from repro.stencil.compiled import (
     CompiledPlanCache,
     check_engine,
@@ -47,6 +50,21 @@ FieldsFor = Callable[[WorkloadSpec, int], Mapping[str, Field]]
 ProgramFor = Callable[[WorkloadSpec], StencilProgram]
 
 
+def per_mesh_stats(meshes: int) -> dict:
+    """The dispatch accounting of a strictly per-mesh engine.
+
+    One dispatch per mesh, nothing stacked — the default the scheduler
+    assumes when an engine reports no accounting at all (the interpreter
+    reference path fills its ``chunk_seconds`` in as it runs).
+    """
+    return {
+        "chunks": [1] * meshes,
+        "dispatches": meshes,
+        "stacked_meshes": 0,
+        "chunk_seconds": [],
+    }
+
+
 @dataclass(frozen=True)
 class GroupRun:
     """Execution record of one job group of a mix."""
@@ -59,11 +77,22 @@ class GroupRun:
     dispatches: int
     #: stacked chunk sizes the dispatches used (``[1]*B`` on per-mesh paths)
     chunks: tuple[int, ...]
+    #: per-dispatch wall-clock seconds, in chunk order (empty when the
+    #: executing engine reported no timing)
+    chunk_seconds: tuple[float, ...] = ()
 
     @property
     def meshes(self) -> int:
         """Meshes solved in this group."""
         return len(self.results)
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 of this group's per-dispatch wall times (seconds).
+
+        Exact percentiles over the recorded :attr:`chunk_seconds` samples;
+        all-NaN when the engine reported no timing.
+        """
+        return percentiles(self.chunk_seconds)
 
 
 @dataclass(frozen=True)
@@ -90,6 +119,13 @@ class MixRunResult:
             if group.spec.job_key == spec.job_key:
                 return group
         raise ValidationError(f"no group in this run matches {spec}")
+
+    def latency_percentiles(self) -> dict[str, dict[str, float]]:
+        """Per-group p50/p95/p99 dispatch latency, keyed by group describe."""
+        return {
+            group.spec.describe(): group.latency_percentiles()
+            for group in self.groups
+        }
 
 
 @dataclass
@@ -177,30 +213,40 @@ class MixScheduler:
         """
         mix = as_mix(mix)
         specs = list(mix.job_groups().values())
-        if self.engine == "parallel":
-            return self._run_parallel(specs, validate)
-        groups = [self._run_group(spec, validate) for spec in specs]
-        return MixRunResult(tuple(groups), validated=validate)
+        with obs.span("mix.run", groups=len(specs), engine=self.engine):
+            if self.engine == "parallel":
+                return self._run_parallel(specs, validate)
+            groups = [self._run_group(spec, validate) for spec in specs]
+            return MixRunResult(tuple(groups), validated=validate)
 
     def _run_group(self, spec: WorkloadSpec, validate: bool) -> GroupRun:
         program = self._program(spec)
         envs = [self._fields(spec, i, program) for i in range(spec.batch)]
         stats: dict = {}
-        if self.engine == "compiled":
-            results = run_program_stacked(
-                program,
-                envs,
-                spec.niter,
-                self.coefficients,
-                cache=self.plan_cache,
-                max_stack_bytes=self.stacked_bytes_limit,
-                stats=stats,
-            )
-        else:
-            results = [
-                self._golden(program, env, spec.niter) for env in envs
-            ]
-            stats = {"chunks": [1] * len(envs), "dispatches": len(envs)}
+        with obs.span(
+            "mix.group",
+            spec=spec.describe(),
+            batch=spec.batch,
+            engine=self.engine,
+        ):
+            if self.engine == "compiled":
+                results = run_program_stacked(
+                    program,
+                    envs,
+                    spec.niter,
+                    self.coefficients,
+                    cache=self.plan_cache,
+                    max_stack_bytes=self.stacked_bytes_limit,
+                    stats=stats,
+                )
+            else:
+                stats = per_mesh_stats(len(envs))
+                seconds = stats["chunk_seconds"]
+                results = []
+                for env in envs:
+                    t0 = time.perf_counter()
+                    results.append(self._golden(program, env, spec.niter))
+                    seconds.append(time.perf_counter() - t0)
         if validate and self.engine != "interpreter":
             self._validate_group(spec, program, envs, results)
         return self._group_run(spec, envs, results, stats)
@@ -242,12 +288,20 @@ class MixScheduler:
                 pending.append((spec, program, envs, stats, batch))
             groups = []
             for spec, program, envs, stats, batch in pending:
-                try:
-                    results = batch.result()
-                except ParallelExecutionError as exc:
-                    raise ParallelExecutionError(
-                        f"workload {spec.describe()}: {exc}"
-                    ) from exc
+                with obs.span(
+                    "mix.group",
+                    spec=spec.describe(),
+                    batch=spec.batch,
+                    engine=self.engine,
+                ):
+                    try:
+                        results = batch.result()
+                    except ParallelExecutionError as exc:
+                        raise ParallelExecutionError(
+                            f"workload {spec.describe()}: {exc}",
+                            backend=exc.backend,
+                            elapsed=exc.elapsed,
+                        ) from exc
                 if validate:
                     self._validate_group(spec, program, envs, results)
                 groups.append(self._group_run(spec, envs, results, stats))
@@ -268,11 +322,18 @@ class MixScheduler:
 
     @staticmethod
     def _group_run(spec, envs, results, stats: dict) -> GroupRun:
+        # an engine that filled nothing in gets the per-mesh default once;
+        # a partially-filled dict is taken at face value — chunks are never
+        # fabricated to paper over missing accounting
+        if not stats:
+            stats = per_mesh_stats(len(envs))
+        chunks = tuple(stats.get("chunks", ()))
         return GroupRun(
             spec,
             tuple(results),
-            dispatches=int(stats.get("dispatches", len(envs))),
-            chunks=tuple(stats.get("chunks", [1] * len(envs))),
+            dispatches=int(stats.get("dispatches", len(chunks))),
+            chunks=chunks,
+            chunk_seconds=tuple(stats.get("chunk_seconds", ())),
         )
 
     def _golden(self, program: StencilProgram, env, niter: int):

@@ -36,6 +36,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field as dc_field
 from typing import Any, Mapping, Sequence
 
+from repro import observability as obs
 from repro.arch.clocking import DEFAULT_CLOCK_MODEL, ClockModel
 from repro.arch.device import FPGADevice
 from repro.dse.objectives import (
@@ -321,8 +322,19 @@ class Evaluator:
             cached = self._cache.get(key)
             if cached is not None:
                 self.cache_hits += 1
+                obs.inc("dse.eval_cache_hits")
                 return cached
-        result = self._evaluate_uncached(dict(config))
+        with obs.span("dse.trial", config=str(dict(config))):
+            result = self._evaluate_uncached(dict(config))
+        if obs.is_enabled():
+            obs.inc("dse.trials", feasible=result.feasible)
+            obs.emit(
+                "dse.trial",
+                config=dict(config),
+                feasible=result.feasible,
+                score=result.score if math.isfinite(result.score) else None,
+                reason=result.reason or None,
+            )
         with self._lock:
             if key in self._cache:  # a racing worker got there first
                 self.cache_hits += 1
@@ -447,7 +459,37 @@ class Evaluator:
             plan_cache, stacked_bytes_limit, seed, fields_for,
             engine=engine, max_workers=max_workers,
         )
-        return scheduler.run(self.mix.scaled(batch_factor), validate=True)
+        with obs.span(
+            "dse.validate_mix", batch_factor=batch_factor, engine=engine
+        ):
+            result = scheduler.run(self.mix.scaled(batch_factor), validate=True)
+        if obs.is_enabled():
+            # measured-vs-modeled residuals: what the chunked engine
+            # actually took per group against what the analytic model
+            # priced for the same workload on this design
+            boards = int(config.get("boards", 1))
+            for binding in self._entries:
+                workload = binding.spec.with_batch(
+                    binding.spec.batch * batch_factor
+                )
+                try:
+                    _, modeled = self._score_workload(
+                        binding.program, workload, design, boards,
+                        binding.traffic,
+                    )
+                    group = result.group_for(binding.spec)
+                except (InfeasibleDesignError, ValidationError):
+                    continue
+                measured = float(sum(group.chunk_seconds))
+                obs.observe("dse.residual_seconds", abs(measured - modeled))
+                obs.emit(
+                    "dse.residual",
+                    spec=binding.spec.describe(),
+                    measured_seconds=measured,
+                    modeled_seconds=modeled,
+                    residual_seconds=measured - modeled,
+                )
+        return result
 
     # -- internals ----------------------------------------------------------------
     def _score_workload(

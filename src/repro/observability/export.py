@@ -1,0 +1,128 @@
+"""Render observability state for humans and scrapers.
+
+Two renderers:
+
+* :func:`render_prometheus` — a Prometheus-style text dump of a
+  :class:`~repro.observability.metrics.MetricsRegistry`: counters and
+  gauges as single samples, histograms as ``_bucket``/``_sum``/``_count``
+  series plus p50/p95/p99 summary gauges (estimated from the buckets).
+* :func:`render_trace_table` — the span forest of a
+  :class:`~repro.observability.tracing.Tracer` as an indented
+  human-readable table with per-span durations and attributes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.tracing import Tracer
+
+#: metric-name prefix in the Prometheus dump
+_PREFIX = "repro_"
+
+
+def _prom_name(name: str) -> str:
+    out = [
+        ch if ch.isalnum() or ch == "_" else "_"
+        for ch in name
+    ]
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return _PREFIX + text
+
+
+def _prom_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:.9g}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus exposition-format text."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for name, labels, metric in registry.items():
+        pname = _prom_name(name)
+        if isinstance(metric, Counter):
+            if pname not in seen_types:
+                lines.append(f"# TYPE {pname} counter")
+                seen_types.add(pname)
+            lines.append(f"{pname}{_prom_labels(labels)} {_fmt(metric.value)}")
+        elif isinstance(metric, Gauge):
+            if pname not in seen_types:
+                lines.append(f"# TYPE {pname} gauge")
+                seen_types.add(pname)
+            lines.append(f"{pname}{_prom_labels(labels)} {_fmt(metric.value)}")
+        elif isinstance(metric, Histogram):
+            if pname not in seen_types:
+                lines.append(f"# TYPE {pname} histogram")
+                seen_types.add(pname)
+            cum = 0
+            for bound, count in zip(metric.bounds, metric.counts):
+                cum += count
+                le = 'le="%s"' % _fmt(bound)
+                lines.append(
+                    f"{pname}_bucket{_prom_labels(labels, le)} {cum}"
+                )
+            le_inf = 'le="+Inf"'
+            lines.append(
+                f"{pname}_bucket{_prom_labels(labels, le_inf)} {metric.count}"
+            )
+            lines.append(f"{pname}_sum{_prom_labels(labels)} {_fmt(metric.total)}")
+            lines.append(f"{pname}_count{_prom_labels(labels)} {metric.count}")
+            for q in (50, 95, 99):
+                lines.append(
+                    f"{pname}_p{q}{_prom_labels(labels)} "
+                    f"{_fmt(metric.percentile(q))}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _span_attrs(attrs: dict[str, Any]) -> str:
+    return " ".join(f"{k}={v}" for k, v in attrs.items())
+
+
+def render_trace_table(tracer: Tracer, unit: str = "ms") -> str:
+    """The tracer's span forest as an indented duration table."""
+    scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[unit]
+    rows: list[tuple[str, str, str]] = []
+
+    def walk(node: tuple, depth: int) -> None:
+        record, children = node
+        rows.append(
+            (
+                "  " * depth + record.name,
+                f"{record.duration * scale:.3f}",
+                _span_attrs(record.attrs),
+            )
+        )
+        for child in children:
+            walk(child, depth + 1)
+
+    for root in tracer.tree():
+        walk(root, 0)
+    if not rows:
+        return "(no spans recorded)\n"
+    name_w = max(len(r[0]) for r in rows + [("span", "", "")])
+    dur_w = max(len(r[1]) for r in rows + [("", unit, "")])
+    out = [f"{'span':<{name_w}}  {unit:>{dur_w}}  attrs"]
+    for name, dur, attrs in rows:
+        out.append(f"{name:<{name_w}}  {dur:>{dur_w}}  {attrs}".rstrip())
+    return "\n".join(out) + "\n"

@@ -1,0 +1,274 @@
+"""Process-local metrics: counters, gauges and fixed-bucket histograms.
+
+The :class:`MetricsRegistry` is the numeric half of the observability
+layer (:mod:`repro.observability`): execution paths increment counters
+("how many stacked dispatches"), set gauges ("current pool width") and
+observe histograms ("chunk wall-clock seconds") against one shared
+registry, which :mod:`repro.observability.export` can render as a
+Prometheus-style text dump.
+
+Design constraints, in order:
+
+1. **Cheap when off.** The hot paths guard every call behind the facade's
+   single ``is_enabled()`` flag check, so the disabled default adds one
+   attribute read per *call site*, never per tape op — the zero-alloc
+   steady loop (:meth:`repro.stencil.compiled.CompiledProgram.run_iterations`)
+   is not instrumented at all.
+2. **Cheap when on.** Instruments are resolved once per ``(name, labels)``
+   and then mutate plain Python numbers; a histogram observation is one
+   bisect plus a handful of attribute updates under a lock shared with no
+   other instrument.
+3. **Fixed buckets.** Histograms never store raw samples: percentile
+   summaries (p50/p95/p99) are estimated from the bucket counts by linear
+   interpolation, so memory stays constant however many chunks a mix
+   dispatches. Exact percentiles over *small* sample lists (per-group
+   chunk latencies) use :func:`percentiles` instead.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Iterator, Mapping, Sequence
+
+from repro.util.errors import ValidationError
+
+#: default histogram bucket upper bounds, in seconds: an exponential
+#: latency ladder from 10 us to 10 s (an implicit +inf bucket catches the
+#: rest). Wide enough for everything from a thread-chunk dispatch to a
+#: whole mix run.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+#: labels are carried as a canonical sorted tuple of (key, value) pairs
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_items(labels: Mapping[str, object]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def percentiles(
+    values: Sequence[float], qs: Sequence[float] = (50, 95, 99)
+) -> dict[str, float]:
+    """Exact percentiles of a small sample, by linear interpolation.
+
+    Returns ``{"p50": ..., "p95": ..., "p99": ...}`` (NaN for an empty
+    sample). This is the companion to :meth:`Histogram.percentile` for
+    call sites that *do* hold the raw samples — e.g. a job group's
+    per-chunk latencies, a few dozen floats at most.
+    """
+    out: dict[str, float] = {}
+    data = sorted(values)
+    for q in qs:
+        key = f"p{q:g}"
+        if not data:
+            out[key] = math.nan
+            continue
+        rank = (q / 100.0) * (len(data) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(data) - 1)
+        frac = rank - lo
+        out[key] = data[lo] + (data[hi] - data[lo]) * frac
+    return out
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValidationError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (pool width, cache residency)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with estimated percentile summaries.
+
+    ``bounds`` are the inclusive upper bounds of the finite buckets; an
+    implicit +inf bucket catches overflow. Observations update the bucket
+    counts plus running count/sum/min/max — no samples are retained, so
+    the footprint is constant and the percentile summaries are estimates
+    (linear interpolation inside the winning bucket, clamped to the
+    observed min/max so a single-sample histogram reports that sample).
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        ordered = tuple(float(b) for b in bounds)
+        if not ordered or any(
+            b2 <= b1 for b1, b2 in zip(ordered, ordered[1:])
+        ):
+            raise ValidationError(
+                f"histogram bounds must be strictly increasing, got {bounds}"
+            )
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (NaN when empty).
+
+        Walks the cumulative bucket counts to the bucket containing the
+        target rank, then interpolates linearly between the bucket's
+        bounds; the extreme buckets use the observed min/max as their
+        missing edge so estimates never leave the observed range.
+        """
+        if not 0 <= q <= 100:
+            raise ValidationError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if self.count == 0:
+                return math.nan
+            target = (q / 100.0) * self.count
+            cum = 0
+            for idx, bucket_count in enumerate(self.counts):
+                cum += bucket_count
+                if cum >= target and bucket_count:
+                    lo = self.bounds[idx - 1] if idx > 0 else self.min
+                    hi = self.bounds[idx] if idx < len(self.bounds) else self.max
+                    lo = max(lo, self.min)
+                    hi = min(hi, self.max)
+                    frac = (target - (cum - bucket_count)) / bucket_count
+                    return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+            return self.max
+
+    def summary(self) -> dict[str, float]:
+        """The standard latency summary: count, mean, p50/p95/p99, max."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max if self.count else math.nan,
+        }
+
+
+class MetricsRegistry:
+    """Process-local registry of named, labelled instruments.
+
+    Instruments are created on first use and shared thereafter; a name
+    must keep one instrument kind (asking for a counter named like an
+    existing histogram is a programming error and raises). Thread-safe:
+    creation is serialized, mutation relies on each instrument's own
+    discipline (counters/gauges are single attribute updates, histograms
+    lock internally).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelItems], object] = {}
+        self._kinds: dict[str, type] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, kind: type, name: str, labels: Mapping[str, object], **kwargs):
+        key = (name, _label_items(labels))
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if not isinstance(metric, kind):
+                raise ValidationError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return metric
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                registered = self._kinds.setdefault(name, kind)
+                if registered is not kind:
+                    raise ValidationError(
+                        f"metric {name!r} is a {registered.__name__}, "
+                        f"not a {kind.__name__}"
+                    )
+                metric = self._metrics[key] = kind(**kwargs)
+        if not isinstance(metric, kind):
+            raise ValidationError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] | None = None,
+        **labels: object,
+    ) -> Histogram:
+        kwargs = {"bounds": tuple(buckets)} if buckets is not None else {}
+        return self._get(Histogram, name, labels, **kwargs)
+
+    def items(self) -> Iterator[tuple[str, LabelItems, object]]:
+        """Snapshot of ``(name, labels, instrument)``, sorted by name."""
+        with self._lock:
+            snapshot = list(self._metrics.items())
+        for (name, labels), metric in sorted(
+            snapshot, key=lambda kv: kv[0]
+        ):
+            yield name, labels, metric
+
+    def value(self, name: str, **labels: object) -> float:
+        """One counter/gauge value (NaN if the instrument does not exist)."""
+        metric = self._metrics.get((name, _label_items(labels)))
+        if isinstance(metric, (Counter, Gauge)):
+            return metric.value
+        return math.nan
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+            self._kinds.clear()

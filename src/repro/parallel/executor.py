@@ -29,12 +29,15 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field as dc_field
 from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro import observability as obs
 from repro.mesh.mesh import Field
 from repro.parallel.pool import WorkerPool, default_workers, shared_pool
 from repro.parallel.shm import SharedStack
@@ -44,6 +47,7 @@ from repro.stencil.compiled import (
     CompiledPlanCache,
     DEFAULT_CACHE,
     check_stacked_batch,
+    record_dispatch_stats,
     run_program_stacked,
     stacked_chunk_sizes,
 )
@@ -60,7 +64,23 @@ PROCESS_BACKEND_MIN_BYTES = 1 << 18
 
 
 class ParallelExecutionError(ReproError):
-    """A chunk failed (or its worker died) under the parallel engine."""
+    """A chunk failed (or its worker died) under the parallel engine.
+
+    Carries the failing dispatch's context as attributes so callers can
+    act on it without parsing the message: ``backend`` (the worker backend
+    in use, if known) and ``elapsed`` (seconds between the chunk's submit
+    and the failure surfacing, if known).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        backend: str | None = None,
+        elapsed: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.elapsed = elapsed
 
 
 #: interned plan tokens: structural binding key -> short stable string.
@@ -115,6 +135,8 @@ class _PendingChunk:
     future: object
     #: shared-memory segment (process backend); None on threads
     stack: SharedStack | None = None
+    #: perf_counter timestamp of the submit, for failure elapsed-time context
+    submitted_at: float = 0.0
 
 
 @dataclass
@@ -134,6 +156,11 @@ class PendingBatch:
     pending: list[_PendingChunk] = dc_field(default_factory=list)
     #: pre-computed results for degenerate batches that never hit the pool
     ready: list[dict[str, Field]] | None = None
+    #: worker backend the chunks were dispatched on ("process"/"thread")
+    backend: str = ""
+    #: the caller's ``stats=`` dict, so collection can append the
+    #: worker-measured ``chunk_seconds`` once results land
+    stats: dict | None = None
     _results: list[dict[str, Field]] | None = None
 
     def result(self) -> list[dict[str, Field]]:
@@ -152,6 +179,7 @@ class PendingBatch:
             return self._results
         failure: tuple[_PendingChunk, BaseException] | None = None
         results: list[dict[str, Field] | None] = [None] * len(self.batch_fields)
+        chunk_seconds: list[float] = [0.0] * len(self.pending)
         for chunk in self.pending:
             try:
                 out = chunk.future.result()
@@ -160,20 +188,50 @@ class PendingBatch:
                     failure = (chunk, exc)
                 continue
             if failure is None:
+                seconds = float(out.get("seconds", 0.0))
+                chunk_seconds[chunk.index] = seconds
+                obs.observe(
+                    "exec.chunk_seconds", seconds,
+                    backend=self.backend or "parallel",
+                )
+                obs.adopt_spans(out.get("spans"))
                 self._assemble(chunk, out, results)
         self._cleanup()
         if failure is not None:
             chunk, exc = failure
+            elapsed = (
+                time.perf_counter() - chunk.submitted_at
+                if chunk.submitted_at else None
+            )
+            backend = self.backend or None
+            obs.inc("parallel.worker_failures", backend=backend or "unknown")
+            obs.emit(
+                "parallel.worker_failure",
+                chunk=chunk.index,
+                meshes=[chunk.start, chunk.start + chunk.size - 1],
+                plan=self.token,
+                backend=backend,
+                elapsed=elapsed,
+                error=repr(exc),
+            )
+            context = f", backend {backend}" if backend else ""
+            if elapsed is not None:
+                context += f", {elapsed:.3f}s after submit"
             raise ParallelExecutionError(
                 f"parallel chunk {chunk.index + 1}/{len(self.pending)} "
                 f"(meshes {chunk.start}..{chunk.start + chunk.size - 1}, "
-                f"plan {self.token[:12]}) failed: {exc!r}"
+                f"plan {self.token[:12]}{context}) failed: {exc!r}",
+                backend=backend,
+                elapsed=elapsed,
             ) from exc
+        if self.stats is not None:
+            self.stats["chunk_seconds"] = chunk_seconds
         self._results = results  # type: ignore[assignment]
         return self._results
 
     def _assemble(self, chunk, out, results) -> None:
         produced = self.plan.final_env(self.niter)
+        fields = out.get("fields")
         for b in range(chunk.size):
             env = dict(self.batch_fields[chunk.start + b])
             for fname in produced:
@@ -183,7 +241,7 @@ class PendingBatch:
                     # unlinked; thread workers already returned copies
                     data = np.array(chunk.stack.array(f"o:{fname}")[b])
                 else:
-                    data = out[fname][b]
+                    data = fields[fname][b]
                 env[fname] = Field(fname, spec, data)
             results[chunk.start + b] = env
 
@@ -248,15 +306,16 @@ def submit_stacked(
     workers = max_workers if max_workers else default_workers()
 
     def _account(chunks: list[int], backend_used: str) -> None:
-        if stats is not None:
-            stats["chunks"] = list(chunks)
-            stats["dispatches"] = len(chunks)
-            stats["stacked_meshes"] = sum(c for c in chunks if c > 1)
-            stats["backend"] = backend_used
-            stats["workers"] = 1 if backend_used == "serial" else workers
+        record_dispatch_stats(
+            stats, chunks,
+            backend=backend_used,
+            workers=1 if backend_used == "serial" else workers,
+        )
 
     if niter == 0:
         _account([], "serial")
+        if stats is not None:
+            stats["chunk_seconds"] = []
         return PendingBatch(
             batch_fields, None, niter, ready=[dict(env) for env in batch_fields]
         )
@@ -264,14 +323,18 @@ def submit_stacked(
     if len(dtypes) > 1:
         from repro.stencil.numpy_eval import run_program
 
-        _account([1] * len(batch_fields), "serial")
-        return PendingBatch(
-            batch_fields, None, niter,
-            ready=[
+        chunk_seconds: list[float] = []
+        ready = []
+        for env in batch_fields:
+            t0 = time.perf_counter()
+            ready.append(
                 run_program(program, env, niter, coefficients, engine="interpreter")
-                for env in batch_fields
-            ],
-        )
+            )
+            chunk_seconds.append(time.perf_counter() - t0)
+        _account([1] * len(batch_fields), "serial")
+        if stats is not None:
+            stats["chunk_seconds"] = chunk_seconds
+        return PendingBatch(batch_fields, None, niter, ready=ready)
     cache = cache if cache is not None else DEFAULT_CACHE
     limit = max_stack_bytes if max_stack_bytes is not None else STACKED_BYTES_LIMIT
     plan = cache.plan_for(program, first, coefficients)
@@ -291,22 +354,53 @@ def submit_stacked(
         chunk_bytes = plan.nbytes * max(chunks)
         backend = "process" if chunk_bytes >= PROCESS_BACKEND_MIN_BYTES else "thread"
     token = plan_token_for(program, first, coefficients)
-    batch = PendingBatch(batch_fields, plan, niter, token=token)
-    try:
-        _submit_chunks(batch, plan, chunks, niter, token, batch_fields,
-                       pool if pool is not None else shared_pool(backend, workers),
-                       use_shm=backend == "process")
-    except OSError:
-        # no shared memory on this host (or it is exhausted): reclaim any
-        # segments we did get and fall back to in-process thread transport
-        batch.pending, partial = [], batch.pending
-        for chunk in partial:
-            if chunk.stack is not None:
-                chunk.stack.unlink()
-        backend = "thread"
-        _submit_chunks(batch, plan, chunks, niter, token, batch_fields,
-                       pool if pool is not None else shared_pool(backend, workers),
-                       use_shm=False)
+    batch = PendingBatch(batch_fields, plan, niter, token=token, stats=stats)
+    with obs.span(
+        "parallel.submit",
+        program=program.name,
+        batch=len(batch_fields),
+        niter=niter,
+        backend=backend,
+        chunks=len(chunks),
+    ):
+        trace = obs.trace_context()
+        try:
+            _submit_chunks(batch, plan, chunks, niter, token, batch_fields,
+                           pool if pool is not None else shared_pool(backend, workers),
+                           use_shm=backend == "process", trace=trace)
+        except OSError as exc:
+            # no shared memory on this host (or it is exhausted): reclaim any
+            # segments we did get and fall back to in-process thread transport
+            warnings.warn(
+                f"shared-memory transport unavailable ({exc!r}); falling back "
+                f"to the thread worker backend for this dispatch",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            obs.inc("parallel.shm_fallbacks")
+            obs.emit(
+                "parallel.shm_fallback",
+                program=program.name,
+                batch=len(batch_fields),
+                error=repr(exc),
+            )
+            batch.pending, partial = [], batch.pending
+            for chunk in partial:
+                if chunk.stack is not None:
+                    chunk.stack.unlink()
+            backend = "thread"
+            _submit_chunks(batch, plan, chunks, niter, token, batch_fields,
+                           pool if pool is not None else shared_pool(backend, workers),
+                           use_shm=False, trace=trace)
+        obs.emit(
+            "exec.dispatch",
+            program=program.name,
+            backend=backend,
+            workers=workers,
+            chunks=list(chunks),
+            niter=niter,
+        )
+    batch.backend = backend
     _account(chunks, backend)
     return batch
 
@@ -320,6 +414,7 @@ def _submit_chunks(
     batch_fields: Sequence[Mapping[str, Field]],
     pool: WorkerPool,
     use_shm: bool,
+    trace=None,
 ) -> None:
     dtype = plan.mesh.dtype
     produced = tuple(plan.final_env(niter))
@@ -340,14 +435,19 @@ def _submit_chunks(
                 arr = stack.array(f"i:{name}")
                 for b, env in enumerate(members):
                     np.copyto(arr[b], env[name].data)
+            chunk.submitted_at = time.perf_counter()
             chunk.future = pool.submit(
-                run_chunk_shm, token, plan, size, niter, stack.handle
+                run_chunk_shm, token, plan, size, niter, stack.handle, trace
             )
         else:
+            submitted_at = time.perf_counter()
             batch.pending.append(
                 _PendingChunk(
                     index, start, size,
-                    pool.submit(run_chunk_fields, token, plan, size, niter, members),
+                    pool.submit(
+                        run_chunk_fields, token, plan, size, niter, members, trace
+                    ),
+                    submitted_at=submitted_at,
                 )
             )
         start += size

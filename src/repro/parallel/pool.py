@@ -25,6 +25,7 @@ from __future__ import annotations
 import atexit
 import os
 import threading
+import time
 from concurrent.futures import (
     Future,
     ProcessPoolExecutor,
@@ -32,6 +33,7 @@ from concurrent.futures import (
     process,
 )
 
+from repro import observability as obs
 from repro.util.errors import ValidationError
 
 #: worker-pool backends accepted across the parallel layer
@@ -93,14 +95,34 @@ class WorkerPool:
         """
         executor = self._ensure()
         try:
-            return executor.submit(fn, *args, **kwargs)
+            future = executor.submit(fn, *args, **kwargs)
         except (process.BrokenProcessPool, RuntimeError):
             with self._lock:
                 if self._executor is executor:  # nobody replaced it yet
                     executor.shutdown(wait=False, cancel_futures=True)
                     self._executor = self._make_executor()
                 executor = self._executor
-            return executor.submit(fn, *args, **kwargs)
+            obs.inc("pool.recoveries", backend=self.backend)
+            obs.emit(
+                "pool.recovered",
+                backend=self.backend,
+                workers=self.max_workers,
+            )
+            future = executor.submit(fn, *args, **kwargs)
+        if obs.is_enabled():
+            obs.inc("pool.submits", backend=self.backend)
+            submitted = time.perf_counter()
+            backend = self.backend
+
+            def _observe_latency(fut: Future) -> None:
+                obs.observe(
+                    "pool.task_seconds",
+                    time.perf_counter() - submitted,
+                    backend=backend,
+                )
+
+            future.add_done_callback(_observe_latency)
+        return future
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the workers; the pool restarts lazily on the next submit."""

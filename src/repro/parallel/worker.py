@@ -24,12 +24,15 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections import OrderedDict
-from typing import Mapping, Sequence
+from contextlib import nullcontext
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from repro.mesh.mesh import Field
+from repro.observability.tracing import TraceContext, Tracer
 from repro.parallel.shm import SharedStack, StackHandle
 from repro.stencil.compiled import CompiledProgram
 from repro.stencil.plan import ProgramPlan
@@ -78,6 +81,30 @@ def bind_instance(token: str, plan: ProgramPlan, batch: int) -> CompiledProgram:
     return instance
 
 
+def _worker_tracer(trace: TraceContext | None) -> Tracer | None:
+    """A throwaway tracer seeded with the parent's shipped trace position.
+
+    Spans it records become children of the parent's submit-side span once
+    the parent :meth:`~repro.observability.tracing.Tracer.adopt`\\ s the
+    returned dicts — observability state never crosses the process
+    boundary by reference, only these values do.
+    """
+    if trace is None:
+        return None
+    return Tracer(
+        trace_id=trace.trace_id,
+        root_parent=trace.parent_id,
+        # a namespace disjoint from the parent's "s" ids: the shipped
+        # parent reference travels by id, so worker ids must never
+        # textually collide with it
+        id_prefix=f"w{os.getpid()}.",
+    )
+
+
+def _span_dicts(tracer: Tracer | None) -> list[dict[str, Any]] | None:
+    return [r.to_dict() for r in tracer.records()] if tracer else None
+
+
 def _load_and_run(
     instance: CompiledProgram,
     plan: ProgramPlan,
@@ -94,25 +121,47 @@ def _load_and_run(
 
 
 def run_chunk_shm(
-    token: str, plan: ProgramPlan, batch: int, niter: int, handle: StackHandle
-) -> None:
+    token: str,
+    plan: ProgramPlan,
+    batch: int,
+    niter: int,
+    handle: StackHandle,
+    trace: TraceContext | None = None,
+) -> dict[str, Any]:
     """Execute one chunk against shared-memory buffers (process backend).
 
     Inputs are read from — and every produced field written back to — the
     parent's :class:`SharedStack`, so no array crosses the process boundary
-    through the task pipe. Returns nothing; the results live in the
-    segment.
+    through the task pipe; the result fields live in the segment. Returns
+    the chunk's worker-measured wall-clock ``seconds`` plus, when the
+    parent shipped a :class:`TraceContext`, the worker-side ``spans`` for
+    it to adopt.
     """
     if os.environ.get(CRASH_ENV) == "1":  # pragma: no cover - exits
         os._exit(13)
+    tracer = _worker_tracer(trace)
+    t0 = time.perf_counter()
     stack = SharedStack.attach(handle)
     try:
-        instance = bind_instance(token, plan, batch)
-        _load_and_run(instance, plan, batch, niter, lambda n: stack.array(f"i:{n}"))
-        for fname, final in instance.final_arrays().items():
-            np.copyto(stack.array(f"o:{fname}"), final)
+        ctx = (
+            tracer.span(
+                "worker.chunk",
+                token=token, batch=batch, niter=niter,
+                backend="process", pid=os.getpid(),
+            )
+            if tracer is not None
+            else nullcontext()
+        )
+        with ctx:
+            instance = bind_instance(token, plan, batch)
+            _load_and_run(
+                instance, plan, batch, niter, lambda n: stack.array(f"i:{n}")
+            )
+            for fname, final in instance.final_arrays().items():
+                np.copyto(stack.array(f"o:{fname}"), final)
     finally:
         stack.close()
+    return {"seconds": time.perf_counter() - t0, "spans": _span_dicts(tracer)}
 
 
 def run_chunk_fields(
@@ -121,25 +170,45 @@ def run_chunk_fields(
     batch: int,
     niter: int,
     envs: Sequence[Mapping[str, Field]],
-) -> dict[str, np.ndarray]:
+    trace: TraceContext | None = None,
+) -> dict[str, Any]:
     """Execute one chunk on in-process field environments (thread backend).
 
     Threads share the parent's address space, so the per-mesh environments
     travel by reference and load straight into the instance's buffers —
     the same single copy the serial engine performs. Returns stacked
-    ``(B, *storage)`` copies of the produced fields — copies, because the
-    warm instance's buffers are overwritten by this worker's next task.
+    ``(B, *storage)`` copies of the produced fields under ``"fields"`` —
+    copies, because the warm instance's buffers are overwritten by this
+    worker's next task — plus worker-measured ``seconds`` and optional
+    ``spans``, mirroring :func:`run_chunk_shm`.
     """
     if os.environ.get(CRASH_ENV) == "1":  # threads cannot crash a process;
         raise RuntimeError("crash requested by test hook")  # raise instead
-    instance = bind_instance(token, plan, batch)
-    if batch == 1:
-        instance.load(envs[0])
-    else:
-        instance.load_stacked(envs)
-    instance.run_iterations(niter)
-    out = instance.final_arrays()
-    return {fname: arr.copy() for fname, arr in out.items()}
+    tracer = _worker_tracer(trace)
+    t0 = time.perf_counter()
+    ctx = (
+        tracer.span(
+            "worker.chunk",
+            token=token, batch=batch, niter=niter,
+            backend="thread", pid=os.getpid(),
+        )
+        if tracer is not None
+        else nullcontext()
+    )
+    with ctx:
+        instance = bind_instance(token, plan, batch)
+        if batch == 1:
+            instance.load(envs[0])
+        else:
+            instance.load_stacked(envs)
+        instance.run_iterations(niter)
+        out = instance.final_arrays()
+        fields = {fname: arr.copy() for fname, arr in out.items()}
+    return {
+        "fields": fields,
+        "seconds": time.perf_counter() - t0,
+        "spans": _span_dicts(tracer),
+    }
 
 
 def instance_cache_size() -> int:

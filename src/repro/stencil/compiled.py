@@ -36,11 +36,13 @@ back to the interpreter inside :func:`run_program_compiled`.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro import observability as obs
 from repro.mesh.mesh import Field
 from repro.stencil.plan import (
     FlatView,
@@ -529,7 +531,19 @@ class CompiledPlanCache:
         state = program.state_fields[0]
         mesh = fields[state].spec if state in fields else fields[inputs[0]].spec
         input_specs = {name: fields[name].spec for name in inputs}
-        plan = lower_program(program, mesh, input_specs, coefficients)
+        with obs.span("plan.compile", program=program.name):
+            t0 = time.perf_counter()
+            plan = lower_program(program, mesh, input_specs, coefficients)
+        if obs.is_enabled():
+            seconds = time.perf_counter() - t0
+            obs.observe("plan.compile_seconds", seconds)
+            obs.emit(
+                "plan.compile",
+                program=program.name,
+                mesh=list(mesh.shape),
+                seconds=seconds,
+                plan_bytes=plan.nbytes,
+            )
         with self._lock:
             incumbent = self._plans.get(key)  # racing lowering: keep it
             if incumbent is not None:
@@ -559,6 +573,7 @@ class CompiledPlanCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                obs.inc("plan.cache_hits")
                 return entry
         compiled = CompiledProgram(
             self.plan_for(program, fields, coefficients), batch=batch
@@ -566,11 +581,19 @@ class CompiledPlanCache:
         with self._lock:
             if key in self._entries:  # racing compile: keep the incumbent
                 self.hits += 1
+                obs.inc("plan.cache_hits")
                 self._entries.move_to_end(key)
                 return self._entries[key]
             self._entries[key] = compiled
             self._bytes += compiled.nbytes
             self.misses += 1
+            obs.inc("plan.cache_misses")
+            obs.emit(
+                "plan.cache_miss",
+                program=program.name,
+                batch=batch,
+                instance_bytes=compiled.nbytes,
+            )
             # evict LRU-first past either bound, but always keep the entry
             # just inserted (even one over-budget plan must be usable)
             while len(self._entries) > 1 and (
@@ -701,6 +724,41 @@ def check_stacked_batch(
     return required, first
 
 
+def record_dispatch_stats(
+    stats: dict | None,
+    chunks: Sequence[int],
+    backend: str | None = None,
+    workers: int | None = None,
+) -> None:
+    """Write the dispatch-accounting keys and mirror them to the registry.
+
+    The ``stats=`` dict is the per-call **view** — its key contract
+    (``chunks``/``dispatches``/``stacked_meshes``, plus
+    ``backend``/``workers`` on the parallel paths) is stable and shared by
+    the serial and parallel engines. The same quantities feed the
+    process-wide :mod:`repro.observability` registry when it is enabled,
+    labelled by the dispatching backend, so aggregate counters and the
+    per-call dicts can never drift apart.
+    """
+    if stats is not None:
+        stats["chunks"] = list(chunks)
+        stats["dispatches"] = len(chunks)
+        stats["stacked_meshes"] = sum(c for c in chunks if c > 1)
+        if backend is not None:
+            stats["backend"] = backend
+        if workers is not None:
+            stats["workers"] = workers
+    if obs.is_enabled():
+        label = backend if backend is not None else "compiled"
+        obs.inc("exec.dispatches", len(chunks), backend=label)
+        obs.inc("exec.meshes", sum(chunks), backend=label)
+        obs.inc(
+            "exec.stacked_meshes",
+            sum(c for c in chunks if c > 1),
+            backend=label,
+        )
+
+
 def run_program_stacked(
     program: StencilProgram,
     batch_fields: Sequence[Mapping[str, Field]],
@@ -737,18 +795,29 @@ def run_program_stacked(
 
     ``stats``, when given, receives the dispatch accounting of the call:
     ``chunks`` (the chunk-size list), ``dispatches`` (tape dispatches
-    actually issued — ``len(chunks)``) and ``stacked_meshes`` (meshes that
-    rode a stack of size > 1).
+    actually issued — ``len(chunks)``), ``stacked_meshes`` (meshes that
+    rode a stack of size > 1) and ``chunk_seconds`` (per-chunk wall-clock
+    times, in chunk order — the raw samples behind the mix layer's
+    latency percentiles).
     """
     required, first = check_stacked_batch(program, batch_fields)
     if niter < 0:
         raise ValidationError(f"niter must be non-negative, got {niter}")
 
     def _account(chunks: list[int]) -> None:
-        if stats is not None:
-            stats["chunks"] = list(chunks)
-            stats["dispatches"] = len(chunks)
-            stats["stacked_meshes"] = sum(c for c in chunks if c > 1)
+        record_dispatch_stats(stats, chunks)
+
+    def _timed(chunk_seconds: list[float], index: int, size: int, fn):
+        with obs.span("exec.chunk", index=index, size=size):
+            t0 = time.perf_counter()
+            out = fn()
+            chunk_seconds.append(time.perf_counter() - t0)
+        obs.observe("exec.chunk_seconds", chunk_seconds[-1], backend="compiled")
+        return out
+
+    chunk_seconds: list[float] = []
+    if stats is not None:
+        stats["chunk_seconds"] = chunk_seconds
 
     if niter == 0:
         _account([])
@@ -759,27 +828,63 @@ def run_program_stacked(
 
         _account([1] * len(batch_fields))
         return [
-            run_program(program, env, niter, coefficients, engine="interpreter")
-            for env in batch_fields
+            _timed(
+                chunk_seconds, b, 1,
+                lambda env=env: run_program(
+                    program, env, niter, coefficients, engine="interpreter"
+                ),
+            )
+            for b, env in enumerate(batch_fields)
         ]
     cache = cache if cache is not None else DEFAULT_CACHE
     if len(batch_fields) == 1:
         _account([1])
-        return [run_program_compiled(program, first, niter, coefficients, cache)]
-    limit = max_stack_bytes if max_stack_bytes is not None else STACKED_BYTES_LIMIT
-    plan = cache.plan_for(program, first, coefficients)
-    chunks = stacked_chunk_sizes(len(batch_fields), plan.nbytes, limit)
-    _account(chunks)
-    results: list[dict[str, Field]] = []
-    start = 0
-    for size in chunks:
-        members = batch_fields[start : start + size]
-        start += size
-        if size == 1:
-            results.append(
-                run_program_compiled(program, members[0], niter, coefficients, cache)
+        return [
+            _timed(
+                chunk_seconds, 0, 1,
+                lambda: run_program_compiled(
+                    program, first, niter, coefficients, cache
+                ),
             )
-        else:
-            compiled = cache.get(program, first, coefficients, batch=size)
-            results.extend(compiled.run_stacked(members, niter))
+        ]
+    limit = max_stack_bytes if max_stack_bytes is not None else STACKED_BYTES_LIMIT
+    with obs.span(
+        "exec.stacked",
+        program=program.name,
+        batch=len(batch_fields),
+        niter=niter,
+        engine="compiled",
+    ):
+        plan = cache.plan_for(program, first, coefficients)
+        chunks = stacked_chunk_sizes(len(batch_fields), plan.nbytes, limit)
+        _account(chunks)
+        obs.emit(
+            "exec.dispatch",
+            program=program.name,
+            backend="compiled",
+            chunks=list(chunks),
+            niter=niter,
+        )
+        results: list[dict[str, Field]] = []
+        start = 0
+        for index, size in enumerate(chunks):
+            members = batch_fields[start : start + size]
+            start += size
+            if size == 1:
+                results.append(
+                    _timed(
+                        chunk_seconds, index, 1,
+                        lambda m=members[0]: run_program_compiled(
+                            program, m, niter, coefficients, cache
+                        ),
+                    )
+                )
+            else:
+                compiled = cache.get(program, first, coefficients, batch=size)
+                results.extend(
+                    _timed(
+                        chunk_seconds, index, size,
+                        lambda c=compiled, m=members: c.run_stacked(m, niter),
+                    )
+                )
     return results

@@ -1,0 +1,249 @@
+"""Trace spans, cross-process adoption, and the structured event log."""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+
+from repro.observability.events import (
+    SCHEMA_VERSION,
+    EventLog,
+    FileSink,
+    RingSink,
+    read_events,
+)
+from repro.observability.export import render_trace_table
+from repro.observability.tracing import SpanRecord, TraceContext, Tracer
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        roots = tracer.tree()
+        assert len(roots) == 1
+        outer, children = roots[0]
+        assert outer.name == "outer"
+        assert [c[0].name for c in children] == ["inner", "sibling"]
+
+    def test_duration_is_non_negative(self):
+        tracer = Tracer()
+        with tracer.span("t"):
+            pass
+        (record,) = tracer.records()
+        assert record.duration >= 0.0
+        assert record.end >= record.start
+
+    def test_attrs_recorded(self):
+        tracer = Tracer()
+        with tracer.span("s", program="jacobi", batch=4):
+            pass
+        (record,) = tracer.records()
+        assert record.attrs == {"program": "jacobi", "batch": 4}
+
+    def test_threads_grow_independent_branches(self):
+        tracer = Tracer()
+        done = threading.Event()
+
+        def worker():
+            with tracer.span("thread-root"):
+                done.set()
+
+        with tracer.span("main-root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        names = {r.name: r.parent_id for r in tracer.records()}
+        # the thread's span is NOT a child of the main thread's open span
+        assert names["thread-root"] is None
+
+    def test_on_finish_called_per_span(self):
+        seen: list[str] = []
+        tracer = Tracer(on_finish=lambda r: seen.append(r.name))
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert seen == ["b", "a"]  # completion order
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.records() == []
+
+
+class TestTraceContext:
+    def test_context_captures_open_span(self):
+        tracer = Tracer()
+        with tracer.span("open") as record:
+            ctx = tracer.context()
+            assert ctx.trace_id == tracer.trace_id
+            assert ctx.parent_id == record.span_id
+        assert tracer.context().parent_id is None
+
+    def test_picklable(self):
+        ctx = TraceContext("abc123", "s7")
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+    def test_round_trip_dict(self):
+        record = SpanRecord("n", "s1", None, "t", 1.0, 2.0, {"k": "v"})
+        again = SpanRecord.from_dict(record.to_dict())
+        assert again == record
+
+
+def _worker(ctx, prefix="w."):
+    """A worker-side throwaway tracer, as repro.parallel.worker builds it."""
+    return Tracer(
+        trace_id=ctx.trace_id, root_parent=ctx.parent_id, id_prefix=prefix
+    )
+
+
+class TestAdoption:
+    def test_worker_spans_reattach_under_shipped_parent(self):
+        parent = Tracer()
+        with parent.span("submit") as submit:
+            ctx = parent.context()
+        worker = _worker(ctx)
+        with worker.span("chunk"):
+            pass
+        parent.adopt([r.to_dict() for r in worker.records()])
+        roots = parent.tree()
+        assert len(roots) == 1
+        top, children = roots[0]
+        assert top.span_id == submit.span_id
+        assert [c[0].name for c in children] == ["chunk"]
+
+    def test_colliding_ids_from_sibling_workers_are_remapped(self):
+        parent = Tracer()
+        with parent.span("submit"):
+            ctx = parent.context()
+        batches = []
+        for _ in range(2):  # two tasks in one worker process both mint w.1
+            w = _worker(ctx)
+            with w.span("chunk"):
+                pass
+            batches.append([r.to_dict() for r in w.records()])
+        assert batches[0][0]["span_id"] == batches[1][0]["span_id"]
+        for batch in batches:
+            parent.adopt(batch)
+        ids = [r.span_id for r in parent.records()]
+        assert len(ids) == len(set(ids))
+
+    def test_adoption_while_local_parent_still_open(self):
+        # the local root span is open (not yet in the ledger) while the
+        # worker batch arrives; adoption must neither duplicate ids nor
+        # cycle the rendered tree
+        parent = Tracer()
+        with parent.span("root"):  # local s1, still open
+            ctx = parent.context()
+            worker = _worker(ctx)
+            with worker.span("chunk"):
+                pass
+            parent.adopt([r.to_dict() for r in worker.records()])
+        ids = [r.span_id for r in parent.records()]
+        assert len(ids) == len(set(ids))
+        # and the chunk hangs off the (now closed) local root
+        roots = parent.tree()
+        assert len(roots) == 1
+        assert [c[0].name for c in roots[0][1]] == ["chunk"]
+        assert "chunk" in render_trace_table(parent)
+
+    def test_worker_prefix_disjoint_from_parent_ids(self):
+        # the executor ships the parent span id by value; a worker tracer
+        # with the parent's own prefix would make that reference ambiguous
+        from repro.observability.tracing import TraceContext as TC
+        from repro.parallel.worker import _worker_tracer
+
+        tracer = _worker_tracer(TC("t", "s1"))
+        with tracer.span("chunk"):
+            pass
+        (record,) = tracer.records()
+        assert not record.span_id.startswith("s")
+        assert record.parent_id == "s1"
+
+    def test_intra_batch_parent_links_follow_remap(self):
+        parent = Tracer()
+        with parent.span("submit"):
+            ctx = parent.context()
+        worker = _worker(ctx)
+        with worker.span("outer"):
+            with worker.span("inner"):
+                pass
+        parent.adopt([r.to_dict() for r in worker.records()])
+        by_name = {r.name: r for r in parent.records()}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+
+
+class TestRenderTraceTable:
+    def test_indented_rows(self):
+        tracer = Tracer()
+        with tracer.span("outer", k=1):
+            with tracer.span("inner"):
+                pass
+        text = render_trace_table(tracer)
+        lines = text.splitlines()
+        assert lines[0].startswith("span")
+        assert any(line.startswith("outer") for line in lines)
+        assert any(line.startswith("  inner") for line in lines)
+        assert "k=1" in text
+
+    def test_empty(self):
+        assert "no spans" in render_trace_table(Tracer())
+
+
+class TestEventLog:
+    def test_ring_keeps_last_n(self):
+        ring = RingSink(capacity=2)
+        log = EventLog(ring)
+        for i in range(4):
+            log.emit("tick", i=i)
+        assert [r["i"] for r in ring.records] == [2, 3]
+        assert ring.kinds() == ["tick", "tick"]
+
+    def test_records_are_stamped(self):
+        ring = RingSink()
+        log = EventLog(ring)
+        log.emit("compile", program="jacobi")
+        (record,) = ring.records
+        assert record["v"] == SCHEMA_VERSION
+        assert record["seq"] == 1
+        assert record["kind"] == "compile"
+        assert record["program"] == "jacobi"
+        assert record["ts"] > 0
+
+    def test_of_kind_filters(self):
+        ring = RingSink()
+        log = EventLog(ring)
+        log.emit("a")
+        log.emit("b")
+        log.emit("a")
+        assert len(ring.of_kind("a")) == 2
+
+    def test_file_sink_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(FileSink(path))
+        log.emit("one", x=1)
+        log.emit("two", y=[1, 2])
+        log.close()
+        records = list(read_events(path))
+        assert [r["kind"] for r in records] == ["one", "two"]
+        assert records[1]["y"] == [1, 2]
+
+    def test_read_events_skips_corrupt_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        good = json.dumps({"v": 1, "kind": "ok"})
+        path.write_text(f"{good}\nnot json\n42\n{good}\n")
+        assert len(list(read_events(path))) == 2
+
+    def test_file_sink_survives_write_failure(self, tmp_path):
+        sink = FileSink(tmp_path / "dir-not-file")
+        (tmp_path / "dir-not-file").mkdir()  # open() will fail
+        log = EventLog(sink)
+        log.emit("doomed")  # must not raise
+        assert sink._dead

@@ -106,7 +106,7 @@ class TestDegeneratePaths:
         )
         assert stats == {
             "chunks": [], "dispatches": 0, "stacked_meshes": 0,
-            "backend": "serial", "workers": 1,
+            "backend": "serial", "workers": 1, "chunk_seconds": [],
         }
         for env, res in zip(envs, got):
             assert set(res) == set(env)

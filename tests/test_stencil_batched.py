@@ -592,7 +592,12 @@ class TestChunkedStacking:
         run_program_stacked(
             program, batch, 0, cache=CompiledPlanCache(), stats=stats
         )
-        assert stats == {"chunks": [], "dispatches": 0, "stacked_meshes": 0}
+        assert stats == {
+            "chunks": [],
+            "dispatches": 0,
+            "stacked_meshes": 0,
+            "chunk_seconds": [],
+        }
         stats = {}
         run_program_stacked(
             program, batch[:1], 2, cache=CompiledPlanCache(), stats=stats
