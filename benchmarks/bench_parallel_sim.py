@@ -33,6 +33,7 @@ from repro.apps.rtm import rtm_app
 from repro.parallel.calibrate import calibrated_bytes_limit
 from repro.parallel.executor import run_program_parallel
 from repro.parallel.pool import WorkerPool
+from repro.resilience import DEFAULT_POLICY, RetryPolicy
 from repro.stencil.compiled import CompiledPlanCache, run_program_stacked
 
 #: collected (workload -> metrics) rows, flushed to the trajectory file
@@ -154,3 +155,57 @@ def test_parallel_rtm_calibrated(benchmark, pool):
         rounds=1,
         iterations=1,
     )
+
+
+# --------------------------------------------------------------------------- #
+# Resilience overhead: the retry layer on the healthy path. DEFAULT_POLICY
+# (retries + full degradation ladder armed, no faults drawn) vs the
+# fail-fast RetryPolicy.disabled() on the identical dispatch — the armed
+# machinery must cost nothing when nothing fails.
+# --------------------------------------------------------------------------- #
+def test_resilience_no_fault_overhead(benchmark, pool):
+    app = jacobi3d_app((8, 8, 6))
+    shape, niter, batch = (8, 8, 6), 32, 8
+    program = app.program_on(shape)
+    envs = [app.fields(shape, seed=37 + s) for s in range(batch)]
+    cache = CompiledPlanCache()
+    plan = cache.plan_for(program, envs[0])
+    limit = plan.nbytes * max(1, batch // _WORKERS)
+    stats: dict = {}
+
+    def run_with(policy):
+        return run_program_parallel(
+            program, envs, niter, cache=cache, max_stack_bytes=limit,
+            max_workers=_WORKERS, pool=pool, stats=stats, policy=policy,
+        )
+
+    def measure():
+        for a, b in zip(run_with(RetryPolicy.disabled()),
+                        run_with(DEFAULT_POLICY)):
+            for name in a:
+                assert np.array_equal(a[name].data, b[name].data)
+        t_disabled = _time_best(lambda: run_with(RetryPolicy.disabled()))
+        t_default = _time_best(lambda: run_with(DEFAULT_POLICY))
+        overhead = t_default / t_disabled - 1.0
+        _RESULTS["resilience_no_fault_overhead"] = {
+            "mesh": list(shape),
+            "niter": niter,
+            "batch": batch,
+            "workers": stats["workers"],
+            "backend": stats["backend"],
+            "disabled_s": t_disabled,
+            "default_policy_s": t_default,
+            "overhead_pct": round(overhead * 100, 2),
+        }
+        print(
+            f"\nresilience_no_fault_overhead: disabled {t_disabled * 1e3:.2f} "
+            f"ms, default policy {t_default * 1e3:.2f} ms -> "
+            f"{overhead * 100:+.2f}%"
+        )
+        if _ASSERT_SPEEDUP:
+            assert overhead <= 0.03, (
+                f"resilience layer costs {overhead * 100:.2f}% on the "
+                f"healthy path (> 3% budget)"
+            )
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)

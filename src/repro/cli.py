@@ -17,11 +17,15 @@ Commands
     against a whole workload mix instead of a single workload
     (``--validate-mix`` then replays the winner bit-identically against
     the golden interpreter).
-``mix MIX [--engine E] [--validate] [--calibrate] [--trace FILE]``
+``mix MIX [--engine E] [--validate] [--strict] [--fault-plan P] [--trace FILE]``
     Run a workload mix through the chunked stacked engine (serial,
     parallel worker-pool, or golden interpreter) and report the dispatch
-    accounting and latency percentiles per job group. ``--trace FILE``
-    records the run's structured events and span tree as JSONL.
+    accounting and latency percentiles per job group. Failing groups are
+    isolated and reported as error rows unless ``--strict`` (which exits
+    non-zero on the first failure); ``--fault-plan`` arms deterministic
+    faults into parallel dispatches (see ``docs/resilience.md``).
+    ``--trace FILE`` records the run's structured events and span tree
+    as JSONL.
 ``metrics MIX [--engine E] [--trace FILE]``
     Run a mix fully instrumented and dump the Prometheus-style metrics
     and the human-readable trace table.
@@ -333,11 +337,22 @@ def _cmd_mix(args: argparse.Namespace) -> int:
 
         limit = calibrated_bytes_limit()
         print(f"calibrated stacking budget: {limit} bytes")
+    from repro.resilience import FaultPlan
+
+    fault_plan = None
+    if getattr(args, "fault_plan", None):
+        fault_plan = FaultPlan.parse(args.fault_plan)
+    else:
+        # a malformed REPRO_FAULT_PLAN is a usage error, not a group
+        # failure to be isolated: surface it before running anything
+        fault_plan = FaultPlan.from_env()
     scheduler = MixScheduler(
         engine=args.engine,
         stacked_bytes_limit=limit,
         seed=args.seed,
         max_workers=args.max_workers,
+        strict=args.strict,
+        fault_plan=fault_plan,
     )
     with _traced_run(getattr(args, "trace", None)):
         run = scheduler.run(mix, validate=args.validate)
@@ -354,10 +369,25 @@ def _cmd_mix(args: argparse.Namespace) -> int:
              group.dispatches, chunk_text,
              _ms(lat["p50"]), _ms(lat["p95"]), _ms(lat["p99"])]
         )
+    for error in run.errors:
+        table.add_row(
+            [f"{error.spec.describe()} FAILED", error.spec.batch,
+             error.spec.niter, "-", "-", "-", "-", "-"]
+        )
     table.add_row(["total", run.meshes, "", run.dispatches, "", "", "", ""])
     print(table.render())
-    if run.validated:
+    retries = sum(g.retries for g in run.groups)
+    if retries:
+        print(f"recovered: {retries} chunk retries across the mix")
+    for error in run.errors:
+        print(f"group failed (isolated): {error.describe()}")
+    if run.validated and run.ok:
         print("validated: every mesh bit-identical to the golden interpreter")
+    elif run.validated and run.groups:
+        print(
+            "validated: every completed group bit-identical to the golden "
+            "interpreter (failed groups excluded)"
+        )
     return 0
 
 
@@ -561,6 +591,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_mix.add_argument(
         "--validate", action="store_true",
         help="re-derive every mesh on the golden interpreter and compare bitwise",
+    )
+    p_mix.add_argument(
+        "--strict", action="store_true",
+        help="abort (non-zero exit) on the first failing group; the default "
+        "isolates failing groups, reports them as error rows and exits 0",
+    )
+    p_mix.add_argument(
+        "--fault-plan", default=None,
+        help="deterministic fault plan armed into parallel dispatches, e.g. "
+        "'crash@0,slow@1:0.2' (see docs/resilience.md; REPRO_FAULT_PLAN "
+        "works too)",
     )
     p_mix.add_argument("--seed", type=int, default=0)
     p_mix.add_argument(

@@ -35,6 +35,7 @@ import numpy as np
 from repro import observability as obs
 from repro.mesh.mesh import Field, MeshSpec
 from repro.observability.metrics import percentiles
+from repro.resilience import FaultPlan, RetryPolicy
 from repro.stencil.compiled import (
     CompiledPlanCache,
     check_engine,
@@ -80,6 +81,8 @@ class GroupRun:
     #: per-dispatch wall-clock seconds, in chunk order (empty when the
     #: executing engine reported no timing)
     chunk_seconds: tuple[float, ...] = ()
+    #: chunk recoveries the parallel engine performed for this group
+    retries: int = 0
 
     @property
     def meshes(self) -> int:
@@ -96,12 +99,48 @@ class GroupRun:
 
 
 @dataclass(frozen=True)
+class GroupError:
+    """Failure record of one job group under best-effort scheduling.
+
+    Produced by ``strict=False`` runs in place of the group's
+    :class:`GroupRun`: the group's merged spec, the final error, and —
+    when the parallel engine's retry ladder was involved — how many
+    attempts the failing chunk made and which ladder rung it died on.
+    """
+
+    spec: WorkloadSpec
+    #: repr of the exception that ended the group
+    error: str
+    #: total attempts of the failing chunk across every ladder rung
+    attempts: int | None = None
+    #: ladder rung the failing chunk ended on ("process"/"thread"/"serial")
+    backend: str | None = None
+
+    def describe(self) -> str:
+        """One line for tables and logs: spec, attempts, final backend."""
+        parts = [self.spec.describe()]
+        if self.attempts is not None:
+            parts.append(f"{self.attempts} attempts")
+        if self.backend:
+            parts.append(f"ended on {self.backend}")
+        return f"{' · '.join(parts)}: {self.error}"
+
+
+@dataclass(frozen=True)
 class MixRunResult:
     """Outcome of scheduling one mix."""
 
     groups: tuple[GroupRun, ...]
     #: True when every mesh was re-derived on the golden interpreter
     validated: bool = False
+    #: failed groups isolated by a best-effort (``strict=False``) run;
+    #: always empty under strict scheduling, where the first failure raises
+    errors: tuple[GroupError, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when every group of the mix completed."""
+        return not self.errors
 
     @property
     def meshes(self) -> int:
@@ -146,6 +185,15 @@ class MixScheduler:
     and dispatch accounting are identical on every engine: chunks are
     scheduled deterministically at submit time and reassembled by
     position, whatever order workers finish in.
+
+    ``strict`` picks the failure semantics: strict runs (the default)
+    raise on the first failing group, exactly as before; ``strict=False``
+    **isolates** a failing group — its :class:`GroupError` (spec,
+    attempts, final ladder rung) lands on ``MixRunResult.errors`` while
+    every other group still completes, the right contract for a live job
+    population where one bad workload must not abort its neighbours.
+    ``retry_policy``/``fault_plan`` pass through to the parallel engine's
+    resilience layer (:mod:`repro.resilience`).
     """
 
     engine: str = "compiled"
@@ -158,6 +206,12 @@ class MixScheduler:
     coefficients: Mapping[str, float] | None = dc_field(default=None)
     #: worker-pool width for ``engine="parallel"`` (None: one per core)
     max_workers: int | None = None
+    #: raise on the first failing group (True) or isolate it (False)
+    strict: bool = True
+    #: recovery policy for ``engine="parallel"`` (None: the default policy)
+    retry_policy: RetryPolicy | None = None
+    #: deterministic faults armed into parallel dispatches (None: env plan)
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self):
         check_engine(self.engine)
@@ -216,8 +270,19 @@ class MixScheduler:
         with obs.span("mix.run", groups=len(specs), engine=self.engine):
             if self.engine == "parallel":
                 return self._run_parallel(specs, validate)
-            groups = [self._run_group(spec, validate) for spec in specs]
-            return MixRunResult(tuple(groups), validated=validate)
+            groups: list[GroupRun] = []
+            errors: list[GroupError] = []
+            for spec in specs:
+                if self.strict:
+                    groups.append(self._run_group(spec, validate))
+                    continue
+                try:
+                    groups.append(self._run_group(spec, validate))
+                except Exception as exc:  # noqa: BLE001 - isolated below
+                    errors.append(self._group_error(spec, exc))
+            return MixRunResult(
+                tuple(groups), validated=validate, errors=tuple(errors)
+            )
 
     def _run_group(self, spec: WorkloadSpec, validate: bool) -> GroupRun:
         program = self._program(spec)
@@ -268,47 +333,84 @@ class MixScheduler:
         from repro.parallel.executor import ParallelExecutionError, submit_stacked
 
         pending: list[tuple[WorkloadSpec, StencilProgram, list, dict, object]] = []
+        errors: list[GroupError] = []
         try:
             for spec in specs:
-                program = self._program(spec)
-                envs = [
-                    self._fields(spec, i, program) for i in range(spec.batch)
-                ]
-                stats: dict = {}
-                batch = submit_stacked(
-                    program,
-                    envs,
-                    spec.niter,
-                    self.coefficients,
-                    cache=self.plan_cache,
-                    max_stack_bytes=self.stacked_bytes_limit,
-                    stats=stats,
-                    max_workers=self.max_workers,
-                )
+                try:
+                    program = self._program(spec)
+                    envs = [
+                        self._fields(spec, i, program) for i in range(spec.batch)
+                    ]
+                    stats: dict = {}
+                    batch = submit_stacked(
+                        program,
+                        envs,
+                        spec.niter,
+                        self.coefficients,
+                        cache=self.plan_cache,
+                        max_stack_bytes=self.stacked_bytes_limit,
+                        stats=stats,
+                        max_workers=self.max_workers,
+                        policy=self.retry_policy,
+                        fault_plan=self.fault_plan,
+                    )
+                except Exception as exc:  # noqa: BLE001 - isolated below
+                    if self.strict:
+                        raise
+                    errors.append(self._group_error(spec, exc))
+                    continue
                 pending.append((spec, program, envs, stats, batch))
             groups = []
             for spec, program, envs, stats, batch in pending:
-                with obs.span(
-                    "mix.group",
-                    spec=spec.describe(),
-                    batch=spec.batch,
-                    engine=self.engine,
-                ):
-                    try:
-                        results = batch.result()
-                    except ParallelExecutionError as exc:
-                        raise ParallelExecutionError(
-                            f"workload {spec.describe()}: {exc}",
-                            backend=exc.backend,
-                            elapsed=exc.elapsed,
-                        ) from exc
-                if validate:
-                    self._validate_group(spec, program, envs, results)
+                try:
+                    with obs.span(
+                        "mix.group",
+                        spec=spec.describe(),
+                        batch=spec.batch,
+                        engine=self.engine,
+                    ):
+                        try:
+                            results = batch.result()
+                        except ParallelExecutionError as exc:
+                            raise ParallelExecutionError(
+                                f"workload {spec.describe()}: {exc}",
+                                backend=exc.backend,
+                                elapsed=exc.elapsed,
+                                attempts=exc.attempts,
+                                final_backend=exc.final_backend,
+                            ) from exc
+                    if validate:
+                        self._validate_group(spec, program, envs, results)
+                except Exception as exc:  # noqa: BLE001 - isolated below
+                    if self.strict:
+                        raise
+                    errors.append(self._group_error(spec, exc))
+                    continue
                 groups.append(self._group_run(spec, envs, results, stats))
-            return MixRunResult(tuple(groups), validated=validate)
+            return MixRunResult(
+                tuple(groups), validated=validate, errors=tuple(errors)
+            )
         finally:
             for *_rest, batch in pending:
                 batch.close()  # no-op on collected groups
+
+    def _group_error(self, spec: WorkloadSpec, exc: Exception) -> GroupError:
+        """Record — and make observable — one isolated group failure."""
+        record = GroupError(
+            spec,
+            error=repr(exc),
+            attempts=getattr(exc, "attempts", None),
+            backend=getattr(exc, "final_backend", None),
+        )
+        obs.inc("mix.group_failures", engine=self.engine)
+        obs.emit(
+            "mix.group_failure",
+            spec=spec.describe(),
+            error=record.error,
+            attempts=record.attempts,
+            backend=record.backend,
+        )
+        return record
 
     def _validate_group(self, spec, program, envs, results) -> None:
         for index, (env, result) in enumerate(zip(envs, results)):
@@ -334,6 +436,7 @@ class MixScheduler:
             dispatches=int(stats.get("dispatches", len(chunks))),
             chunks=chunks,
             chunk_seconds=tuple(stats.get("chunk_seconds", ())),
+            retries=int(stats.get("retries", 0)),
         )
 
     def _golden(self, program: StencilProgram, env, niter: int):

@@ -392,6 +392,9 @@ class Evaluator:
         fields_for=None,
         engine: str = "compiled",
         max_workers: int | None = None,
+        strict: bool = True,
+        retry_policy=None,
+        fault_plan=None,
     ):
         """A :class:`~repro.dataflow.scheduler.MixScheduler` for this mix.
 
@@ -402,6 +405,9 @@ class Evaluator:
         from the program contract unless ``fields_for`` supplies them).
         ``engine="parallel"`` fans the groups' chunks out over a worker
         pool of up to ``max_workers`` lanes; results stay bit-identical.
+        ``strict=False`` isolates failing groups instead of raising, and
+        ``retry_policy``/``fault_plan`` reach the parallel engine's
+        resilience layer.
         """
         from repro.dataflow.scheduler import MixScheduler
 
@@ -423,6 +429,9 @@ class Evaluator:
             program_for=program_for,
             seed=seed,
             max_workers=max_workers,
+            strict=strict,
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
         )
 
     def validate_mix(
@@ -434,6 +443,9 @@ class Evaluator:
         fields_for=None,
         engine: str = "compiled",
         max_workers: int | None = None,
+        strict: bool = True,
+        retry_policy=None,
+        fault_plan=None,
     ):
         """Functionally validate a configuration against the whole mix.
 
@@ -443,7 +455,9 @@ class Evaluator:
         against per-mesh golden-interpreter replay; returns the
         :class:`~repro.dataflow.scheduler.MixRunResult` with its dispatch
         accounting. Tiled configurations are rejected, mirroring
-        :meth:`batch_runner`.
+        :meth:`batch_runner`. ``strict=False`` returns a result whose
+        ``errors`` lists isolated group failures instead of raising on the
+        first one (residuals are then reported for the groups that ran).
         """
         if self.mix is None:
             raise ValidationError(
@@ -458,6 +472,7 @@ class Evaluator:
         scheduler = self.mix_scheduler(
             plan_cache, stacked_bytes_limit, seed, fields_for,
             engine=engine, max_workers=max_workers,
+            strict=strict, retry_policy=retry_policy, fault_plan=fault_plan,
         )
         with obs.span(
             "dse.validate_mix", batch_factor=batch_factor, engine=engine

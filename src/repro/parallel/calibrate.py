@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import tempfile
 import time
 from pathlib import Path
 
@@ -130,11 +131,25 @@ def _load_cache(path: Path) -> dict:
 
 
 def _store_cache(path: Path, entries: dict) -> None:
+    """Write the cache atomically: temp file in the same directory + rename.
+
+    A process killed mid-write (or two concurrent probes racing) must
+    never leave a truncated ``calibration.json`` behind — readers would
+    survive it (:func:`_load_cache` treats corrupt JSON as empty) but
+    every later process would silently re-probe.
+    """
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            json.dumps({"version": _VERSION, "entries": entries}, indent=2)
+        fd, tmp = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=path.parent
         )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump({"version": _VERSION, "entries": entries}, fh, indent=2)
+            os.replace(tmp, path)
+        except BaseException:
+            os.unlink(tmp)
+            raise
     except OSError:  # read-only home: calibration still works, just re-probes
         pass
 

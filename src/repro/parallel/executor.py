@@ -17,6 +17,19 @@ plan pickles. Thread workers share the address space and take the field
 environments directly. Either way the worker binds buffers at most once
 per plan token (:mod:`repro.parallel.worker`) and replays the warm tape.
 
+Execution is **resilient** (:mod:`repro.resilience`): every chunk is
+collected under a :class:`~repro.resilience.RetryPolicy` — a failed,
+crashed, hung or corrupt chunk is retried with deterministic backoff on
+its backend, then degraded down the process → thread → serial ladder;
+the terminal serial rung replays the chunk in-process on the same
+lowered plan, so recovered results are bit-identical to the serial
+engine no matter which backends broke. A
+:class:`~repro.resilience.FaultPlan` (``REPRO_FAULT_PLAN`` or the
+``fault_plan=`` argument) arms deterministic faults into worker tasks so
+each recovery path is testable. Recovery emits ``resilience.retries``,
+``resilience.degraded``, ``resilience.timeouts`` and
+``exec.fault_injected`` through :mod:`repro.observability`.
+
 :func:`submit_stacked` returns a :class:`PendingBatch` rather than
 results, so a caller with several independent batches (a workload mix's
 job groups) can submit them all and let *every* chunk of *every* group
@@ -32,6 +45,7 @@ import threading
 import time
 import warnings
 from collections import OrderedDict
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field as dc_field
 from typing import Mapping, Sequence
 
@@ -42,6 +56,14 @@ from repro.mesh.mesh import Field
 from repro.parallel.pool import WorkerPool, default_workers, shared_pool
 from repro.parallel.shm import SharedStack
 from repro.parallel.worker import run_chunk_fields, run_chunk_shm
+from repro.resilience import (
+    DEFAULT_POLICY,
+    CorruptResultError,
+    FaultPlan,
+    RetryPolicy,
+    checksum_arrays,
+    classify_failure,
+)
 from repro.stencil.compiled import (
     STACKED_BYTES_LIMIT,
     CompiledPlanCache,
@@ -64,12 +86,16 @@ PROCESS_BACKEND_MIN_BYTES = 1 << 18
 
 
 class ParallelExecutionError(ReproError):
-    """A chunk failed (or its worker died) under the parallel engine.
+    """A chunk failed beyond recovery under the parallel engine.
 
-    Carries the failing dispatch's context as attributes so callers can
-    act on it without parsing the message: ``backend`` (the worker backend
-    in use, if known) and ``elapsed`` (seconds between the chunk's submit
-    and the failure surfacing, if known).
+    Raised only once the dispatch's :class:`RetryPolicy` is exhausted —
+    every rung of the degradation ladder tried its attempts. Carries the
+    failing dispatch's context as attributes so callers can act on it
+    without parsing the message: ``backend`` (the backend the batch was
+    dispatched on, if known), ``elapsed`` (seconds between the chunk's
+    last submit and the failure surfacing, if known), ``attempts`` (total
+    tries across every rung) and ``final_backend`` (the ladder rung the
+    chunk died on).
     """
 
     def __init__(
@@ -77,10 +103,14 @@ class ParallelExecutionError(ReproError):
         message: str,
         backend: str | None = None,
         elapsed: float | None = None,
+        attempts: int | None = None,
+        final_backend: str | None = None,
     ) -> None:
         super().__init__(message)
         self.backend = backend
         self.elapsed = elapsed
+        self.attempts = attempts
+        self.final_backend = final_backend
 
 
 #: interned plan tokens: structural binding key -> short stable string.
@@ -126,17 +156,46 @@ def plan_token_for(
 
 
 @dataclass
+class _DispatchContext:
+    """Everything a chunk needs to be (re-)dispatched after submit time."""
+
+    pool: WorkerPool | None
+    workers: int
+    policy: RetryPolicy
+    faults: FaultPlan | None
+    trace: object = None
+
+    @property
+    def checksum(self) -> bool:
+        return self.policy.verify_checksums
+
+    def pool_for(self, backend: str) -> WorkerPool:
+        """The explicit pool if it matches, else the shared one."""
+        if self.pool is not None and self.pool.backend == backend:
+            return self.pool
+        return shared_pool(backend, self.workers)
+
+
+@dataclass
 class _PendingChunk:
-    """One submitted chunk: its batch slice and its transport."""
+    """One chunk of the batch: its slice, transport and attempt state."""
 
     index: int
     start: int
     size: int
-    future: object
-    #: shared-memory segment (process backend); None on threads
+    #: the chunk's own field environments, retained for re-dispatch
+    members: Sequence[Mapping[str, Field]]
+    future: object = None
+    #: shared-memory segment of the current attempt (process backend only)
     stack: SharedStack | None = None
-    #: perf_counter timestamp of the submit, for failure elapsed-time context
+    #: ladder rung of the current attempt ("process"/"thread"/"serial")
+    backend: str = ""
+    #: perf_counter timestamp of the current submit (deadline anchor)
     submitted_at: float = 0.0
+    #: total dispatches of this chunk, across every rung
+    attempts: int = 0
+    #: recoveries, i.e. ``attempts - 1`` once the chunk lands
+    retries: int = 0
 
 
 @dataclass
@@ -146,7 +205,7 @@ class PendingBatch:
     Results are reassembled by chunk *index*, so per-mesh order matches the
     submitted batch no matter in which order workers finish. Chunk-size
     accounting (``stats=``) is fixed at submit time — the schedule is
-    deterministic; only completion order is not.
+    deterministic; only completion order (and recovery) is not.
     """
 
     batch_fields: Sequence[Mapping[str, Field]]
@@ -161,16 +220,21 @@ class PendingBatch:
     #: the caller's ``stats=`` dict, so collection can append the
     #: worker-measured ``chunk_seconds`` once results land
     stats: dict | None = None
+    #: retry/fault machinery shared by every chunk of this batch
+    ctx: _DispatchContext | None = None
     _results: list[dict[str, Field]] | None = None
 
     def result(self) -> list[dict[str, Field]]:
         """Block until every chunk finished; per-mesh results in order.
 
-        Any chunk failure — a raised exception or a worker death — drains
-        and cleans up the remaining chunks, then raises
-        :class:`ParallelExecutionError` naming the failing chunk and its
-        mesh range (callers scheduling several batches add their own
-        context, e.g. the originating workload spec).
+        Each chunk is collected under the batch's :class:`RetryPolicy`:
+        a failure or deadline miss retries the chunk on its rung (with
+        deterministic backoff), then degrades it down the ladder. Only a
+        chunk that exhausts every rung raises
+        :class:`ParallelExecutionError` naming the chunk and its mesh
+        range (callers scheduling several batches add their own context,
+        e.g. the originating workload spec); remaining chunks are then
+        abandoned and their segments reclaimed.
         """
         if self._results is not None:
             return self._results
@@ -180,22 +244,27 @@ class PendingBatch:
         failure: tuple[_PendingChunk, BaseException] | None = None
         results: list[dict[str, Field] | None] = [None] * len(self.batch_fields)
         chunk_seconds: list[float] = [0.0] * len(self.pending)
+        retries = 0
         for chunk in self.pending:
-            try:
-                out = chunk.future.result()
-            except BaseException as exc:  # noqa: BLE001 - rewrapped below
-                if failure is None:
-                    failure = (chunk, exc)
+            if failure is not None:
+                self._abandon(chunk)
                 continue
-            if failure is None:
-                seconds = float(out.get("seconds", 0.0))
-                chunk_seconds[chunk.index] = seconds
-                obs.observe(
-                    "exec.chunk_seconds", seconds,
-                    backend=self.backend or "parallel",
-                )
-                obs.adopt_spans(out.get("spans"))
-                self._assemble(chunk, out, results)
+            try:
+                out = self._collect_chunk(chunk)
+            except BaseException as exc:  # noqa: BLE001 - rewrapped below
+                failure = (chunk, exc)
+                self._release(chunk)
+                continue
+            retries += chunk.retries
+            seconds = float(out.get("seconds", 0.0))
+            chunk_seconds[chunk.index] = seconds
+            obs.observe(
+                "exec.chunk_seconds", seconds,
+                backend=chunk.backend or self.backend or "parallel",
+            )
+            obs.adopt_spans(out.get("spans"))
+            self._assemble(chunk, out, results)
+            self._release(chunk)
         self._cleanup()
         if failure is not None:
             chunk, exc = failure
@@ -212,9 +281,13 @@ class PendingBatch:
                 plan=self.token,
                 backend=backend,
                 elapsed=elapsed,
+                attempts=chunk.attempts,
+                final_backend=chunk.backend or None,
                 error=repr(exc),
             )
             context = f", backend {backend}" if backend else ""
+            if chunk.attempts > 1:
+                context += f", {chunk.attempts} attempts ending on {chunk.backend}"
             if elapsed is not None:
                 context += f", {elapsed:.3f}s after submit"
             raise ParallelExecutionError(
@@ -223,12 +296,130 @@ class PendingBatch:
                 f"plan {self.token[:12]}{context}) failed: {exc!r}",
                 backend=backend,
                 elapsed=elapsed,
+                attempts=chunk.attempts,
+                final_backend=chunk.backend or None,
             ) from exc
         if self.stats is not None:
             self.stats["chunk_seconds"] = chunk_seconds
+            if retries:
+                self.stats["retries"] = retries
         self._results = results  # type: ignore[assignment]
         return self._results
 
+    # -- per-chunk collection with retry and degradation -----------------------
+    def _collect_chunk(self, chunk: _PendingChunk) -> dict:
+        """One chunk's result, retried and degraded per the policy."""
+        ctx = self.ctx
+        policy = ctx.policy if ctx is not None else DEFAULT_POLICY
+        rungs = list(policy.rungs_from(self.backend or chunk.backend))
+        if not rungs:
+            rungs = [chunk.backend or self.backend]
+        rung_i = rungs.index(chunk.backend) if chunk.backend in rungs else 0
+        attempt_on_rung = 1  # the submit-time dispatch is attempt one
+        while True:
+            rung = rungs[rung_i]
+            try:
+                if rung == "serial":
+                    out = self._run_serial(chunk)
+                else:
+                    out = self._await(chunk, policy)
+                self._verify(chunk, out)
+                return out
+            except (KeyboardInterrupt, SystemExit):
+                self._release(chunk)
+                raise
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                kind = classify_failure(exc)
+                if kind == "timeout":
+                    self._kill_hung(chunk, rung)
+                self._release(chunk)
+                if attempt_on_rung >= policy.max_attempts:
+                    if rung_i + 1 >= len(rungs):
+                        raise
+                    rung_i += 1
+                    attempt_on_rung = 0
+                    obs.inc(
+                        "resilience.degraded",
+                        from_backend=rung, to_backend=rungs[rung_i], kind=kind,
+                    )
+                    obs.emit(
+                        "resilience.degraded",
+                        chunk=chunk.index, plan=self.token,
+                        from_backend=rung, to_backend=rungs[rung_i],
+                        failure=kind, error=repr(exc),
+                    )
+                attempt_on_rung += 1
+                chunk.retries += 1
+                rung = rungs[rung_i]
+                obs.inc("resilience.retries", backend=rung, kind=kind)
+                obs.emit(
+                    "resilience.retry",
+                    chunk=chunk.index, plan=self.token, backend=rung,
+                    attempt=chunk.attempts + 1, failure=kind, error=repr(exc),
+                )
+                delay = policy.backoff_delay(
+                    chunk.retries, self.token, chunk.index
+                )
+                if delay:
+                    time.sleep(delay)
+                if rung != "serial":
+                    _dispatch(self, chunk, rung)
+
+    def _await(self, chunk: _PendingChunk, policy: RetryPolicy) -> dict:
+        """The current attempt's worker result, bounded by the deadline."""
+        remaining = policy.deadline_remaining(
+            chunk.submitted_at, time.perf_counter()
+        )
+        return chunk.future.result(timeout=remaining)
+
+    def _run_serial(self, chunk: _PendingChunk) -> dict:
+        """The terminal rung: replay the chunk in-process, fault-free.
+
+        Runs the very same lowered plan through the same worker entry
+        point the thread backend uses, so a chunk rescued here is
+        bit-identical to one that never failed.
+        """
+        chunk.backend = "serial"
+        chunk.attempts += 1
+        chunk.submitted_at = time.perf_counter()
+        return run_chunk_fields(
+            self.token, self.plan, chunk.size, self.niter, chunk.members,
+            trace=self.ctx.trace if self.ctx is not None else None,
+        )
+
+    def _verify(self, chunk: _PendingChunk, out: dict) -> None:
+        """Re-check the worker's per-field CRCs on the received data."""
+        shipped = out.get("checksums")
+        if shipped is None:
+            return
+        if chunk.stack is not None:
+            actual = checksum_arrays(
+                {f: chunk.stack.array(f"o:{f}") for f in shipped}
+            )
+        else:
+            actual = checksum_arrays(out["fields"])
+        if actual != shipped:
+            bad = sorted(n for n in shipped if actual.get(n) != shipped[n])
+            raise CorruptResultError(
+                f"chunk {chunk.index} returned corrupt data for fields "
+                f"{bad} (plan {self.token[:12]})"
+            )
+
+    def _kill_hung(self, chunk: _PendingChunk, rung: str) -> None:
+        """Deadline miss: count it, abandon the future, kill a stuck pool."""
+        obs.inc("resilience.timeouts", backend=rung)
+        obs.emit(
+            "resilience.timeout",
+            chunk=chunk.index, plan=self.token, backend=rung,
+            attempt=chunk.attempts,
+        )
+        if chunk.future is not None:
+            chunk.future.cancel()
+        if self.ctx is not None and rung == "process":
+            # a hung process worker never frees its lane on its own
+            self.ctx.pool_for(rung).reset(kill=True)
+
+    # -- assembly and cleanup --------------------------------------------------
     def _assemble(self, chunk, out, results) -> None:
         produced = self.plan.final_env(self.niter)
         fields = out.get("fields")
@@ -245,6 +436,27 @@ class PendingBatch:
                 env[fname] = Field(fname, spec, data)
             results[chunk.start + b] = env
 
+    def _release(self, chunk: _PendingChunk) -> None:
+        """Reclaim the current attempt's transport (segment + future)."""
+        if chunk.stack is not None:
+            chunk.stack.unlink()
+            chunk.stack = None
+        chunk.future = None
+
+    def _abandon(self, chunk: _PendingChunk) -> None:
+        """Discard an in-flight chunk: cancel, wait it out, reclaim."""
+        if chunk.future is not None:
+            chunk.future.cancel()
+            try:
+                timeout = (
+                    self.ctx.policy.chunk_timeout
+                    if self.ctx is not None else None
+                )
+                chunk.future.result(timeout=timeout)
+            except BaseException:  # noqa: BLE001 - abandoning anyway
+                pass
+        self._release(chunk)
+
     def _cleanup(self) -> None:
         for chunk in self.pending:
             if chunk.stack is not None:
@@ -260,13 +472,64 @@ class PendingBatch:
         if self._results is not None or self.ready is not None:
             return
         for chunk in self.pending:
-            chunk.future.cancel()
-            try:
-                chunk.future.result()
-            except BaseException:  # noqa: BLE001 - abandoning anyway
-                pass
+            self._abandon(chunk)
         self._cleanup()
         self._results = []
+
+
+def _dispatch(batch: PendingBatch, chunk: _PendingChunk, backend: str) -> None:
+    """Submit (or resubmit) one chunk on ``backend``, arming any due fault."""
+    ctx = batch.ctx
+    chunk.backend = backend
+    chunk.attempts += 1
+    pool = ctx.pool_for(backend)
+    if backend == "process":
+        plan = batch.plan
+        dtype = plan.mesh.dtype
+        produced = tuple(plan.final_env(batch.niter))
+        layout: dict[str, tuple[tuple[int, ...], np.dtype]] = {}
+        for name in plan.inputs:
+            layout[f"i:{name}"] = (
+                (chunk.size,) + plan.buffers[f"in:{name}"], dtype
+            )
+        for fname in produced:
+            shape = plan.produced_specs[fname].storage_shape
+            layout[f"o:{fname}"] = ((chunk.size,) + shape, dtype)
+        stack = SharedStack.allocate(layout)
+        chunk.stack = stack
+        for name in plan.inputs:
+            arr = stack.array(f"i:{name}")
+            for b, env in enumerate(chunk.members):
+                np.copyto(arr[b], env[name].data)
+        fault = _draw_fault(batch, chunk, backend)
+        chunk.submitted_at = time.perf_counter()
+        chunk.future = pool.submit(
+            run_chunk_shm, batch.token, plan, chunk.size, batch.niter,
+            stack.handle, ctx.trace, fault, ctx.checksum,
+        )
+    else:
+        fault = _draw_fault(batch, chunk, backend)
+        chunk.submitted_at = time.perf_counter()
+        chunk.future = pool.submit(
+            run_chunk_fields, batch.token, batch.plan, chunk.size,
+            batch.niter, chunk.members, ctx.trace, fault, ctx.checksum,
+        )
+
+
+def _draw_fault(batch: PendingBatch, chunk: _PendingChunk, backend: str):
+    """The armed fault for this submit, if the plan has one due."""
+    ctx = batch.ctx
+    if ctx is None or ctx.faults is None:
+        return None
+    fault = ctx.faults.draw(chunk.index, batch.token)
+    if fault is not None:
+        obs.inc("exec.fault_injected", kind=fault.kind, backend=backend)
+        obs.emit(
+            "exec.fault_injected",
+            fault=fault.kind, chunk=chunk.index, plan=batch.token,
+            backend=backend,
+        )
+    return fault
 
 
 def submit_stacked(
@@ -280,6 +543,8 @@ def submit_stacked(
     max_workers: int | None = None,
     backend: str | None = None,
     pool: WorkerPool | None = None,
+    policy: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> PendingBatch:
     """Fan a stacked batch's chunks out over a worker pool; non-blocking.
 
@@ -298,6 +563,13 @@ def submit_stacked(
     exactly where process transport costs more than the tape). If the
     host cannot allocate shared memory at all, the dispatch degrades to
     the thread backend rather than failing.
+
+    ``policy`` governs recovery at collect time (default
+    :data:`~repro.resilience.DEFAULT_POLICY`: two attempts per rung, the
+    full degradation ladder; :meth:`RetryPolicy.disabled` restores
+    fail-fast). ``fault_plan`` arms deterministic faults into this
+    dispatch's worker tasks; when omitted, a plan named by
+    ``REPRO_FAULT_PLAN`` applies process-wide.
     """
     required, first = check_stacked_batch(program, batch_fields)
     if niter < 0:
@@ -354,7 +626,15 @@ def submit_stacked(
         chunk_bytes = plan.nbytes * max(chunks)
         backend = "process" if chunk_bytes >= PROCESS_BACKEND_MIN_BYTES else "thread"
     token = plan_token_for(program, first, coefficients)
-    batch = PendingBatch(batch_fields, plan, niter, token=token, stats=stats)
+    ctx = _DispatchContext(
+        pool=pool,
+        workers=workers,
+        policy=policy if policy is not None else DEFAULT_POLICY,
+        faults=fault_plan if fault_plan is not None else FaultPlan.from_env(),
+    )
+    batch = PendingBatch(
+        batch_fields, plan, niter, token=token, stats=stats, ctx=ctx
+    )
     with obs.span(
         "parallel.submit",
         program=program.name,
@@ -363,11 +643,9 @@ def submit_stacked(
         backend=backend,
         chunks=len(chunks),
     ):
-        trace = obs.trace_context()
+        ctx.trace = obs.trace_context()
         try:
-            _submit_chunks(batch, plan, chunks, niter, token, batch_fields,
-                           pool if pool is not None else shared_pool(backend, workers),
-                           use_shm=backend == "process", trace=trace)
+            _submit_chunks(batch, chunks, batch_fields, backend)
         except OSError as exc:
             # no shared memory on this host (or it is exhausted): reclaim any
             # segments we did get and fall back to in-process thread transport
@@ -384,14 +662,16 @@ def submit_stacked(
                 batch=len(batch_fields),
                 error=repr(exc),
             )
-            batch.pending, partial = [], batch.pending
-            for chunk in partial:
+            for chunk in batch.pending:
                 if chunk.stack is not None:
                     chunk.stack.unlink()
+                    chunk.stack = None
+                chunk.future = None
+                chunk.backend = ""
+                chunk.attempts = 0
+            batch.pending = []
             backend = "thread"
-            _submit_chunks(batch, plan, chunks, niter, token, batch_fields,
-                           pool if pool is not None else shared_pool(backend, workers),
-                           use_shm=False, trace=trace)
+            _submit_chunks(batch, chunks, batch_fields, backend)
         obs.emit(
             "exec.dispatch",
             program=program.name,
@@ -407,49 +687,17 @@ def submit_stacked(
 
 def _submit_chunks(
     batch: PendingBatch,
-    plan: ProgramPlan,
     chunks: list[int],
-    niter: int,
-    token: str,
     batch_fields: Sequence[Mapping[str, Field]],
-    pool: WorkerPool,
-    use_shm: bool,
-    trace=None,
+    backend: str,
 ) -> None:
-    dtype = plan.mesh.dtype
-    produced = tuple(plan.final_env(niter))
     start = 0
     for index, size in enumerate(chunks):
-        members = batch_fields[start : start + size]
-        if use_shm:
-            layout: dict[str, tuple[tuple[int, ...], np.dtype]] = {}
-            for name in plan.inputs:
-                layout[f"i:{name}"] = ((size,) + plan.buffers[f"in:{name}"], dtype)
-            for fname in produced:
-                shape = plan.produced_specs[fname].storage_shape
-                layout[f"o:{fname}"] = ((size,) + shape, dtype)
-            stack = SharedStack.allocate(layout)
-            chunk = _PendingChunk(index, start, size, None, stack)
-            batch.pending.append(chunk)  # tracked before submit: cleanup-safe
-            for name in plan.inputs:
-                arr = stack.array(f"i:{name}")
-                for b, env in enumerate(members):
-                    np.copyto(arr[b], env[name].data)
-            chunk.submitted_at = time.perf_counter()
-            chunk.future = pool.submit(
-                run_chunk_shm, token, plan, size, niter, stack.handle, trace
-            )
-        else:
-            submitted_at = time.perf_counter()
-            batch.pending.append(
-                _PendingChunk(
-                    index, start, size,
-                    pool.submit(
-                        run_chunk_fields, token, plan, size, niter, members, trace
-                    ),
-                    submitted_at=submitted_at,
-                )
-            )
+        chunk = _PendingChunk(
+            index, start, size, members=batch_fields[start : start + size]
+        )
+        batch.pending.append(chunk)  # tracked before submit: cleanup-safe
+        _dispatch(batch, chunk, backend)
         start += size
 
 
@@ -464,6 +712,8 @@ def run_program_parallel(
     max_workers: int | None = None,
     backend: str | None = None,
     pool: WorkerPool | None = None,
+    policy: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> list[dict[str, Field]]:
     """Solve ``B`` same-spec meshes with chunks fanned across the pool.
 
@@ -472,10 +722,11 @@ def run_program_parallel(
     signature semantics plus pool controls, identical chunk schedule and
     ``stats`` accounting, bit-identical per-mesh results (asserted across
     every registry app in the test suite). See :func:`submit_stacked` for
-    the backend-selection and degenerate-path rules.
+    the backend-selection, degenerate-path and recovery rules.
     """
     return submit_stacked(
         program, batch_fields, niter, coefficients,
         cache=cache, max_stack_bytes=max_stack_bytes, stats=stats,
         max_workers=max_workers, backend=backend, pool=pool,
+        policy=policy, fault_plan=fault_plan,
     ).result()

@@ -14,10 +14,16 @@ task message, not one process spawn — the per-worker compiled-plan cache
 the chunk. :func:`shared_pool` hands out process-wide singletons keyed by
 ``(backend, max_workers)``; they are torn down at interpreter exit.
 
-A crashed worker (e.g. OOM-killed) breaks a process executor permanently;
-:class:`WorkerPool` detects the broken state on the next submit and
-replaces the executor transparently, so one lost batch does not poison
-every later dispatch through a shared pool.
+A crashed worker (e.g. OOM-killed) breaks a process executor permanently.
+:class:`WorkerPool` recovers on **both** sides of that break: a submit
+that finds the executor broken replaces it and retries (as before), and
+every future it hands out is a :class:`PoolFuture` that, when the
+executor breaks *underneath* an already-submitted task, transparently
+resubmits that task once on the replacement executor — in-flight futures
+no longer surface a raw ``BrokenProcessPool`` at collect time while the
+next submit sails through on a fresh pool. :meth:`WorkerPool.reset`
+additionally supports killing hung worker processes outright (the
+resilience layer calls it when a chunk misses its deadline).
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ import os
 import threading
 import time
 from concurrent.futures import (
+    BrokenExecutor,
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
@@ -52,6 +59,72 @@ def check_backend(backend: str) -> str:
 def default_workers() -> int:
     """The default pool width: every core the host exposes."""
     return os.cpu_count() or 1
+
+
+class PoolFuture:
+    """A pool task whose broken-executor death is resubmitted once.
+
+    Wraps the executor future together with its ``(fn, args, kwargs)`` so
+    that a :class:`~concurrent.futures.BrokenExecutor` raised at
+    :meth:`result` — the fate of every in-flight future when a sibling
+    task kills its worker — re-runs the task on the pool's replacement
+    executor instead of surfacing an error the task did not cause. One
+    resubmit only: a task that breaks the pool *again* is the problem
+    itself and its error propagates. A cancelled future never resubmits
+    (cancellation means the caller is abandoning the work).
+    """
+
+    __slots__ = ("_pool", "_fn", "_args", "_kwargs", "_inner",
+                 "_resubmitted", "_abandoned")
+
+    def __init__(self, pool: "WorkerPool", fn, args, kwargs):
+        self._pool = pool
+        self._fn = fn
+        self._args = args
+        self._kwargs = kwargs
+        self._resubmitted = False
+        self._abandoned = False
+        self._inner: Future = pool._submit_once(fn, args, kwargs)
+
+    def result(self, timeout: float | None = None):
+        """The task's result; resubmits once if the executor broke."""
+        try:
+            return self._inner.result(timeout)
+        except BrokenExecutor:
+            if self._resubmitted or self._abandoned:
+                raise
+            self._resubmitted = True
+            obs.inc("pool.recoveries", backend=self._pool.backend)
+            obs.emit(
+                "pool.recovered",
+                backend=self._pool.backend,
+                workers=self._pool.max_workers,
+                inflight_resubmit=True,
+            )
+            self._inner = self._pool._submit_once(
+                self._fn, self._args, self._kwargs
+            )
+            return self._inner.result(timeout)
+
+    def exception(self, timeout: float | None = None):
+        """The task's exception (after any resubmit), or None."""
+        try:
+            self.result(timeout)
+        except BaseException as exc:  # noqa: BLE001 - mirror Future API
+            return exc
+        return None
+
+    def cancel(self) -> bool:
+        """Cancel the task and disable any further resubmission."""
+        self._abandoned = True
+        return self._inner.cancel()
+
+    def done(self) -> bool:
+        return self._inner.done()
+
+    def add_done_callback(self, fn) -> None:
+        """Attach to the *current* inner future (may re-fire on resubmit)."""
+        self._inner.add_done_callback(fn)
 
 
 class WorkerPool:
@@ -87,12 +160,8 @@ class WorkerPool:
                 executor = self._executor = self._make_executor()
             return executor
 
-    def submit(self, fn, /, *args, **kwargs) -> Future:
-        """Schedule ``fn(*args, **kwargs)`` on a worker.
-
-        A process executor broken by an earlier worker crash is replaced
-        with a fresh one (once) instead of failing every future submit.
-        """
+    def _submit_once(self, fn, args, kwargs) -> Future:
+        """Submit on the live executor, replacing a broken one (once)."""
         executor = self._ensure()
         try:
             future = executor.submit(fn, *args, **kwargs)
@@ -123,6 +192,40 @@ class WorkerPool:
 
             future.add_done_callback(_observe_latency)
         return future
+
+    def submit(self, fn, /, *args, **kwargs) -> PoolFuture:
+        """Schedule ``fn(*args, **kwargs)`` on a worker.
+
+        Broken-pool recovery is consistent on both ends of the task's
+        life: a submit that finds the executor broken replaces it and
+        retries, and the returned :class:`PoolFuture` resubmits the task
+        once if the executor breaks while it is in flight.
+        """
+        return PoolFuture(self, fn, args, kwargs)
+
+    def reset(self, kill: bool = False) -> None:
+        """Replace the executor; the pool restarts lazily on the next submit.
+
+        With ``kill=True`` on the process backend, live worker processes
+        are terminated first — the hung-worker remedy: a worker stuck past
+        its chunk deadline never frees its lane on its own, so the
+        resilience layer kills the pool and resubmits elsewhere. In-flight
+        futures fail with ``BrokenExecutor`` and recover through their
+        :class:`PoolFuture` resubmit (or their caller's retry policy).
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        if kill and isinstance(executor, ProcessPoolExecutor):
+            for proc in list(getattr(executor, "_processes", {}).values()):
+                try:  # pragma: no cover - racing a normal worker exit
+                    proc.terminate()
+                except Exception:  # noqa: BLE001 - already gone
+                    pass
+        executor.shutdown(wait=False, cancel_futures=True)
+        obs.inc("pool.resets", backend=self.backend, killed=kill)
+        obs.emit("pool.reset", backend=self.backend, killed=kill)
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the workers; the pool restarts lazily on the next submit."""

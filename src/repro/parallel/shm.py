@@ -24,12 +24,28 @@ standard workaround until the ``track=`` parameter (3.13) is available.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 from multiprocessing import resource_tracker, shared_memory
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.util.errors import ValidationError
+
+#: names of owned (parent-allocated) segments not yet unlinked — the
+#: ground truth leak tests assert against after exercising error paths
+_LIVE: set[str] = set()
+_LIVE_LOCK = threading.Lock()
+
+
+def live_segments() -> tuple[str, ...]:
+    """Names of owned segments still awaiting :meth:`SharedStack.unlink`.
+
+    Empty whenever no dispatch is in flight; anything left here after a
+    batch — successful, failed, or recovered — is a ``/dev/shm`` leak.
+    """
+    with _LIVE_LOCK:
+        return tuple(sorted(_LIVE))
 
 #: slot alignment: keeps every array cache-line aligned within the segment
 _ALIGN = 64
@@ -80,10 +96,18 @@ class SharedStack:
         self._owner = owner
         self._closed = False
         self._arrays: dict[str, np.ndarray] = {}
-        for sname, shape, dtype, offset in slots:
-            self._arrays[sname] = np.ndarray(
-                shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
-            )
+        try:
+            for sname, shape, dtype, offset in slots:
+                self._arrays[sname] = np.ndarray(
+                    shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
+                )
+        except Exception:
+            # a bad slot spec (stale handle, truncated segment) must not
+            # leak the mapping we already hold
+            self._arrays.clear()
+            self._closed = True
+            shm.close()
+            raise
 
     # -- construction ---------------------------------------------------------
     @classmethod
@@ -102,11 +126,30 @@ class SharedStack:
             slots.append((name, shape, dt.str, offset))
             offset += int(np.prod(shape)) * dt.itemsize
         shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
-        return cls(shm, tuple(slots), owner=True)
+        try:
+            stack = cls(shm, tuple(slots), owner=True)
+        except Exception:
+            # construction failure on a segment we just created: destroy it
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            raise
+        with _LIVE_LOCK:
+            _LIVE.add(shm.name)
+        return stack
 
     @classmethod
-    def attach(cls, handle: StackHandle) -> "SharedStack":
-        """Map a peer's segment from its :attr:`handle` (non-owning)."""
+    def attach(cls, handle: StackHandle, fail: bool = False) -> "SharedStack":
+        """Map a peer's segment from its :attr:`handle` (non-owning).
+
+        ``fail=True`` raises the same ``OSError`` a vanished segment or an
+        exhausted ``/dev/shm`` produces — the injection point of the
+        ``shm`` fault class, placed here so the failure originates exactly
+        where the real one would.
+        """
+        if fail:
+            raise OSError("injected shm attach failure")
         name, slots = handle
         return cls(
             _attach(name),
@@ -155,6 +198,8 @@ class SharedStack:
         self.close()
         if self._owner:
             self._owner = False
+            with _LIVE_LOCK:
+                _LIVE.discard(self._shm.name)
             try:
                 self._shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone

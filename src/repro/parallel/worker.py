@@ -34,6 +34,7 @@ import numpy as np
 from repro.mesh.mesh import Field
 from repro.observability.tracing import TraceContext, Tracer
 from repro.parallel.shm import SharedStack, StackHandle
+from repro.resilience.faults import Fault, checksum_arrays, corrupt_first_value
 from repro.stencil.compiled import CompiledProgram
 from repro.stencil.plan import ProgramPlan
 
@@ -79,6 +80,24 @@ def bind_instance(token: str, plan: ProgramPlan, batch: int) -> CompiledProgram:
     else:
         cache.move_to_end(key)
     return instance
+
+
+def _apply_entry_fault(fault: Fault | None, process: bool) -> None:
+    """Fire a task-entry fault (``crash``/``slow``) before any work runs.
+
+    A process-backend crash is a hard ``os._exit`` — the worker dies the
+    way an OOM kill would and breaks the pool; threads cannot take the
+    process down, so there the crash is a raised exception, matching what
+    the parent of a thread pool would actually observe.
+    """
+    if fault is None:
+        return
+    if fault.kind == "crash":
+        if process:  # pragma: no cover - exits the worker process
+            os._exit(13)
+        raise RuntimeError("injected worker crash")
+    if fault.kind == "slow":
+        time.sleep(fault.seconds)
 
 
 def _worker_tracer(trace: TraceContext | None) -> Tracer | None:
@@ -127,6 +146,8 @@ def run_chunk_shm(
     niter: int,
     handle: StackHandle,
     trace: TraceContext | None = None,
+    fault: Fault | None = None,
+    checksum: bool = False,
 ) -> dict[str, Any]:
     """Execute one chunk against shared-memory buffers (process backend).
 
@@ -135,13 +156,17 @@ def run_chunk_shm(
     through the task pipe; the result fields live in the segment. Returns
     the chunk's worker-measured wall-clock ``seconds`` plus, when the
     parent shipped a :class:`TraceContext`, the worker-side ``spans`` for
-    it to adopt.
+    it to adopt, and with ``checksum=True`` a CRC per produced field
+    (computed before the data leaves the worker, so the parent can detect
+    transport corruption). An armed :class:`Fault` fires at its injection
+    point: crash/slow on entry, shm at attach, corrupt after checksumming.
     """
     if os.environ.get(CRASH_ENV) == "1":  # pragma: no cover - exits
         os._exit(13)
+    _apply_entry_fault(fault, process=True)
     tracer = _worker_tracer(trace)
     t0 = time.perf_counter()
-    stack = SharedStack.attach(handle)
+    stack = SharedStack.attach(handle, fail=fault is not None and fault.kind == "shm")
     try:
         ctx = (
             tracer.span(
@@ -157,11 +182,25 @@ def run_chunk_shm(
             _load_and_run(
                 instance, plan, batch, niter, lambda n: stack.array(f"i:{n}")
             )
-            for fname, final in instance.final_arrays().items():
+            finals = instance.final_arrays()
+            for fname, final in finals.items():
                 np.copyto(stack.array(f"o:{fname}"), final)
+            # only transient views of the segment below: anything retained
+            # past the finally would make stack.close() raise BufferError
+            checksums = (
+                checksum_arrays({f: stack.array(f"o:{f}") for f in finals})
+                if checksum
+                else None
+            )
+            if fault is not None and fault.kind == "corrupt":
+                corrupt_first_value({f: stack.array(f"o:{f}") for f in finals})
     finally:
         stack.close()
-    return {"seconds": time.perf_counter() - t0, "spans": _span_dicts(tracer)}
+    return {
+        "seconds": time.perf_counter() - t0,
+        "spans": _span_dicts(tracer),
+        "checksums": checksums,
+    }
 
 
 def run_chunk_fields(
@@ -171,6 +210,8 @@ def run_chunk_fields(
     niter: int,
     envs: Sequence[Mapping[str, Field]],
     trace: TraceContext | None = None,
+    fault: Fault | None = None,
+    checksum: bool = False,
 ) -> dict[str, Any]:
     """Execute one chunk on in-process field environments (thread backend).
 
@@ -179,11 +220,17 @@ def run_chunk_fields(
     the same single copy the serial engine performs. Returns stacked
     ``(B, *storage)`` copies of the produced fields under ``"fields"`` —
     copies, because the warm instance's buffers are overwritten by this
-    worker's next task — plus worker-measured ``seconds`` and optional
-    ``spans``, mirroring :func:`run_chunk_shm`.
+    worker's next task — plus worker-measured ``seconds``, optional
+    ``spans`` and optional per-field ``checksums``, mirroring
+    :func:`run_chunk_shm`. Faults fire at the analogous injection points;
+    the ``shm`` kind raises the same ``OSError`` even though threads carry
+    no segment, so a plan behaves uniformly across backends.
     """
     if os.environ.get(CRASH_ENV) == "1":  # threads cannot crash a process;
         raise RuntimeError("crash requested by test hook")  # raise instead
+    _apply_entry_fault(fault, process=False)
+    if fault is not None and fault.kind == "shm":
+        raise OSError("injected shm attach failure")
     tracer = _worker_tracer(trace)
     t0 = time.perf_counter()
     ctx = (
@@ -204,10 +251,14 @@ def run_chunk_fields(
         instance.run_iterations(niter)
         out = instance.final_arrays()
         fields = {fname: arr.copy() for fname, arr in out.items()}
+        checksums = checksum_arrays(fields) if checksum else None
+        if fault is not None and fault.kind == "corrupt":
+            corrupt_first_value(fields)
     return {
         "fields": fields,
         "seconds": time.perf_counter() - t0,
         "spans": _span_dicts(tracer),
+        "checksums": checksums,
     }
 
 

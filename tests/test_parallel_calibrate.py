@@ -92,6 +92,74 @@ class TestCalibratedBytesLimit:
         assert probes == ["<f4"]  # probed, then rewrote the file cleanly
         assert json.loads(path.read_text())["version"] == 1
 
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            '{"version": 999, "entries": {}}',  # future version
+            '{"version": 1, "entries": []}',  # entries is not a mapping
+            '{"version": 1}',  # entries missing entirely
+            '[1, 2, 3]',  # top level is not an object
+            '{"version": 1, "entries"',  # truncated mid-write
+            "",  # zero-byte file (crashed writer)
+        ],
+    )
+    def test_malformed_cache_variants_trigger_reprobe(
+        self, monkeypatch, payload
+    ):
+        path = calibrate.cache_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(payload)
+        probes: list[str] = []
+        monkeypatch.setattr(calibrate, "run_probe", _fake_probe(probes))
+        assert calibrate.calibrated_bytes_limit() == 12345
+        assert probes == ["<f4"]
+
+    def test_garbage_entry_values_fall_back_to_probe(self, monkeypatch):
+        path = calibrate.cache_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({
+            "version": 1,
+            "entries": {calibrate.host_key(): {"stacked_bytes_limit": "lots"}},
+        }))
+        probes: list[str] = []
+        monkeypatch.setattr(calibrate, "run_probe", _fake_probe(probes))
+        assert calibrate.calibrated_bytes_limit() == 12345
+        assert probes == ["<f4"]
+
+    def test_store_is_atomic_and_leaves_no_temp_files(self, monkeypatch):
+        monkeypatch.setattr(calibrate, "run_probe", _fake_probe([]))
+        calibrate.calibrated_bytes_limit()
+        path = calibrate.cache_path()
+        siblings = [p.name for p in path.parent.iterdir()]
+        assert siblings == [path.name]  # no .tmp orphans
+        assert json.loads(path.read_text())["version"] == 1
+
+    def test_store_preserves_foreign_entries(self, monkeypatch):
+        path = calibrate.cache_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        foreign = {"stacked_bytes_limit": 777, "timings": {}}
+        path.write_text(json.dumps({
+            "version": 1, "entries": {"other-host": foreign},
+        }))
+        monkeypatch.setattr(calibrate, "run_probe", _fake_probe([]))
+        calibrate.calibrated_bytes_limit()
+        data = json.loads(path.read_text())
+        assert data["entries"]["other-host"] == foreign
+        assert calibrate.host_key() in data["entries"]
+
+    def test_unwritable_cache_dir_still_calibrates(self, monkeypatch, tmp_path):
+        # a path whose parent is a *file*: every write attempt is an OSError
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        monkeypatch.setenv(
+            calibrate.ENV_CACHE, str(blocker / "calibration.json")
+        )
+        calibrate.forget_memo()
+        probes: list[str] = []
+        monkeypatch.setattr(calibrate, "run_probe", _fake_probe(probes))
+        assert calibrate.calibrated_bytes_limit() == 12345
+        assert probes == ["<f4"]
+
 
 class TestRealProbe:
     def test_probe_returns_a_sane_ladder(self):

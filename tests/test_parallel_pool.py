@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import os
+import time
+from concurrent.futures import BrokenExecutor, CancelledError
 
 import numpy as np
 import pytest
@@ -15,7 +17,7 @@ from repro.parallel.pool import (
     shared_pool,
     shutdown_shared_pools,
 )
-from repro.parallel.shm import SharedStack
+from repro.parallel.shm import SharedStack, live_segments
 from repro.util.errors import ValidationError
 
 
@@ -25,6 +27,11 @@ def _square(x):
 
 def _die():  # pragma: no cover - runs in a sacrificial worker process
     os._exit(13)
+
+
+def _sleep_return(x):  # pragma: no cover - runs in a worker process
+    time.sleep(0.4)
+    return x
 
 
 class TestWorkerPool:
@@ -86,6 +93,61 @@ class TestWorkerPool:
             shared_pool("fiber")
 
 
+class TestPoolFutureResilience:
+    """In-flight futures survive a sibling task breaking the pool."""
+
+    def test_inflight_future_resubmits_after_sibling_crash(self):
+        with WorkerPool(max_workers=2, backend="process") as pool:
+            innocent = pool.submit(_sleep_return, 5)
+            doomed = pool.submit(_die)
+            # the crash breaks the pool; the innocent bystander's future
+            # resubmits on the replacement executor instead of surfacing
+            # a BrokenExecutor it did not cause
+            with pytest.raises(BrokenExecutor):
+                doomed.result()
+            assert innocent.result(timeout=30) == 5
+
+    def test_task_that_breaks_the_pool_twice_propagates(self):
+        with WorkerPool(max_workers=1, backend="process") as pool:
+            future = pool.submit(_die)
+            # one resubmit is granted; a task that kills its replacement
+            # executor too is the problem itself
+            with pytest.raises(BrokenExecutor):
+                future.result()
+            assert pool.submit(_square, 4).result() == 16
+
+    def test_cancelled_future_never_resubmits(self):
+        with WorkerPool(max_workers=1, backend="process") as pool:
+            running = pool.submit(_sleep_return, 1)
+            queued = pool.submit(_square, 2)
+            assert queued.cancel()  # still queued: cancellable
+            with pytest.raises(CancelledError):
+                queued.result()
+            # an abandoned-but-running future surfaces the break raw
+            assert not running.cancel()
+            pool.reset(kill=True)
+            with pytest.raises((BrokenExecutor, CancelledError)):
+                running.result(timeout=30)
+
+    def test_exception_and_done_mirror_future_api(self):
+        with WorkerPool(max_workers=1, backend="thread") as pool:
+            future = pool.submit(_square, 3)
+            assert future.result() == 9
+            assert future.done()
+            assert future.exception() is None
+
+    def test_reset_leaves_the_pool_restartable(self):
+        with WorkerPool(max_workers=1, backend="process") as pool:
+            assert pool.submit(_square, 5).result() == 25
+            pool.reset(kill=True)
+            assert not pool.started
+            assert pool.submit(_square, 6).result() == 36
+        # resetting a never-started pool is a no-op
+        fresh = WorkerPool(max_workers=1, backend="thread")
+        fresh.reset()
+        assert not fresh.started
+
+
 class TestSharedStack:
     LAYOUT = {
         "i:U": ((3, 6, 5), np.dtype(np.float32)),
@@ -134,6 +196,46 @@ class TestSharedStack:
         # the segment is gone: attaching must fail
         with pytest.raises(FileNotFoundError):
             SharedStack.attach((name, stack.handle[1]))
+
+    def test_live_segments_tracks_owned_stacks(self):
+        assert live_segments() == ()
+        stack = SharedStack.allocate(self.LAYOUT)
+        try:
+            assert stack.handle[0] in live_segments()
+            # attachments are not ownership: the peer never registers
+            with SharedStack.attach(stack.handle) as peer:
+                assert live_segments() == (stack.handle[0],)
+                del peer
+        finally:
+            stack.unlink()
+        assert live_segments() == ()
+
+    def test_injected_attach_failure_raises_cleanly(self):
+        with SharedStack.allocate(self.LAYOUT) as stack:
+            with pytest.raises(OSError, match="injected shm attach failure"):
+                SharedStack.attach(stack.handle, fail=True)
+            # the segment is intact and attachable afterwards
+            SharedStack.attach(stack.handle).close()
+
+    def test_failed_construction_leaks_nothing(self, monkeypatch):
+        bad = dict(self.LAYOUT)
+
+        calls = {"n": 0}
+        real = np.ndarray
+
+        def exploding_ndarray(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= 2:  # fail on the second slot
+                raise ValueError("injected construction failure")
+            return real(*args, **kwargs)
+
+        before = live_segments()
+        monkeypatch.setattr("repro.parallel.shm.np.ndarray", exploding_ndarray)
+        with pytest.raises(ValueError, match="injected construction"):
+            SharedStack.allocate(bad)
+        monkeypatch.undo()
+        # the half-built segment was closed and unlinked, not leaked
+        assert live_segments() == before
 
     def test_non_owner_exit_does_not_unlink(self):
         owner = SharedStack.allocate(self.LAYOUT)

@@ -1,0 +1,264 @@
+"""Fault-injection recovery: every fault class heals, bit-identically.
+
+The tentpole contract: a dispatch that suffers an injected worker crash,
+shm attach failure, slow (hung) chunk or corrupt result recovers
+automatically — retry on the same backend, then degradation down the
+process → thread → serial ladder — and the final per-mesh results are
+bit-identical to the golden interpreter. Recovery is visible through
+``resilience.*`` / ``exec.fault_injected`` metrics and events, and no
+``/dev/shm`` segment outlives a dispatch, healthy or not.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import observability as obs
+from repro.apps.registry import all_apps
+from repro.parallel.executor import (
+    ParallelExecutionError,
+    run_program_parallel,
+)
+from repro.parallel.pool import WorkerPool, shutdown_shared_pools
+from repro.parallel.shm import live_segments
+from repro.parallel.worker import CRASH_ENV
+from repro.resilience import FaultPlan, RetryPolicy
+from repro.stencil.compiled import CompiledPlanCache
+from repro.stencil.numpy_eval import run_program
+
+APP_MESHES = {
+    "poisson2d": (20, 16),
+    "jacobi3d": (14, 12, 8),
+    "rtm": (12, 12, 10),
+}
+
+#: fast recovery for tests: no backoff sleeps, checksums verified
+FAST = RetryPolicy(backoff_base=0.0, verify_checksums=True)
+
+
+@pytest.fixture(autouse=True)
+def _observability_off():
+    obs.enable(fresh=True)
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _drain_pools():
+    yield
+    shutdown_shared_pools()
+
+
+def _batch(app_key, batch, seed=40):
+    app = all_apps()[app_key]
+    shape = APP_MESHES[app_key]
+    program = app.program_on(shape)
+    envs = [app.fields(shape, seed=seed + s) for s in range(batch)]
+    return program, envs
+
+
+def _assert_golden(program, envs, got, niter):
+    for env, res in zip(envs, got):
+        gold = run_program(program, env, niter, engine="interpreter")
+        assert set(gold) == set(res)
+        for name in gold:
+            assert np.array_equal(gold[name].data, res[name].data), name
+
+
+class TestFaultClassRecovery:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_worker_crash_recovers(self, backend):
+        obs.enable()
+        program, envs = _batch("poisson2d", 4)
+        stats: dict = {}
+        got = run_program_parallel(
+            program, envs, 3, max_workers=2, backend=backend, stats=stats,
+            policy=FAST, fault_plan=FaultPlan.parse("crash@0"),
+        )
+        _assert_golden(program, envs, got, 3)
+        assert stats["retries"] >= 1
+        reg = obs.metrics_registry()
+        assert reg.value("exec.fault_injected", kind="crash", backend=backend) == 1
+        # a process crash breaks the executor ("crash"); a thread crash
+        # surfaces as the raised exception itself ("error")
+        failure = "crash" if backend == "process" else "error"
+        assert reg.value("resilience.retries", backend=backend, kind=failure) >= 1
+        assert obs.ring_sink().of_kind("resilience.retry")
+        assert obs.ring_sink().of_kind("exec.fault_injected")
+
+    def test_shm_attach_failure_recovers(self):
+        obs.enable()
+        program, envs = _batch("jacobi3d", 4)
+        got = run_program_parallel(
+            program, envs, 3, max_workers=2, backend="process",
+            policy=FAST, fault_plan=FaultPlan.parse("shm@*"),
+        )
+        _assert_golden(program, envs, got, 3)
+        assert obs.metrics_registry().value(
+            "resilience.retries", backend="process", kind="shm"
+        ) >= 1
+        assert live_segments() == ()
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_corrupt_result_detected_and_recovered(self, backend):
+        obs.enable()
+        program, envs = _batch("poisson2d", 4)
+        got = run_program_parallel(
+            program, envs, 3, max_workers=2, backend=backend,
+            policy=FAST, fault_plan=FaultPlan.parse("corrupt@0"),
+        )
+        _assert_golden(program, envs, got, 3)
+        assert obs.metrics_registry().value(
+            "resilience.retries", backend=backend, kind="corrupt"
+        ) >= 1
+
+    def test_corrupt_without_checksums_goes_undetected(self):
+        # the negative control: checksum verification is what catches it
+        program, envs = _batch("poisson2d", 2)
+        no_verify = RetryPolicy(backoff_base=0.0, verify_checksums=False)
+        got = run_program_parallel(
+            program, envs, 2, max_workers=2, backend="thread",
+            policy=no_verify, fault_plan=FaultPlan.parse("corrupt@0"),
+        )
+        gold = run_program(program, envs[0], 2, engine="interpreter")
+        diverged = any(
+            not np.array_equal(gold[name].data, got[0][name].data)
+            for name in gold
+        )
+        assert diverged
+
+    def test_slow_chunk_times_out_and_degrades(self):
+        obs.enable()
+        program, envs = _batch("jacobi3d", 2)
+        policy = RetryPolicy(
+            backoff_base=0.0, chunk_timeout=0.25, max_attempts=1,
+        )
+        with WorkerPool(max_workers=2, backend="process") as pool:
+            t0 = time.perf_counter()
+            got = run_program_parallel(
+                program, envs, 2, max_workers=2, backend="process", pool=pool,
+                policy=policy, fault_plan=FaultPlan.parse("slow@*:30"),
+            )
+            elapsed = time.perf_counter() - t0
+        _assert_golden(program, envs, got, 2)
+        assert elapsed < 15  # nobody waited out the 30s sleep
+        reg = obs.metrics_registry()
+        assert reg.value("resilience.timeouts", backend="process") >= 1
+        assert obs.ring_sink().of_kind("resilience.timeout")
+        degraded = obs.ring_sink().of_kind("resilience.degraded")
+        assert degraded and degraded[0]["from_backend"] == "process"
+        assert live_segments() == ()
+
+    def test_ladder_reaches_serial_when_workers_keep_dying(self):
+        obs.enable()
+        program, envs = _batch("poisson2d", 3)
+        # four crashes outlast two thread attempts; the serial rung runs
+        # in-parent and never draws a fault
+        got = run_program_parallel(
+            program, envs, 2, max_workers=2, backend="thread",
+            policy=FAST, fault_plan=FaultPlan.parse("crash@*x4"),
+        )
+        _assert_golden(program, envs, got, 2)
+        degraded = obs.ring_sink().of_kind("resilience.degraded")
+        assert any(e["to_backend"] == "serial" for e in degraded)
+
+
+class TestExhaustionAndLeaks:
+    def test_exhausted_ladder_raises_with_attempt_context(self):
+        program, envs = _batch("poisson2d", 2)
+        policy = RetryPolicy(
+            backoff_base=0.0, max_attempts=2, ladder=("thread",)
+        )
+        with pytest.raises(ParallelExecutionError) as err:
+            run_program_parallel(
+                program, envs, 2, max_workers=2, backend="thread",
+                policy=policy, fault_plan=FaultPlan.parse("crash@*x99"),
+            )
+        assert err.value.backend == "thread"
+        assert err.value.attempts == 2
+        assert err.value.final_backend == "thread"
+        assert "2 attempts" in str(err.value)
+
+    def test_failed_process_dispatch_leaks_no_segments(self, monkeypatch):
+        program, envs = _batch("jacobi3d", 4)
+        monkeypatch.setenv(CRASH_ENV, "1")
+        policy = RetryPolicy(backoff_base=0.0, max_attempts=1, ladder=())
+        # a dedicated pool spawned after setenv, so its workers inherit it
+        with WorkerPool(max_workers=2, backend="process") as pool:
+            with pytest.raises(ParallelExecutionError):
+                run_program_parallel(
+                    program, envs, 2, max_workers=2, backend="process",
+                    pool=pool,
+                    max_stack_bytes=0,  # per-mesh chunks: several segments
+                    policy=policy,
+                )
+        assert live_segments() == ()
+
+    def test_recovered_process_dispatch_leaks_no_segments(self):
+        program, envs = _batch("jacobi3d", 4)
+        run_program_parallel(
+            program, envs, 2, max_workers=2, backend="process",
+            max_stack_bytes=0,
+            policy=FAST, fault_plan=FaultPlan.parse("crash@0,shm@2"),
+        )
+        assert live_segments() == ()
+
+    def test_disabled_policy_fails_fast(self):
+        program, envs = _batch("poisson2d", 2)
+        with pytest.raises(ParallelExecutionError) as err:
+            run_program_parallel(
+                program, envs, 2, max_workers=2, backend="thread",
+                policy=RetryPolicy.disabled(),
+                fault_plan=FaultPlan.parse("crash@0"),
+            )
+        assert err.value.attempts == 1
+
+
+class TestLegacyCrashHookStillFails:
+    """CRASH_ENV poisons every rung (serial included): errors still surface."""
+
+    def test_thread_crash_env_exhausts_the_full_ladder(self, monkeypatch):
+        program, envs = _batch("poisson2d", 2)
+        monkeypatch.setenv(CRASH_ENV, "1")
+        with pytest.raises(ParallelExecutionError) as err:
+            run_program_parallel(
+                program, envs, 2, max_workers=2, backend="thread",
+                policy=RetryPolicy(backoff_base=0.0),
+            )
+        assert err.value.final_backend == "serial"
+
+
+class TestPropertyFaultBitIdentity:
+    """Satellite: faulted parallel runs match the interpreter, all apps."""
+
+    @pytest.mark.parametrize("app_key", ["poisson2d", "jacobi3d", "rtm"])
+    @settings(max_examples=6, deadline=None)
+    @given(
+        fault=st.sampled_from(
+            ["crash@0", "crash@*x2", "shm@*", "corrupt@0", "slow@1:0.01",
+             "crash@0,corrupt@1"]
+        ),
+        batch=st.integers(min_value=2, max_value=4),
+        niter=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=2),
+    )
+    def test_faulted_runs_bit_identical_to_interpreter(
+        self, app_key, fault, batch, niter, seed
+    ):
+        app = all_apps()[app_key]
+        shape = APP_MESHES[app_key]
+        program = app.program_on(shape)
+        envs = [app.fields(shape, seed=70 + seed + b) for b in range(batch)]
+        cache = CompiledPlanCache()
+        limit = cache.plan_for(program, envs[0]).nbytes  # per-mesh-ish chunks
+        got = run_program_parallel(
+            program, envs, niter, cache=cache, max_stack_bytes=limit,
+            max_workers=2, backend="thread",
+            policy=FAST, fault_plan=FaultPlan.parse(fault),
+        )
+        _assert_golden(program, envs, got, niter)
