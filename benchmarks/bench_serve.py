@@ -1,0 +1,105 @@
+"""Bench: the serving layer — end-to-end latency under closed-loop load.
+
+Drives a :class:`repro.serve.Server` with the closed-loop generator
+(``clients`` coroutines, each awaiting its previous job before the next
+submit) over a two-spec population, on the serial compiled engine so the
+numbers measure the *serving layer itself* — admission, coalescing into
+stacked dispatches, resolution — rather than host core count. Records
+end-to-end p50/p95/p99 latency and throughput (jobs per second) overall
+and per spec, plus an over-capacity run against a depth-limited queue
+showing bounded rejection instead of unbounded queueing.
+
+Results append to ``BENCH_serve.json`` at the repo root (the CI
+``serve-smoke`` job uploads it). Latency thresholds are only asserted
+under ``BENCH_ASSERT_SPEEDUP=1`` — shared runners are too noisy to
+hard-fail on wall clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+import pytest
+
+import _trajectory
+from repro.serve import QueueFullError, Server, ServerConfig, run_closed_loop
+
+#: collected rows, flushed to the trajectory file at module teardown
+_RESULTS: dict[str, dict] = {}
+
+_SPECS = ("jacobi3d:12x12x8:20x2", "poisson2d:24x16:30")
+
+_ASSERT = os.environ.get("BENCH_ASSERT_SPEEDUP") == "1"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_trajectory():
+    yield
+    if _RESULTS:
+        _trajectory.append_record("serve", dict(_RESULTS))
+
+
+def test_bench_serve_closed_loop():
+    """Steady-state closed loop: everything admitted, latency recorded."""
+
+    async def _run():
+        config = ServerConfig(engine="compiled", batch_window=0.002)
+        async with Server(config) as server:
+            t0 = time.perf_counter()
+            report = await run_closed_loop(
+                server, _SPECS, clients=4, requests=6
+            )
+            elapsed = time.perf_counter() - t0
+            return report, elapsed, server.health()
+
+    report, elapsed, health = asyncio.run(_run())
+    assert report["ok"] == report["jobs"] == 24
+    assert health["outstanding_jobs"] == 0
+    _RESULTS["closed_loop"] = {
+        "jobs": report["jobs"],
+        "seconds": elapsed,
+        "jobs_per_second": report["jobs"] / elapsed,
+        "latency": report["latency"],
+        "per_spec": {
+            spec: entry["latency"]
+            for spec, entry in report["per_spec"].items()
+        },
+    }
+    if _ASSERT:
+        assert report["latency"]["p99"] < 5.0
+
+
+def test_bench_serve_overload():
+    """Over-capacity: a depth-1 queue rejects deterministically, p99 of the
+    admitted jobs stays bounded by one dispatch, not by the offered load."""
+
+    async def _run():
+        config = ServerConfig(
+            engine="compiled", queue_depth=1, batch_window=0.002
+        )
+        async with Server(config) as server:
+            handles, rejected = [], 0
+            for _ in range(16):
+                try:
+                    handles.append(await server.submit(_SPECS[0]))
+                except QueueFullError:
+                    rejected += 1
+            latencies = []
+            for handle in handles:
+                t0 = time.perf_counter()
+                await handle
+                latencies.append(time.perf_counter() - t0)
+            return len(handles), rejected, latencies, server.health()
+
+    admitted, rejected, latencies, health = asyncio.run(_run())
+    assert admitted + rejected == 16
+    assert rejected > 0  # the bounded queue actually pushed back
+    assert health["jobs"]["rejected"] == rejected
+    _RESULTS["overload"] = {
+        "offered": 16,
+        "admitted": admitted,
+        "rejected": rejected,
+        "max_await_seconds": max(latencies) if latencies else 0.0,
+    }

@@ -26,9 +26,20 @@ Commands
     faults into parallel dispatches (see ``docs/resilience.md``).
     ``--trace FILE`` records the run's structured events and span tree
     as JSONL.
-``metrics MIX [--engine E] [--trace FILE]``
+``serve MIX [--bench] [--clients N] [--requests N] [--engine E] ...``
+    Stand up the async serving layer (``repro.serve``) and drive it with
+    a closed-loop load generator: bounded per-tenant admission queues,
+    job coalescing into stacked dispatches, per-job deadlines, circuit
+    breaking with serial degradation, graceful drain. Prints the
+    latency-percentile report and the server health snapshot; exits
+    non-zero if any shared-memory segment leaks. ``--fail-fast`` disables
+    the chunk retry ladder so injected faults (``--fault-plan`` /
+    ``REPRO_FAULT_PLAN``) reach the breaker (see ``docs/serving.md``).
+``metrics MIX [--engine E] [--serve] [--trace FILE]``
     Run a mix fully instrumented and dump the Prometheus-style metrics
-    and the human-readable trace table.
+    and the human-readable trace table. ``--serve`` routes the mix
+    through the serving layer so the dump includes the serve counters,
+    queue-depth gauge and end-to-end latency histogram.
 ``calibrate [--force]``
     Probe this host for the best stacked-dispatch byte budget and cache it.
 ``codegen APP [--out DIR] [--mesh MxN[xL]]``
@@ -391,6 +402,92 @@ def _cmd_mix(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.parallel.shm import live_segments
+    from repro.resilience import FaultPlan, RetryPolicy
+    from repro.serve import Server, ServerConfig, run_closed_loop
+    from repro.util.tables import TextTable
+    from repro.workload import WorkloadMix
+
+    mix = WorkloadMix.parse(args.workloads)
+    if getattr(args, "fault_plan", None):
+        fault_plan = FaultPlan.parse(args.fault_plan)
+    else:
+        fault_plan = FaultPlan.from_env()
+    config = ServerConfig(
+        engine=args.engine,
+        max_workers=args.max_workers,
+        queue_depth=args.queue_depth,
+        admission=args.admission,
+        batch_window=args.batch_window,
+        failure_threshold=args.failure_threshold,
+        reset_timeout=args.reset_timeout,
+        validate=args.validate,
+        seed=args.seed,
+        retry_policy=RetryPolicy.disabled() if args.fail_fast else None,
+        fault_plan=fault_plan,
+    )
+
+    async def _bench():
+        async with Server(config) as server:
+            report = await run_closed_loop(
+                server,
+                mix.specs,
+                clients=args.clients,
+                requests=args.requests,
+                tenants=args.tenants,
+                deadline=args.deadline,
+            )
+            return report, server.health()
+
+    with _traced_run(getattr(args, "trace", None)):
+        report, health = asyncio.run(_bench())
+    table = TextTable(
+        ["spec", "ok", "rejected", "shed", "p50 ms", "p95 ms", "p99 ms"],
+        title=(
+            f"serve bench: {args.clients} clients x {args.requests} requests "
+            f"({args.engine} engine, admission={args.admission})"
+        ),
+    )
+    for spec_text, entry in report["per_spec"].items():
+        lat = entry["latency"]
+        table.add_row(
+            [spec_text, entry["ok"], entry["rejected"], entry["shed"],
+             _ms(lat["p50"]), _ms(lat["p95"]), _ms(lat["p99"])]
+        )
+    lat = report["latency"]
+    table.add_row(
+        ["total", report["ok"], report["rejected"], report["shed"],
+         _ms(lat["p50"]), _ms(lat["p95"]), _ms(lat["p99"])]
+    )
+    print(table.render())
+    breaker = health["breaker"]
+    jobs = health["jobs"]
+    print(
+        f"health: state={health['state']}, breaker={breaker['state']} "
+        f"({breaker['trips']} trips), degraded dispatches: "
+        f"{jobs['degraded']:g}"
+    )
+    print(
+        f"jobs: admitted {jobs['admitted']:g}, completed {jobs['completed']:g}, "
+        f"rejected {jobs['rejected']:g}, shed {jobs['shed']:g}, "
+        f"cancelled {jobs['cancelled']:g}, failed {jobs['failed']:g}"
+    )
+    if config.validate and report["ok"]:
+        print(
+            "validated: every served mesh bit-identical to the golden "
+            "interpreter"
+        )
+    leaked = live_segments()
+    if leaked:
+        print(f"error: {len(leaked)} shared-memory segments leaked: {leaked}")
+        return 1
+    print("shared-memory segments: all reclaimed")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro import observability
     from repro.dataflow.scheduler import MixScheduler
@@ -399,12 +496,30 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     mix = WorkloadMix.parse(args.workloads)
     observability.enable(trace_path=getattr(args, "trace", None))
     try:
-        scheduler = MixScheduler(
-            engine=args.engine,
-            seed=args.seed,
-            max_workers=args.max_workers,
-        )
-        scheduler.run(mix)
+        if getattr(args, "serve", False):
+            import asyncio
+
+            from repro.serve import Server, ServerConfig, run_closed_loop
+
+            async def _serve_mix():
+                config = ServerConfig(
+                    engine=args.engine,
+                    max_workers=args.max_workers,
+                    seed=args.seed,
+                )
+                async with Server(config) as server:
+                    await run_closed_loop(
+                        server, mix.specs, clients=2, requests=2
+                    )
+
+            asyncio.run(_serve_mix())
+        else:
+            scheduler = MixScheduler(
+                engine=args.engine,
+                seed=args.seed,
+                max_workers=args.max_workers,
+            )
+            scheduler.run(mix)
     finally:
         observability.disable()
     print(observability.render_metrics(), end="")
@@ -611,6 +726,93 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_mix.set_defaults(fn=_cmd_mix)
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the async serving layer under a closed-loop bench load",
+    )
+    p_srv.add_argument(
+        "workloads",
+        help="comma-separated app:MESH:NITER[xBATCH] specs the load "
+        "generator cycles through (e.g. jacobi3d:24x24x16:50x2,"
+        "poisson2d:48x32:100)",
+    )
+    p_srv.add_argument(
+        "--bench", action="store_true",
+        help="closed-loop bench mode (the default and only mode: serving "
+        "without a load source has nothing to do in a CLI run)",
+    )
+    p_srv.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent closed-loop client coroutines (default 4)",
+    )
+    p_srv.add_argument(
+        "--requests", type=int, default=8,
+        help="jobs each client submits back to back (default 8)",
+    )
+    p_srv.add_argument(
+        "--tenants", type=int, default=1,
+        help="tenants the clients are spread across (default 1)",
+    )
+    p_srv.add_argument(
+        "--engine",
+        default="parallel",
+        choices=("compiled", "parallel", "interpreter"),
+        help="engine while the breaker is closed (open degrades to compiled)",
+    )
+    p_srv.add_argument(
+        "--max-workers", type=int, default=None,
+        help="worker-pool width for --engine parallel (default: one per core)",
+    )
+    p_srv.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="bounded admission queue capacity per tenant (default 64)",
+    )
+    p_srv.add_argument(
+        "--admission", default="reject", choices=("reject", "block"),
+        help="full-queue behaviour: reject raises QueueFullError, block "
+        "waits for space (default reject)",
+    )
+    p_srv.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-job deadline in seconds (queued work past it is shed, "
+        "in-flight work is cancelled cooperatively)",
+    )
+    p_srv.add_argument(
+        "--batch-window", type=float, default=0.005,
+        help="seconds the batching loop waits to coalesce compatible jobs "
+        "into one stacked dispatch (default 0.005)",
+    )
+    p_srv.add_argument(
+        "--failure-threshold", type=int, default=3,
+        help="consecutive parallel failures that trip the breaker (default 3)",
+    )
+    p_srv.add_argument(
+        "--reset-timeout", type=float, default=1.0,
+        help="seconds an open breaker waits before half-opening (default 1)",
+    )
+    p_srv.add_argument(
+        "--fail-fast", action="store_true",
+        help="disable the chunk retry ladder so parallel failures surface "
+        "to the breaker instead of being recovered per chunk",
+    )
+    p_srv.add_argument(
+        "--validate", action="store_true",
+        help="re-derive every served mesh on the golden interpreter and "
+        "compare bitwise",
+    )
+    p_srv.add_argument(
+        "--fault-plan", default=None,
+        help="deterministic fault plan armed into parallel dispatches "
+        "(REPRO_FAULT_PLAN works too; see docs/resilience.md)",
+    )
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument(
+        "--trace",
+        help="record the run's structured events (admissions, sheds, "
+        "breaker transitions, drain) to this JSONL file",
+    )
+    p_srv.set_defaults(fn=_cmd_serve)
+
     p_met = sub.add_parser(
         "metrics",
         help="run a mix fully instrumented and dump metrics + trace table",
@@ -631,6 +833,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-pool width for --engine parallel (default: one per core)",
     )
     p_met.add_argument("--seed", type=int, default=0)
+    p_met.add_argument(
+        "--serve", action="store_true",
+        help="route the mix through the serving layer (repro.serve) so the "
+        "dump includes serve counters, queue-depth gauge and the "
+        "end-to-end latency histogram",
+    )
     p_met.add_argument(
         "--trace",
         help="also write the structured events and span tree to this JSONL file",

@@ -35,7 +35,12 @@ import numpy as np
 from repro import observability as obs
 from repro.mesh.mesh import Field, MeshSpec
 from repro.observability.metrics import percentiles
-from repro.resilience import FaultPlan, RetryPolicy
+from repro.resilience import (
+    CancelToken,
+    ExecutionCancelled,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.stencil.compiled import (
     CompiledPlanCache,
     check_engine,
@@ -257,34 +262,53 @@ class MixScheduler:
         return env
 
     # -- execution ----------------------------------------------------------------
-    def run(self, mix: MixLike, validate: bool = False) -> MixRunResult:
+    def run(
+        self,
+        mix: MixLike,
+        validate: bool = False,
+        cancel: CancelToken | None = None,
+    ) -> MixRunResult:
         """Execute every member of the mix; returns per-group results.
 
         Members are grouped by job shape and each group executes in
         chunked stacked mode (one compiled tape dispatch per chunk). With
         ``validate=True`` every mesh is additionally solved on the golden
         interpreter and compared bitwise — any divergence raises.
+
+        ``cancel`` threads a :class:`~repro.resilience.CancelToken` through
+        every engine: a set token abandons the run at the next chunk
+        boundary and raises :class:`~repro.resilience.ExecutionCancelled`
+        (never isolated by ``strict=False`` — cancellation is a caller
+        decision, not a group failure; parallel shared-memory segments are
+        reclaimed before it propagates).
         """
         mix = as_mix(mix)
         specs = list(mix.job_groups().values())
         with obs.span("mix.run", groups=len(specs), engine=self.engine):
             if self.engine == "parallel":
-                return self._run_parallel(specs, validate)
+                return self._run_parallel(specs, validate, cancel)
             groups: list[GroupRun] = []
             errors: list[GroupError] = []
             for spec in specs:
                 if self.strict:
-                    groups.append(self._run_group(spec, validate))
+                    groups.append(self._run_group(spec, validate, cancel))
                     continue
                 try:
-                    groups.append(self._run_group(spec, validate))
+                    groups.append(self._run_group(spec, validate, cancel))
+                except ExecutionCancelled:
+                    raise
                 except Exception as exc:  # noqa: BLE001 - isolated below
                     errors.append(self._group_error(spec, exc))
             return MixRunResult(
                 tuple(groups), validated=validate, errors=tuple(errors)
             )
 
-    def _run_group(self, spec: WorkloadSpec, validate: bool) -> GroupRun:
+    def _run_group(
+        self,
+        spec: WorkloadSpec,
+        validate: bool,
+        cancel: CancelToken | None = None,
+    ) -> GroupRun:
         program = self._program(spec)
         envs = [self._fields(spec, i, program) for i in range(spec.batch)]
         stats: dict = {}
@@ -303,12 +327,15 @@ class MixScheduler:
                     cache=self.plan_cache,
                     max_stack_bytes=self.stacked_bytes_limit,
                     stats=stats,
+                    cancel=cancel,
                 )
             else:
                 stats = per_mesh_stats(len(envs))
                 seconds = stats["chunk_seconds"]
                 results = []
                 for env in envs:
+                    if cancel is not None:
+                        cancel.raise_if_set(f"mix group {spec.describe()}")
                     t0 = time.perf_counter()
                     results.append(self._golden(program, env, spec.niter))
                     seconds.append(time.perf_counter() - t0)
@@ -317,7 +344,10 @@ class MixScheduler:
         return self._group_run(spec, envs, results, stats)
 
     def _run_parallel(
-        self, specs: list[WorkloadSpec], validate: bool
+        self,
+        specs: list[WorkloadSpec],
+        validate: bool,
+        cancel: CancelToken | None = None,
     ) -> MixRunResult:
         """Fan every group's chunks out before collecting any group.
 
@@ -353,7 +383,10 @@ class MixScheduler:
                         max_workers=self.max_workers,
                         policy=self.retry_policy,
                         fault_plan=self.fault_plan,
+                        cancel=cancel,
                     )
+                except ExecutionCancelled:
+                    raise
                 except Exception as exc:  # noqa: BLE001 - isolated below
                     if self.strict:
                         raise
@@ -381,6 +414,8 @@ class MixScheduler:
                             ) from exc
                     if validate:
                         self._validate_group(spec, program, envs, results)
+                except ExecutionCancelled:
+                    raise
                 except Exception as exc:  # noqa: BLE001 - isolated below
                     if self.strict:
                         raise

@@ -58,7 +58,9 @@ from repro.parallel.shm import SharedStack
 from repro.parallel.worker import run_chunk_fields, run_chunk_shm
 from repro.resilience import (
     DEFAULT_POLICY,
+    CancelToken,
     CorruptResultError,
+    ExecutionCancelled,
     FaultPlan,
     RetryPolicy,
     checksum_arrays,
@@ -196,6 +198,8 @@ class _PendingChunk:
     attempts: int = 0
     #: recoveries, i.e. ``attempts - 1`` once the chunk lands
     retries: int = 0
+    #: True once the chunk was cancelled before its task ever started
+    cancelled: bool = False
 
 
 @dataclass
@@ -222,7 +226,45 @@ class PendingBatch:
     stats: dict | None = None
     #: retry/fault machinery shared by every chunk of this batch
     ctx: _DispatchContext | None = None
+    #: cooperative cancellation flag; :meth:`cancel` sets it, the collect
+    #: loop polls it at every chunk boundary (and in 50 ms wait slices)
+    cancel_token: CancelToken = dc_field(default_factory=CancelToken)
     _results: list[dict[str, Field]] | None = None
+    #: serializes shared-memory release between cancel() and result()
+    _release_lock: threading.Lock = dc_field(default_factory=threading.Lock)
+
+    def cancel(self, reason: str | None = None) -> None:
+        """Cooperatively cancel the batch; safe from any thread.
+
+        Not-yet-started chunk tasks are cancelled on the pool **and their
+        shared-memory slots released right here** — nobody will ever run
+        them, so waiting for a collect that may never come would strand
+        the segments (exactly what used to happen until the next pool
+        reset). In-flight chunks are left to finish their current tape
+        replay: a concurrent :meth:`result` observes the token at its next
+        safe point, reclaims their transport and raises
+        :class:`~repro.resilience.ExecutionCancelled`; a batch nobody
+        collects reclaims them in :meth:`close`. Idempotent; a no-op once
+        results have landed.
+        """
+        if self._results is not None or self.ready is not None:
+            return
+        self.cancel_token.set(reason)
+        dropped = 0
+        for chunk in self.pending:
+            fut = chunk.future
+            if fut is not None and fut.cancel():
+                chunk.cancelled = True
+                self._release(chunk)
+                dropped += 1
+        obs.inc("exec.batches_cancelled")
+        obs.emit(
+            "exec.batch_cancelled",
+            plan=self.token,
+            chunks_dropped=dropped,
+            chunks_total=len(self.pending),
+            reason=reason,
+        )
 
     def result(self) -> list[dict[str, Field]]:
         """Block until every chunk finished; per-mesh results in order.
@@ -242,15 +284,25 @@ class PendingBatch:
             self._results = self.ready
             return self._results
         failure: tuple[_PendingChunk, BaseException] | None = None
+        cancelled: ExecutionCancelled | None = None
         results: list[dict[str, Field] | None] = [None] * len(self.batch_fields)
         chunk_seconds: list[float] = [0.0] * len(self.pending)
         retries = 0
         for chunk in self.pending:
-            if failure is not None:
+            if failure is not None or cancelled is not None:
+                self._abandon(chunk)
+                continue
+            if self.cancel_token.is_set():
+                # observed between chunks: abandon this one and the rest
+                cancelled = self._cancelled_error()
                 self._abandon(chunk)
                 continue
             try:
                 out = self._collect_chunk(chunk)
+            except ExecutionCancelled as exc:
+                cancelled = exc
+                self._release(chunk)
+                continue
             except BaseException as exc:  # noqa: BLE001 - rewrapped below
                 failure = (chunk, exc)
                 self._release(chunk)
@@ -299,12 +351,21 @@ class PendingBatch:
                 attempts=chunk.attempts,
                 final_backend=chunk.backend or None,
             ) from exc
+        if cancelled is not None:
+            raise cancelled
         if self.stats is not None:
             self.stats["chunk_seconds"] = chunk_seconds
             if retries:
                 self.stats["retries"] = retries
         self._results = results  # type: ignore[assignment]
         return self._results
+
+    def _cancelled_error(self) -> ExecutionCancelled:
+        reason = self.cancel_token.reason
+        suffix = f": {reason}" if reason else ""
+        return ExecutionCancelled(
+            f"parallel batch (plan {self.token[:12]}) cancelled{suffix}"
+        )
 
     # -- per-chunk collection with retry and degradation -----------------------
     def _collect_chunk(self, chunk: _PendingChunk) -> dict:
@@ -317,6 +378,9 @@ class PendingBatch:
         rung_i = rungs.index(chunk.backend) if chunk.backend in rungs else 0
         attempt_on_rung = 1  # the submit-time dispatch is attempt one
         while True:
+            self.cancel_token.raise_if_set(
+                f"parallel chunk {chunk.index} (plan {self.token[:12]})"
+            )
             rung = rungs[rung_i]
             try:
                 if rung == "serial":
@@ -328,7 +392,18 @@ class PendingBatch:
             except (KeyboardInterrupt, SystemExit):
                 self._release(chunk)
                 raise
+            except ExecutionCancelled:
+                # cancellation is a caller decision, never a chunk failure:
+                # it must not be retried or degraded
+                self._release(chunk)
+                raise
             except BaseException as exc:  # noqa: BLE001 - classified below
+                if self.cancel_token.is_set():
+                    # a cancel() racing this attempt cancelled the future
+                    # out from under us; surface the cancellation, not the
+                    # secondary error it provoked
+                    self._release(chunk)
+                    raise self._cancelled_error() from exc
                 kind = classify_failure(exc)
                 if kind == "timeout":
                     self._kill_hung(chunk, rung)
@@ -365,12 +440,37 @@ class PendingBatch:
                 if rung != "serial":
                     _dispatch(self, chunk, rung)
 
+    #: wait-slice width while blocking on a worker future: the collect
+    #: thread re-checks the cancel token this often, so an in-flight batch
+    #: with no chunk deadline still observes cancellation promptly
+    _WAIT_SLICE = 0.05
+
     def _await(self, chunk: _PendingChunk, policy: RetryPolicy) -> dict:
-        """The current attempt's worker result, bounded by the deadline."""
-        remaining = policy.deadline_remaining(
-            chunk.submitted_at, time.perf_counter()
-        )
-        return chunk.future.result(timeout=remaining)
+        """The current attempt's worker result, bounded by the deadline.
+
+        The wait is sliced so cooperative cancellation cannot be starved
+        by a deadline-less policy: each slice that expires without a
+        result re-checks the batch's cancel token; the policy's own
+        deadline semantics are unchanged (a miss still raises the
+        ``FuturesTimeout`` the retry ladder classifies as ``timeout``).
+        """
+        while True:
+            remaining = policy.deadline_remaining(
+                chunk.submitted_at, time.perf_counter()
+            )
+            wait = (
+                self._WAIT_SLICE
+                if remaining is None
+                else min(remaining, self._WAIT_SLICE)
+            )
+            try:
+                return chunk.future.result(timeout=wait)
+            except FuturesTimeout:
+                if remaining is not None and remaining <= self._WAIT_SLICE:
+                    raise  # the policy deadline itself expired
+                self.cancel_token.raise_if_set(
+                    f"parallel chunk {chunk.index} (plan {self.token[:12]})"
+                )
 
     def _run_serial(self, chunk: _PendingChunk) -> dict:
         """The terminal rung: replay the chunk in-process, fault-free.
@@ -437,11 +537,16 @@ class PendingBatch:
             results[chunk.start + b] = env
 
     def _release(self, chunk: _PendingChunk) -> None:
-        """Reclaim the current attempt's transport (segment + future)."""
-        if chunk.stack is not None:
-            chunk.stack.unlink()
-            chunk.stack = None
-        chunk.future = None
+        """Reclaim the current attempt's transport (segment + future).
+
+        Serialized against a concurrent :meth:`cancel`: the stack handoff
+        happens under the batch lock so exactly one thread unlinks it.
+        """
+        with self._release_lock:
+            stack, chunk.stack = chunk.stack, None
+            chunk.future = None
+        if stack is not None:
+            stack.unlink()
 
     def _abandon(self, chunk: _PendingChunk) -> None:
         """Discard an in-flight chunk: cancel, wait it out, reclaim."""
@@ -545,6 +650,7 @@ def submit_stacked(
     pool: WorkerPool | None = None,
     policy: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,
+    cancel: CancelToken | None = None,
 ) -> PendingBatch:
     """Fan a stacked batch's chunks out over a worker pool; non-blocking.
 
@@ -569,11 +675,18 @@ def submit_stacked(
     full degradation ladder; :meth:`RetryPolicy.disabled` restores
     fail-fast). ``fault_plan`` arms deterministic faults into this
     dispatch's worker tasks; when omitted, a plan named by
-    ``REPRO_FAULT_PLAN`` applies process-wide.
+    ``REPRO_FAULT_PLAN`` applies process-wide. ``cancel`` shares a
+    :class:`~repro.resilience.CancelToken` with the returned batch
+    (:meth:`PendingBatch.cancel` sets the batch's own token either way):
+    once set, collection abandons remaining chunks at the next safe point,
+    reclaims every shared-memory segment and raises
+    :class:`~repro.resilience.ExecutionCancelled`.
     """
     required, first = check_stacked_batch(program, batch_fields)
     if niter < 0:
         raise ValidationError(f"niter must be non-negative, got {niter}")
+    if cancel is not None:
+        cancel.raise_if_set("parallel submit")
 
     workers = max_workers if max_workers else default_workers()
 
@@ -616,7 +729,7 @@ def submit_stacked(
         # serial chunked schedule in-process (accounting included)
         results = run_program_stacked(
             program, batch_fields, niter, coefficients,
-            cache=cache, max_stack_bytes=limit, stats=stats,
+            cache=cache, max_stack_bytes=limit, stats=stats, cancel=cancel,
         )
         _account(chunks, "serial")
         return PendingBatch(batch_fields, plan, niter, ready=results)
@@ -635,6 +748,8 @@ def submit_stacked(
     batch = PendingBatch(
         batch_fields, plan, niter, token=token, stats=stats, ctx=ctx
     )
+    if cancel is not None:
+        batch.cancel_token = cancel
     with obs.span(
         "parallel.submit",
         program=program.name,
@@ -714,6 +829,7 @@ def run_program_parallel(
     pool: WorkerPool | None = None,
     policy: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,
+    cancel: CancelToken | None = None,
 ) -> list[dict[str, Field]]:
     """Solve ``B`` same-spec meshes with chunks fanned across the pool.
 
@@ -728,5 +844,5 @@ def run_program_parallel(
         program, batch_fields, niter, coefficients,
         cache=cache, max_stack_bytes=max_stack_bytes, stats=stats,
         max_workers=max_workers, backend=backend, pool=pool,
-        policy=policy, fault_plan=fault_plan,
+        policy=policy, fault_plan=fault_plan, cancel=cancel,
     ).result()

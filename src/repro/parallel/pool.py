@@ -139,6 +139,20 @@ class WorkerPool:
         self.max_workers = max_workers if max_workers else default_workers()
         self._executor: ProcessPoolExecutor | ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
+        self._inflight = 0
+
+    @property
+    def inflight(self) -> int:
+        """Tasks submitted but not yet resolved (running or queued).
+
+        Every submit increments the count and every future resolution —
+        result, exception, or *cancellation* — decrements it through the
+        future's done callback, so a cancelled not-yet-started task
+        releases its slot immediately instead of being accounted as
+        in-flight until the next pool reset.
+        """
+        with self._lock:
+            return self._inflight
 
     @property
     def started(self) -> bool:
@@ -178,6 +192,17 @@ class WorkerPool:
                 workers=self.max_workers,
             )
             future = executor.submit(fn, *args, **kwargs)
+        with self._lock:
+            self._inflight += 1
+
+        def _release_slot(_fut: Future) -> None:
+            with self._lock:
+                self._inflight -= 1
+                count = self._inflight
+            if obs.is_enabled():
+                obs.set_gauge("pool.inflight", count, backend=self.backend)
+
+        future.add_done_callback(_release_slot)
         if obs.is_enabled():
             obs.inc("pool.submits", backend=self.backend)
             submitted = time.perf_counter()
@@ -272,4 +297,17 @@ def shutdown_shared_pools(wait: bool = True) -> None:
         pool.shutdown(wait=wait)
 
 
-atexit.register(shutdown_shared_pools, wait=False)
+def _drain_shared_pools_at_exit() -> None:
+    """Interpreter-exit hook: **drain** the shared singleton pools.
+
+    Queued tasks are cancelled (``cancel_futures=True`` inside
+    :meth:`WorkerPool.shutdown`) but running ones are waited out — tearing
+    the executors down with work still running races the multiprocessing
+    resource tracker over the workers' shared-memory attachments and
+    produces intermittent ``/dev/shm`` leak warnings at exit. Tape replays
+    are bounded, so the wait is too.
+    """
+    shutdown_shared_pools(wait=True)
+
+
+atexit.register(_drain_shared_pools_at_exit)

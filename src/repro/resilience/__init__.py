@@ -16,6 +16,7 @@ faults all emit :mod:`repro.observability` counters and events
 ``exec.fault_injected``). See ``docs/resilience.md``.
 """
 
+from repro.resilience.cancel import CancelToken, ExecutionCancelled
 from repro.resilience.faults import (
     ENV_PLAN,
     FAULT_KINDS,
@@ -35,9 +36,11 @@ from repro.resilience.policy import (
 )
 
 __all__ = [
+    "CancelToken",
     "CorruptResultError",
     "DEFAULT_POLICY",
     "ENV_PLAN",
+    "ExecutionCancelled",
     "FAULT_KINDS",
     "FULL_LADDER",
     "Fault",

@@ -1,0 +1,39 @@
+"""``repro.serve`` — an overload-safe async serving layer over the scheduler.
+
+The accelerator-as-a-service tier the paper's deployment story implies
+(many client jobs of differing shapes arriving continuously, served by one
+batched accelerator): an asyncio :class:`Server` admits individual
+:class:`~repro.workload.WorkloadSpec` jobs, coalesces compatible ones into
+merged stacked dispatches through the
+:class:`~repro.dataflow.scheduler.MixScheduler`, and wraps the whole path
+in a robustness envelope — bounded per-tenant admission queues with
+weighted fair dequeue, per-job deadlines with cooperative in-flight
+cancellation, a circuit breaker that degrades to the serial engine while
+the parallel backend heals, health/readiness snapshots, and a graceful,
+leak-free drain. See ``docs/serving.md`` and ``repro serve``.
+"""
+
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.errors import (
+    DeadlineExceeded,
+    QueueFullError,
+    ServeError,
+    ServerClosedError,
+)
+from repro.serve.loadgen import run_closed_loop
+from repro.serve.queue import FairQueue
+from repro.serve.server import Job, JobHandle, Server, ServerConfig
+
+__all__ = [
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "FairQueue",
+    "Job",
+    "JobHandle",
+    "QueueFullError",
+    "ServeError",
+    "Server",
+    "ServerClosedError",
+    "ServerConfig",
+    "run_closed_loop",
+]

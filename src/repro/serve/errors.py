@@ -1,0 +1,39 @@
+"""Serving-layer errors: how a job learns it will not be served.
+
+Every terminal outcome of a :class:`~repro.serve.server.Server` job is
+either its result or exactly one of these (plus ``asyncio.CancelledError``
+for client cancels) — the exactly-once resolution contract the suite
+property-tests. All subclass :class:`~repro.util.errors.ReproError`, so
+the CLI's uniform error handling applies.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ReproError
+
+
+class ServeError(ReproError):
+    """Base class of every serving-layer error."""
+
+
+class QueueFullError(ServeError):
+    """Admission refused: the tenant's bounded queue is at capacity.
+
+    Raised at submit time under ``admission="reject"`` — the overload
+    answer that keeps p99 of *admitted* jobs bounded instead of letting
+    the queue grow without limit (``admission="block"`` waits for space
+    instead).
+    """
+
+
+class DeadlineExceeded(ServeError):
+    """The job's deadline passed before it produced a result.
+
+    Still-queued jobs are shed without ever executing; in-flight jobs are
+    resolved with this error while their batch is cancelled cooperatively
+    at the next chunk boundary.
+    """
+
+
+class ServerClosedError(ServeError):
+    """Submission refused: the server is draining or closed."""

@@ -1,0 +1,142 @@
+"""Bounded per-tenant job queues with weighted fair dequeue.
+
+The admission-control half of the serving layer: each tenant owns a
+bounded priority queue (higher ``priority`` first, FIFO within a
+priority), and the dequeue side interleaves tenants by **stride
+scheduling** — each tenant advances a virtual "pass" by
+``STRIDE_SCALE / weight`` per job served, and the next job always comes
+from the non-empty tenant with the smallest pass. Over any busy window a
+tenant with weight 2 is served twice as often as a tenant with weight 1,
+whatever the arrival order, and an idle tenant accumulates no credit (its
+pass is re-synchronized to the active minimum when it becomes busy again).
+
+The structure is event-loop-confined: every method is called from the
+server's asyncio loop, so there are no locks — blocking admission and
+cross-thread cancellation are the :class:`~repro.serve.server.Server`'s
+concern.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.server import Job
+
+#: pass-advance numerator; weights divide it, so larger weight = smaller
+#: stride = more frequent service
+STRIDE_SCALE = float(1 << 16)
+
+
+class FairQueue:
+    """Bounded per-tenant queues drained in weighted fair order."""
+
+    def __init__(
+        self,
+        depth: int,
+        weights: Mapping[str, float] | None = None,
+    ) -> None:
+        from repro.util.errors import ValidationError
+        from repro.util.validation import check_positive
+
+        check_positive("queue depth", depth)
+        self.depth = depth
+        self._weights = dict(weights or {})
+        for tenant, weight in self._weights.items():
+            if weight <= 0:
+                raise ValidationError(
+                    f"tenant {tenant!r} weight must be positive, got {weight}"
+                )
+        #: per-tenant heaps of (-priority, seq, job)
+        self._heaps: dict[str, list[tuple[float, int, "Job"]]] = {}
+        self._pass: dict[str, float] = {}
+
+    # -- admission ----------------------------------------------------------------
+    def weight_of(self, tenant: str) -> float:
+        """The tenant's service weight (1.0 unless configured)."""
+        return self._weights.get(tenant, 1.0)
+
+    def full(self, tenant: str) -> bool:
+        """True when the tenant's queue is at capacity."""
+        return len(self._heaps.get(tenant, ())) >= self.depth
+
+    def offer(self, job: "Job") -> bool:
+        """Enqueue the job unless its tenant is at capacity.
+
+        Returns False on a full queue — the caller decides whether that is
+        a reject (:class:`~repro.serve.errors.QueueFullError`) or a reason
+        to wait. A tenant going from idle to busy re-synchronizes its pass
+        to the smallest active pass so it cannot burst on stale credit.
+        """
+        heap = self._heaps.get(job.tenant)
+        if heap is None:
+            heap = self._heaps[job.tenant] = []
+        if len(heap) >= self.depth:
+            return False
+        if not heap:
+            floor = min(
+                (self._pass[t] for t, h in self._heaps.items() if h),
+                default=0.0,
+            )
+            self._pass[job.tenant] = max(self._pass.get(job.tenant, 0.0), floor)
+        heapq.heappush(heap, (-job.priority, job.seq, job))
+        return True
+
+    # -- dequeue ------------------------------------------------------------------
+    def pop(self) -> "Job | None":
+        """The next job in weighted fair order (None when empty).
+
+        Jobs already resolved while queued (client cancels) are discarded
+        without consuming their tenant's turn.
+        """
+        while True:
+            tenant = min(
+                (t for t, h in self._heaps.items() if h),
+                key=lambda t: (self._pass[t], t),
+                default=None,
+            )
+            if tenant is None:
+                return None
+            _, _, job = heapq.heappop(self._heaps[tenant])
+            if job.future.done():
+                continue
+            self._pass[tenant] += STRIDE_SCALE / self.weight_of(tenant)
+            return job
+
+    def shed(self, doomed: Callable[["Job"], bool]) -> list["Job"]:
+        """Remove and return every queued job ``doomed`` marks.
+
+        Already-resolved jobs are dropped silently on the way (they hold a
+        slot but owe nobody an answer). Used by the server's deadline
+        monitor and by non-drain close.
+        """
+        removed: list["Job"] = []
+        for tenant, heap in self._heaps.items():
+            keep: list[tuple[float, int, "Job"]] = []
+            for item in heap:
+                job = item[2]
+                if job.future.done():
+                    continue
+                if doomed(job):
+                    removed.append(job)
+                else:
+                    keep.append(item)
+            if len(keep) != len(heap):
+                heapq.heapify(keep)
+                self._heaps[tenant] = keep
+        return removed
+
+    # -- introspection ------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(h) for h in self._heaps.values())
+
+    def depths(self) -> dict[str, int]:
+        """Queued jobs per tenant (tenants that ever enqueued)."""
+        return {t: len(h) for t, h in sorted(self._heaps.items())}
+
+    def jobs(self) -> Iterable["Job"]:
+        """Every queued job, in no particular order."""
+        for heap in self._heaps.values():
+            for _, _, job in heap:
+                yield job

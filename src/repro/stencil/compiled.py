@@ -44,6 +44,7 @@ import numpy as np
 
 from repro import observability as obs
 from repro.mesh.mesh import Field
+from repro.resilience.cancel import CancelToken
 from repro.stencil.plan import (
     FlatView,
     ProgramPlan,
@@ -767,6 +768,7 @@ def run_program_stacked(
     cache: CompiledPlanCache | None = None,
     max_stack_bytes: float | None = None,
     stats: dict | None = None,
+    cancel: CancelToken | None = None,
 ) -> list[dict[str, Field]]:
     """Solve ``B`` independent same-spec meshes in stacked tape dispatches.
 
@@ -799,15 +801,24 @@ def run_program_stacked(
     rode a stack of size > 1) and ``chunk_seconds`` (per-chunk wall-clock
     times, in chunk order — the raw samples behind the mix layer's
     latency percentiles).
+
+    ``cancel``, when given, is polled at every chunk boundary: a set token
+    raises :class:`~repro.resilience.ExecutionCancelled` before the next
+    chunk dispatches (a chunk already replaying always finishes — tape
+    replays are bounded and never torn down mid-flight).
     """
     required, first = check_stacked_batch(program, batch_fields)
     if niter < 0:
         raise ValidationError(f"niter must be non-negative, got {niter}")
+    if cancel is not None:
+        cancel.raise_if_set("stacked dispatch")
 
     def _account(chunks: list[int]) -> None:
         record_dispatch_stats(stats, chunks)
 
     def _timed(chunk_seconds: list[float], index: int, size: int, fn):
+        if cancel is not None:
+            cancel.raise_if_set(f"stacked chunk {index}")
         with obs.span("exec.chunk", index=index, size=size):
             t0 = time.perf_counter()
             out = fn()

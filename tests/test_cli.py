@@ -184,3 +184,59 @@ class TestWorkloadMixCLI:
             "dse", "jacobi3d", "--trials", "5", "--validate-mix",
         ]) == 2
         assert "--validate-mix needs --workloads" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    MIX = "poisson2d:16x12:10,jacobi3d:10x10x6:8"
+
+    def test_serve_bench_compiled(self, capsys):
+        assert main([
+            "serve", self.MIX, "--bench", "--engine", "compiled",
+            "--clients", "2", "--requests", "2", "--batch-window", "0.002",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serve bench: 2 clients x 2 requests" in out
+        assert "p50 ms" in out
+        assert "health: state=running, breaker=closed" in out
+        assert "shared-memory segments: all reclaimed" in out
+
+    def test_serve_bench_validate_and_trace(self, tmp_path, capsys):
+        trace = tmp_path / "serve-events.jsonl"
+        assert main([
+            "serve", "poisson2d:14x12:8", "--bench", "--engine", "compiled",
+            "--clients", "2", "--requests", "2", "--validate",
+            "--trace", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "validated: every served mesh bit-identical" in out
+        text = trace.read_text()
+        assert "serve.job_admitted" in text
+        assert "serve.job_completed" in text
+        assert "serve.closed" in text
+
+    def test_serve_breaker_cycle_under_fault_plan(self, capsys):
+        assert main([
+            "serve", "poisson2d:16x12:10x2", "--bench",
+            "--engine", "parallel", "--max-workers", "2",
+            "--clients", "1", "--requests", "3",
+            "--fail-fast", "--failure-threshold", "1",
+            "--reset-timeout", "0.1", "--fault-plan", "crash@0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 trips" in out
+        assert "degraded dispatches" in out
+        # every request still served through the serial fallback
+        assert "failed 0" in out
+
+    def test_serve_rejects_bad_spec(self, capsys):
+        assert main(["serve", "nonsense"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_metrics_serve_dumps_serve_counters(self, capsys):
+        assert main([
+            "metrics", "poisson2d:14x12:8", "--engine", "compiled", "--serve",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "repro_serve_admitted" in out
+        assert "repro_serve_completed" in out
+        assert "repro_serve_latency_seconds" in out

@@ -166,3 +166,28 @@ class TestParallelScheduling:
         spec = WorkloadSpec.parse("poisson2d:24x16:8x2")
         with pytest.raises(ParallelExecutionError, match=spec.describe()):
             MixScheduler(max_workers=2, engine="parallel").run(spec)
+
+
+class TestCancellation:
+    """A cancel token threads through the scheduler and is never isolated."""
+
+    def test_pre_set_token_raises_before_any_work(self):
+        from repro.resilience import CancelToken, ExecutionCancelled
+
+        token = CancelToken()
+        token.set("called off")
+        for engine in ("compiled", "parallel", "interpreter"):
+            scheduler = MixScheduler(engine=engine, max_workers=2)
+            with pytest.raises(ExecutionCancelled):
+                scheduler.run(MIX, cancel=token)
+
+    def test_cancellation_is_not_isolated_under_non_strict(self):
+        """strict=False isolates workload *failures*; a cancel is a caller
+        decision and must abort the whole mix, not skip one group."""
+        from repro.resilience import CancelToken, ExecutionCancelled
+
+        token = CancelToken()
+        token.set("called off")
+        scheduler = MixScheduler(engine="compiled", strict=False)
+        with pytest.raises(ExecutionCancelled):
+            scheduler.run(MIX, cancel=token)

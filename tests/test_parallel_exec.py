@@ -25,6 +25,7 @@ from repro.parallel.executor import (
 )
 from repro.parallel.pool import WorkerPool, shutdown_shared_pools
 from repro.parallel.worker import CRASH_ENV, bind_instance, instance_cache_size
+from repro.resilience import ExecutionCancelled
 from repro.stencil.builders import jacobi2d_5pt
 from repro.stencil.compiled import CompiledPlanCache, run_program_stacked
 from repro.stencil.numpy_eval import run_program
@@ -320,3 +321,109 @@ class TestPropertyParallelEquivalence:
         for env, res in zip(envs, got):
             gold = run_program(program, env, niter, engine="interpreter")
             _assert_env_equal(gold, res)
+
+
+class TestCooperativeCancellation:
+    """PendingBatch.cancel: immediate slot release, clean ExecutionCancelled."""
+
+    @pytest.fixture(autouse=True)
+    def _quiesce(self):
+        # earlier tests' abandoned chunks release their segments when the
+        # worker task resolves; drain the pools so the baseline is empty
+        import time
+
+        from repro.parallel.shm import live_segments
+
+        shutdown_shared_pools()
+        deadline = time.monotonic() + 5.0
+        while live_segments() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert live_segments() == ()
+        yield
+
+    def _submit_many_chunks(self, batch=6, niter=120):
+        from repro.parallel.shm import live_segments
+
+        app = all_apps()["jacobi3d"]
+        shape = APP_MESHES["jacobi3d"]
+        program = app.program_on(shape)
+        envs = [app.fields(shape, seed=s) for s in range(batch)]
+        pending = submit_stacked(
+            program, envs, niter, max_workers=2, backend="process",
+            max_stack_bytes=0,  # per-mesh chunks: one segment each
+        )
+        assert len(live_segments()) == batch
+        return pending
+
+    def test_cancel_releases_pending_chunk_segments(self):
+        """The satellite regression: cancelling a batch reclaims the shm
+        slots of never-started chunks immediately — not at pool reset."""
+        from repro.parallel.shm import live_segments
+
+        pending = self._submit_many_chunks()
+        pending.cancel("test teardown")
+        # at most the worker width (+1 eagerly queued task) can be past
+        # cancellation; everything else must already be reclaimed here
+        assert len(live_segments()) <= 3
+        with pytest.raises(ExecutionCancelled):
+            pending.result()
+        assert live_segments() == ()
+
+    def test_result_after_cancel_is_sticky(self):
+        pending = self._submit_many_chunks(batch=3, niter=20)
+        pending.cancel()
+        for _ in range(2):  # the cancelled outcome is stable across calls
+            with pytest.raises(ExecutionCancelled):
+                pending.result()
+        assert live_segments_empty()
+
+    def test_cancel_after_results_is_a_noop(self):
+        app = all_apps()["poisson2d"]
+        shape = APP_MESHES["poisson2d"]
+        program = app.program_on(shape)
+        envs = [app.fields(shape, seed=s) for s in range(2)]
+        pending = submit_stacked(
+            program, envs, 4, max_workers=2, backend="thread"
+        )
+        results = pending.result()
+        pending.cancel("too late")
+        assert pending.result() is results
+        for env, res in zip(envs, results):
+            gold = run_program(program, env, 4, engine="interpreter")
+            _assert_env_equal(gold, res)
+
+    def test_pre_set_token_refuses_submit(self):
+        from repro.resilience import CancelToken
+
+        app = all_apps()["poisson2d"]
+        shape = APP_MESHES["poisson2d"]
+        program = app.program_on(shape)
+        envs = [app.fields(shape, seed=0)]
+        token = CancelToken()
+        token.set("called off before dispatch")
+        with pytest.raises(ExecutionCancelled):
+            submit_stacked(
+                program, envs, 4, max_workers=2, backend="thread",
+                cancel=token,
+            )
+        assert live_segments_empty()
+
+    def test_serial_stacked_polls_token_at_chunk_boundaries(self):
+        from repro.resilience import CancelToken
+
+        app = all_apps()["poisson2d"]
+        shape = APP_MESHES["poisson2d"]
+        program = app.program_on(shape)
+        envs = [app.fields(shape, seed=s) for s in range(3)]
+        token = CancelToken()
+        token.set("stop before the first chunk")
+        with pytest.raises(ExecutionCancelled):
+            run_program_stacked(
+                program, envs, 4, max_stack_bytes=0, cancel=token
+            )
+
+
+def live_segments_empty() -> bool:
+    from repro.parallel.shm import live_segments
+
+    return live_segments() == ()

@@ -249,3 +249,81 @@ class TestSharedStack:
             again.close()
         finally:
             owner.unlink()
+
+
+def _wait_on(event):  # pragma: no cover - trivial thread-backend task
+    event.wait(5.0)
+    return True
+
+
+class TestInflightAccounting:
+    """The pool's live task count: submits up, every resolution down."""
+
+    def _settle(self, pool, want, timeout=2.0):
+        deadline = time.monotonic() + timeout
+        while pool.inflight != want and time.monotonic() < deadline:
+            time.sleep(0.005)  # done callbacks fire asynchronously
+        assert pool.inflight == want
+
+    def test_completion_releases_slots(self):
+        import threading
+
+        gate = threading.Event()
+        with WorkerPool(max_workers=2, backend="thread") as pool:
+            assert pool.inflight == 0
+            futures = [pool.submit(_wait_on, gate) for _ in range(3)]
+            assert pool.inflight == 3
+            gate.set()
+            assert all(f.result() for f in futures)
+            self._settle(pool, 0)
+
+    def test_cancelled_queued_task_releases_its_slot(self):
+        import threading
+
+        gate = threading.Event()
+        with WorkerPool(max_workers=1, backend="thread") as pool:
+            blocker = pool.submit(_wait_on, gate)
+            queued = pool.submit(_square, 5)
+            assert pool.inflight == 2
+            assert queued.cancel()
+            # the cancelled task never ran, yet its slot is free now —
+            # not at the next pool reset
+            self._settle(pool, 1)
+            gate.set()
+            assert blocker.result() is True
+            self._settle(pool, 0)
+
+    def test_failed_task_releases_its_slot(self):
+        with WorkerPool(max_workers=1, backend="process") as pool:
+            with pytest.raises(BaseException):
+                pool.submit(_die).result()
+            self._settle(pool, 0)
+
+
+class TestAtexitDrain:
+    """The interpreter-exit hook drains the shared singleton pools."""
+
+    def test_drain_hook_shuts_down_every_shared_pool(self):
+        from repro.parallel.pool import _drain_shared_pools_at_exit
+
+        try:
+            a = shared_pool("thread", 2)
+            assert a.submit(_square, 4).result() == 16
+            assert a.started
+            _drain_shared_pools_at_exit()
+            assert not a.started
+            # the singleton table was cleared: next lookup is a fresh pool
+            assert shared_pool("thread", 2) is not a
+        finally:
+            shutdown_shared_pools()
+
+    def test_drain_hook_waits_for_running_work(self):
+        from repro.parallel.pool import _drain_shared_pools_at_exit
+
+        try:
+            pool = shared_pool("thread", 1)
+            future = pool.submit(_sleep_return, 11)
+            _drain_shared_pools_at_exit()  # must wait the task out
+            assert future.result(timeout=0) == 11
+        finally:
+            shutdown_shared_pools()

@@ -1,0 +1,134 @@
+"""Tests for the serving circuit breaker (repro.serve.breaker)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import observability as obs
+from repro.serve.breaker import CircuitBreaker
+from repro.util.errors import ValidationError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _breaker(threshold=3, timeout=1.0):
+    clock = FakeClock()
+    return CircuitBreaker(threshold, timeout, clock=clock), clock
+
+
+class TestValidation:
+    def test_threshold_must_be_at_least_one(self):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_reset_timeout_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(reset_timeout=0.0)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = _breaker()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert breaker.trips == 0
+
+    def test_consecutive_failures_trip(self):
+        breaker, _ = _breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # below threshold
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_run(self):
+        breaker, _ = _breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()  # interrupts the run
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_half_opens_after_reset_timeout(self):
+        breaker, clock = _breaker(threshold=1, timeout=2.0)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(1.9)
+        assert breaker.state == "open"
+        clock.advance(0.2)
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # only the probe holder may dispatch
+
+    def test_probe_success_closes(self):
+        breaker, clock = _breaker(threshold=1, timeout=1.0)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.begin_probe()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert breaker.trips == 1
+
+    def test_probe_failure_reopens_and_restarts_timer(self):
+        breaker, clock = _breaker(threshold=1, timeout=1.0)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.begin_probe()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        clock.advance(0.5)
+        assert breaker.state == "open"  # timer restarted at the re-trip
+        clock.advance(0.5)
+        assert breaker.state == "half_open"
+
+    def test_single_probe_slot(self):
+        breaker, clock = _breaker(threshold=1, timeout=1.0)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.begin_probe()
+        assert not breaker.begin_probe()  # second claimant loses
+        breaker.record_success()
+        assert not breaker.begin_probe()  # closed: probes are meaningless
+
+    def test_trips_counter_accumulates(self):
+        breaker, clock = _breaker(threshold=1, timeout=1.0)
+        for expected in (1, 2, 3):
+            breaker.record_failure()
+            assert breaker.trips == expected
+            clock.advance(1.0)
+            assert breaker.state == "half_open"
+
+
+class TestObservability:
+    def test_full_cycle_emits_breaker_events(self):
+        obs.enable()
+        try:
+            breaker, clock = _breaker(threshold=1, timeout=1.0)
+            breaker.record_failure()  # -> open
+            clock.advance(1.0)
+            assert breaker.begin_probe()  # state read half-opens
+            breaker.record_success()  # -> closed
+            kinds = [
+                k for k in obs.ring_sink().kinds()
+                if k.startswith("serve.breaker")
+            ]
+            assert kinds == [
+                "serve.breaker_open",
+                "serve.breaker_half_open",
+                "serve.breaker_closed",
+            ]
+        finally:
+            obs.disable()

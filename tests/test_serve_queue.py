@@ -1,0 +1,119 @@
+"""Tests for the bounded per-tenant fair queue (repro.serve.queue)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.queue import FairQueue
+from repro.util.errors import ValidationError
+from repro.workload import WorkloadSpec
+
+
+def _job(tenant="default", priority=0, seq=0, batch=1, deadline=None):
+    """A minimal Job stand-in: the queue only touches these fields."""
+    from repro.serve.server import Job
+
+    loop = asyncio.new_event_loop()
+    try:
+        future = loop.create_future()
+    finally:
+        loop.close()
+    spec = WorkloadSpec.of("jacobi3d", (8, 8, 6), 5, batch)
+    return Job(spec, tenant, priority, deadline, seq, future)
+
+
+class TestAdmission:
+    def test_bounded_per_tenant(self):
+        q = FairQueue(depth=2)
+        assert q.offer(_job(seq=1))
+        assert q.offer(_job(seq=2))
+        assert not q.offer(_job(seq=3))  # tenant at capacity
+        assert q.offer(_job(tenant="other", seq=4))  # other tenants unaffected
+        assert q.full("default") and not q.full("other")
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            FairQueue(depth=0)
+
+    def test_weights_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            FairQueue(depth=4, weights={"t": 0.0})
+
+
+class TestOrdering:
+    def test_priority_then_fifo_within_tenant(self):
+        q = FairQueue(depth=8)
+        low = _job(priority=0, seq=1)
+        late_high = _job(priority=5, seq=3)
+        early_high = _job(priority=5, seq=2)
+        for job in (low, early_high, late_high):
+            q.offer(job)
+        assert q.pop() is early_high  # priority first, FIFO within it
+        assert q.pop() is late_high
+        assert q.pop() is low
+        assert q.pop() is None
+
+    def test_weighted_fair_interleave(self):
+        q = FairQueue(depth=32, weights={"heavy": 2.0, "light": 1.0})
+        for seq in range(12):
+            q.offer(_job(tenant="heavy", seq=seq))
+            q.offer(_job(tenant="light", seq=100 + seq))
+        served = [q.pop().tenant for _ in range(9)]
+        # weight 2 tenant is served twice as often over any busy window
+        assert served.count("heavy") == 6
+        assert served.count("light") == 3
+
+    def test_resolved_jobs_are_skipped(self):
+        q = FairQueue(depth=8)
+        dead = _job(seq=1)
+        alive = _job(seq=2)
+        q.offer(dead)
+        q.offer(alive)
+        dead.future.cancel()
+        assert q.pop() is alive
+
+    def test_idle_tenant_accrues_no_credit(self):
+        q = FairQueue(depth=32, weights={"a": 1.0, "b": 1.0})
+        # tenant a runs alone for a while...
+        for seq in range(6):
+            q.offer(_job(tenant="a", seq=seq))
+        for _ in range(6):
+            q.pop()
+        # ...then b becomes busy: it must not monopolize on stale credit
+        for seq in range(4):
+            q.offer(_job(tenant="a", seq=10 + seq))
+            q.offer(_job(tenant="b", seq=20 + seq))
+        served = [q.pop().tenant for _ in range(4)]
+        assert served.count("a") == 2
+        assert served.count("b") == 2
+
+
+class TestShed:
+    def test_shed_removes_matching_jobs(self):
+        q = FairQueue(depth=8)
+        doomed = _job(seq=1, deadline=1.0)
+        kept = _job(seq=2)
+        q.offer(doomed)
+        q.offer(kept)
+        removed = q.shed(lambda j: j.deadline is not None)
+        assert removed == [doomed]
+        assert len(q) == 1
+        assert q.pop() is kept
+
+    def test_shed_drops_resolved_jobs_silently(self):
+        q = FairQueue(depth=8)
+        dead = _job(seq=1)
+        q.offer(dead)
+        dead.future.cancel()
+        assert q.shed(lambda j: True) == []
+        assert len(q) == 0
+
+    def test_depths_snapshot(self):
+        q = FairQueue(depth=8)
+        q.offer(_job(tenant="a", seq=1))
+        q.offer(_job(tenant="a", seq=2))
+        q.offer(_job(tenant="b", seq=3))
+        assert q.depths() == {"a": 2, "b": 1}
+        assert len(q) == 3

@@ -1,0 +1,495 @@
+"""Tests for the async serving layer (repro.serve.server).
+
+Covers the ISSUE's acceptance surface: bit-identical results through the
+coalescing path, deterministic overload rejection with exactly-once
+resolution and leak-free drain, deadline shedding, queued/in-flight
+cancellation, blocking admission, the breaker trip -> half-open -> recover
+cycle under a deterministic crash plan, and a Hypothesis-driven
+deadline/cancel race in which every job resolves exactly once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import observability as obs
+from repro.dataflow.scheduler import MixScheduler
+from repro.parallel.shm import live_segments
+from repro.resilience import FaultPlan, RetryPolicy
+from repro.serve import (
+    DeadlineExceeded,
+    QueueFullError,
+    Server,
+    ServerClosedError,
+    ServerConfig,
+)
+from repro.util.errors import ValidationError
+from repro.workload import WorkloadSpec
+
+pytestmark = pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_observability():
+    obs.enable(fresh=True)
+    obs.disable()
+    yield
+
+
+def _serve(coro):
+    return asyncio.run(coro)
+
+
+def _assert_envs_equal(got, want):
+    assert set(got) == set(want)
+    for name in want:
+        np.testing.assert_array_equal(got[name].data, want[name].data)
+
+
+class TestResults:
+    def test_coalesced_results_bit_identical_to_direct_run(self):
+        """Three batch-1 submits of one job key coalesce into one stacked
+        dispatch whose slices match a direct merged scheduler run."""
+        spec = WorkloadSpec.parse("poisson2d:16x12:12")
+
+        async def _run():
+            config = ServerConfig(
+                engine="compiled", batch_window=0.02, validate=True
+            )
+            async with Server(config) as server:
+                handles = [await server.submit(spec) for _ in range(3)]
+                return [await h for h in handles]
+
+        per_job = _serve(_run())
+        merged = WorkloadSpec.of("poisson2d", (16, 12), 12, batch=3)
+        golden = MixScheduler(engine="compiled", seed=0).run([merged])
+        want = list(golden.groups[0].results)
+        assert [len(chunk) for chunk in per_job] == [1, 1, 1]
+        for index, chunk in enumerate(per_job):
+            _assert_envs_equal(chunk[0], want[index])
+
+    def test_mixed_job_keys_all_complete(self):
+        async def _run():
+            config = ServerConfig(engine="compiled", batch_window=0.005)
+            async with Server(config) as server:
+                handles = [
+                    await server.submit(text)
+                    for text in (
+                        "poisson2d:16x12:10",
+                        "jacobi3d:10x10x6:8x2",
+                        "poisson2d:16x12:10",
+                        "poisson2d:12x10:6",
+                    )
+                ]
+                results = [await h for h in handles]
+                health = server.health()
+            return results, health
+
+        results, health = _serve(_run())
+        assert [len(r) for r in results] == [1, 2, 1, 1]
+        assert health["jobs"]["completed"] == 4
+        assert health["jobs"]["failed"] == 0
+        assert health["outstanding_jobs"] == 0
+
+    def test_string_and_spec_submits_are_equivalent(self):
+        async def _run():
+            async with Server(ServerConfig(engine="compiled")) as server:
+                # await the first before submitting the second so each runs
+                # as its own batch-1 dispatch with the same seeded mesh
+                a = await (await server.submit("poisson2d:12x10:6"))
+                b = await (
+                    await server.submit(WorkloadSpec.of("poisson2d", (12, 10), 6))
+                )
+                return a, b
+
+        got_a, got_b = _serve(_run())
+        _assert_envs_equal(got_a[0], got_b[0])
+
+
+class TestOverload:
+    def test_reject_is_deterministic_and_drain_is_leak_free(self):
+        """The ISSUE's overload acceptance: a bounded queue rejects the
+        overflow deterministically, every job resolves exactly once, and
+        close(drain=True) leaves no shm segment and no open span."""
+        offered = 12
+        depth = 2
+
+        async def _run():
+            obs.enable(fresh=True)
+            config = ServerConfig(
+                engine="compiled", queue_depth=depth, batch_window=0.005
+            )
+            server = Server(config)
+            handles, rejected = [], 0
+            # back-to-back submits with no awaited suspension in between:
+            # exactly `depth` fit, the rest must reject
+            for _ in range(offered):
+                try:
+                    handles.append(await server.submit("poisson2d:16x12:10"))
+                except QueueFullError:
+                    rejected += 1
+            results = [await h for h in handles]
+            await server.close(drain=True)
+            return server, rejected, results
+
+        server, rejected, results = _serve(_run())
+        try:
+            assert rejected == offered - depth
+            assert len(results) == depth
+            health = server.health()
+            assert health["state"] == "closed"
+            assert health["jobs"]["admitted"] == depth
+            assert health["jobs"]["rejected"] == rejected
+            assert health["jobs"]["completed"] == depth
+            assert health["outstanding_jobs"] == 0
+            assert health["inflight_groups"] == 0
+            assert live_segments() == ()
+            assert obs.tracer().current_span_id() is None
+            kinds = obs.ring_sink().kinds()
+            assert kinds.count("serve.job_rejected") == rejected
+            assert "serve.drain_begin" in kinds
+            assert "serve.closed" in kinds
+        finally:
+            obs.disable()
+
+    def test_per_tenant_bounds_are_independent(self):
+        async def _run():
+            config = ServerConfig(
+                engine="compiled", queue_depth=1, batch_window=0.05
+            )
+            async with Server(config) as server:
+                first = await server.submit("poisson2d:12x10:6", tenant="a")
+                with pytest.raises(QueueFullError):
+                    await server.submit("poisson2d:12x10:6", tenant="a")
+                other = await server.submit("poisson2d:12x10:6", tenant="b")
+                await first
+                await other
+                return server.health()
+
+        health = _serve(_run())
+        assert health["jobs"]["rejected"] == 1
+        assert health["jobs"]["completed"] == 2
+
+
+class TestDeadlines:
+    def test_queued_job_past_deadline_is_shed_without_executing(self):
+        async def _run():
+            # a batch window far longer than the deadline keeps the job
+            # queued until the monitor sheds it
+            config = ServerConfig(
+                engine="compiled", batch_window=0.5, monitor_interval=0.005
+            )
+            async with Server(config) as server:
+                handle = await server.submit(
+                    "poisson2d:16x12:10", deadline=0.03
+                )
+                with pytest.raises(DeadlineExceeded):
+                    await handle
+                return server.health()
+
+        health = _serve(_run())
+        assert health["jobs"]["shed"] == 1
+        assert health["jobs"]["completed"] == 0
+
+    def test_deadline_must_be_positive(self):
+        async def _run():
+            async with Server(ServerConfig(engine="compiled")) as server:
+                with pytest.raises(ValidationError):
+                    await server.submit("poisson2d:12x10:6", deadline=0.0)
+
+        _serve(_run())
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self):
+        async def _run():
+            config = ServerConfig(engine="compiled", batch_window=0.5)
+            async with Server(config) as server:
+                handle = await server.submit("poisson2d:16x12:10")
+                assert handle.cancel("changed my mind")
+                assert not handle.cancel()  # already resolved
+                with pytest.raises(asyncio.CancelledError):
+                    await handle
+                return server.health()
+
+        health = _serve(_run())
+        assert health["jobs"]["cancelled"] == 1
+        assert health["jobs"]["completed"] == 0
+
+    def test_cancel_inflight_job_cancels_its_batch(self):
+        async def _run():
+            # tiny stacking budget -> many chunk boundaries -> the worker
+            # thread sees the batch token quickly
+            config = ServerConfig(
+                engine="compiled",
+                batch_window=0.001,
+                monitor_interval=0.005,
+                stacked_bytes_limit=8_192,
+            )
+            async with Server(config) as server:
+                handle = await server.submit("jacobi3d:12x12x8:200x2")
+                while not server._inflight:
+                    await asyncio.sleep(0.001)
+                group = next(iter(server._inflight))
+                assert handle.cancel("mid-flight")
+                with pytest.raises(asyncio.CancelledError):
+                    await handle
+                # the reaped group token is what stops the worker thread
+                assert group.token.is_set()
+                health = server.health()
+            return health
+
+        health = _serve(_run())
+        assert health["jobs"]["cancelled"] == 1
+        assert live_segments() == ()
+
+
+class TestAdmissionBlock:
+    def test_block_admission_waits_for_space(self):
+        async def _run():
+            config = ServerConfig(
+                engine="compiled",
+                queue_depth=1,
+                admission="block",
+                batch_window=0.002,
+                monitor_interval=0.005,
+            )
+            async with Server(config) as server:
+                first = await server.submit("poisson2d:16x12:10")
+                # the queue is full; this submit must wait until the loop
+                # drains the first job, then be admitted, not rejected
+                second = await asyncio.wait_for(
+                    server.submit("poisson2d:16x12:10"), timeout=5.0
+                )
+                await first
+                await second
+                return server.health()
+
+        health = _serve(_run())
+        assert health["jobs"]["admitted"] == 2
+        assert health["jobs"]["rejected"] == 0
+        assert health["jobs"]["completed"] == 2
+
+
+class TestLifecycle:
+    def test_closed_server_rejects_submits(self):
+        async def _run():
+            server = Server(ServerConfig(engine="compiled"))
+            handle = await server.submit("poisson2d:12x10:6")
+            await handle
+            await server.close()
+            with pytest.raises(ServerClosedError):
+                await server.submit("poisson2d:12x10:6")
+            await server.close()  # idempotent
+
+        _serve(_run())
+
+    def test_close_without_drain_cancels_queued_jobs(self):
+        async def _run():
+            config = ServerConfig(engine="compiled", batch_window=0.5)
+            server = Server(config)
+            handles = [
+                await server.submit("poisson2d:16x12:10") for _ in range(3)
+            ]
+            await server.close(drain=False)
+            outcomes = []
+            for handle in handles:
+                try:
+                    await handle
+                    outcomes.append("ok")
+                except asyncio.CancelledError:
+                    outcomes.append("cancelled")
+            return outcomes, server.health()
+
+        outcomes, health = _serve(_run())
+        assert outcomes == ["cancelled"] * 3
+        assert health["state"] == "closed"
+        assert health["outstanding_jobs"] == 0
+        assert live_segments() == ()
+
+    def test_server_is_bound_to_one_loop(self):
+        server = Server(ServerConfig(engine="compiled"))
+
+        async def _first():
+            handle = await server.submit("poisson2d:12x10:6")
+            await handle
+
+        asyncio.run(_first())
+
+        async def _second():
+            with pytest.raises(ValidationError):
+                await server.submit("poisson2d:12x10:6")
+
+        asyncio.run(_second())
+
+
+class TestCircuitBreaker:
+    def test_trip_half_open_recover_cycle_under_crash_plan(self):
+        """The ISSUE's breaker acceptance: two planned chunk crashes trip
+        the breaker twice (the second on the half-open probe); degraded
+        dispatches still serve bit-identical results (validate=True reruns
+        every mesh on the golden interpreter); the third parallel dispatch
+        probes clean and closes the breaker."""
+
+        async def _run():
+            obs.enable(fresh=True)
+            config = ServerConfig(
+                engine="parallel",
+                max_workers=2,
+                failure_threshold=1,
+                reset_timeout=0.2,
+                batch_window=0.002,
+                validate=True,
+                retry_policy=RetryPolicy.disabled(),
+                fault_plan=FaultPlan.parse("crash@0x2"),
+            )
+            async with Server(config) as server:
+                states = []
+                results = []
+                # dispatch 1: chunk 0 crashes -> trip -> serial rerun
+                results.append(await (await server.submit("poisson2d:16x12:10x2")))
+                states.append(server.breaker.state)
+                # breaker open: this dispatch degrades to serial up front
+                results.append(await (await server.submit("poisson2d:16x12:10x2")))
+                await asyncio.sleep(config.reset_timeout + 0.05)
+                # dispatch on the half-open probe: second crash re-trips
+                results.append(await (await server.submit("poisson2d:16x12:10x2")))
+                states.append(server.breaker.state)
+                await asyncio.sleep(config.reset_timeout + 0.05)
+                # probe again: the plan is spent, the probe succeeds
+                results.append(await (await server.submit("poisson2d:16x12:10x2")))
+                states.append(server.breaker.state)
+                health = server.health()
+            return server, states, results, health
+
+        server, states, results, health = _serve(_run())
+        try:
+            assert states == ["open", "open", "closed"]
+            assert server.breaker.trips == 2
+            assert all(len(r) == 2 for r in results)
+            # every job served, none failed, and the open-breaker window
+            # plus the post-failure reruns went through the serial engine
+            assert health["jobs"]["completed"] == 4
+            assert health["jobs"]["failed"] == 0
+            assert health["jobs"]["degraded"] >= 3
+            assert live_segments() == ()
+            breaker_kinds = [
+                k for k in obs.ring_sink().kinds()
+                if k.startswith("serve.breaker")
+            ]
+            assert breaker_kinds == [
+                "serve.breaker_open",
+                "serve.breaker_half_open",
+                "serve.breaker_open",
+                "serve.breaker_half_open",
+                "serve.breaker_closed",
+            ]
+            assert obs.ring_sink().of_kind("serve.group_parallel_failure")
+        finally:
+            obs.disable()
+
+    def test_breaker_results_match_healthy_run(self):
+        """Results served through trip/degrade/recover are bit-identical
+        to the same submission order on a healthy serial server."""
+
+        async def _drive(config):
+            async with Server(config) as server:
+                handles = [
+                    await server.submit("poisson2d:14x12:8x2")
+                    for _ in range(2)
+                ]
+                return [await h for h in handles]
+
+        faulted = _serve(
+            _drive(
+                ServerConfig(
+                    engine="parallel",
+                    max_workers=2,
+                    failure_threshold=1,
+                    batch_window=0.02,
+                    retry_policy=RetryPolicy.disabled(),
+                    fault_plan=FaultPlan.parse("crash@0"),
+                )
+            )
+        )
+        healthy = _serve(
+            _drive(ServerConfig(engine="compiled", batch_window=0.02))
+        )
+        for got_chunk, want_chunk in zip(faulted, healthy):
+            for got, want in zip(got_chunk, want_chunk):
+                _assert_envs_equal(got, want)
+
+
+class TestExactlyOnce:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        plans=st.lists(
+            st.tuples(
+                st.sampled_from(["run", "cancel", "deadline"]),
+                st.floats(min_value=0.001, max_value=0.05),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_deadline_cancel_race_resolves_every_job_exactly_once(self, plans):
+        """Satellite 3: under racing deadlines and client cancels every
+        job resolves exactly once — results, DeadlineExceeded, or
+        CancelledError — and completed results stay bit-identical to the
+        interpreter (validate=True)."""
+
+        async def _run():
+            config = ServerConfig(
+                engine="compiled",
+                batch_window=0.01,
+                monitor_interval=0.003,
+                validate=True,
+            )
+            async with Server(config) as server:
+                handles = []
+                for action, delay in plans:
+                    handle = await server.submit(
+                        "poisson2d:12x10:8",
+                        deadline=delay if action == "deadline" else None,
+                    )
+                    handles.append((handle, action, delay))
+
+                async def _cancel_later(handle, delay):
+                    await asyncio.sleep(delay)
+                    handle.cancel("race")
+
+                cancels = [
+                    asyncio.ensure_future(_cancel_later(h, d))
+                    for h, a, d in handles
+                    if a == "cancel"
+                ]
+                outcomes = []
+                for handle, _action, _delay in handles:
+                    try:
+                        result = await handle
+                        assert len(result) == 1
+                        outcomes.append("ok")
+                    except DeadlineExceeded:
+                        outcomes.append("shed")
+                    except asyncio.CancelledError:
+                        outcomes.append("cancelled")
+                await asyncio.gather(*cancels, return_exceptions=True)
+                health = server.health()
+            return outcomes, health
+
+        outcomes, health = _serve(_run())
+        assert len(outcomes) == len(plans)  # exactly one outcome per job
+        assert health["outstanding_jobs"] == 0
+        jobs = health["jobs"]
+        assert (
+            jobs["completed"] + jobs["shed"] + jobs["cancelled"]
+            == len(plans)
+        )
+        assert jobs["completed"] == outcomes.count("ok")
+        assert jobs["shed"] == outcomes.count("shed")
+        assert jobs["cancelled"] == outcomes.count("cancelled")
+        assert live_segments() == ()
