@@ -88,6 +88,17 @@ class CircuitBreaker:
         self._probing = True
         return True
 
+    def abort_probe(self) -> None:
+        """Release the probe slot without judging the backend.
+
+        For probes whose dispatch ended without a verdict on the parallel
+        backend's health (every member job cancelled or deadline-failed
+        mid-flight, or an internal serving error): the breaker keeps its
+        state but frees the half-open slot so the next dispatch may probe
+        — otherwise the slot would leak and the backend never recover.
+        """
+        self._probing = False
+
     # -- outcomes -----------------------------------------------------------------
     def record_success(self) -> None:
         """A parallel dispatch completed: reset, closing a half-open breaker."""

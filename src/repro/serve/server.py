@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import deque
 from dataclasses import dataclass, field as dc_field
 from typing import Mapping
 
@@ -203,6 +204,8 @@ class Server:
         )
         self._state = "running"  # running -> draining -> closed
         self._seq = 0
+        #: blocked submitters awaiting queue space, in arrival order
+        self._space_waiters: deque[asyncio.Future] = deque()
         self._outstanding: set[Job] = set()
         self._inflight: set[_InflightGroup] = set()
         self._schedulers: dict[str, object] = {}
@@ -282,27 +285,59 @@ class Server:
         return JobHandle(job, self)
 
     async def _block_for_space(self, job: Job) -> None:
-        """``admission="block"``: wait for queue space (or server close)."""
-        interval = self.config.monitor_interval
+        """``admission="block"``: wait for queue space (or server close).
+
+        Waiters park on per-submit futures signalled by the dequeue tick,
+        the deadline monitor's shed, and :meth:`close` — woken in arrival
+        order, so earlier submitters get first claim on freed space — and
+        each wait is bounded by the job's own deadline (if any) rather
+        than a poll cadence.
+        """
+        loop = self._loop
+        assert loop is not None
         while True:
-            await asyncio.sleep(interval)
             if self._state != "running":
                 self._outstanding.discard(job)
                 job.future.cancel()
                 raise ServerClosedError(
                     "server closed while a submit waited for queue space"
                 )
-            if (
-                job.deadline is not None
-                and self._loop is not None
-                and self._loop.time() >= job.deadline
-            ):
+            if job.deadline is not None and loop.time() >= job.deadline:
                 self._deadline_fail(job, queued=True)
-            if job.future.done():  # deadline passed while blocked
+            if job.future.done():  # deadline passed / cancelled while blocked
                 await asyncio.shield(job.future)
                 return
             if self._queue.offer(job):
                 return
+            waiter: asyncio.Future = loop.create_future()
+            self._space_waiters.append(waiter)
+            timeout = (
+                max(0.0, job.deadline - loop.time())
+                if job.deadline is not None
+                else None
+            )
+            try:
+                # job.future rides along so a client cancel (or deadline
+                # fail) wakes the submitter immediately, not at the next
+                # space signal
+                await asyncio.wait(
+                    (waiter, job.future),
+                    timeout=timeout,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+            finally:
+                waiter.cancel()
+                try:
+                    self._space_waiters.remove(waiter)
+                except ValueError:
+                    pass
+
+    def _notify_space(self) -> None:
+        """Wake every blocked submitter: queue space may have freed."""
+        while self._space_waiters:
+            waiter = self._space_waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
 
     def _check_open(self) -> None:
         if self._state != "running":
@@ -325,21 +360,43 @@ class Server:
         assert self._work is not None
         while True:
             await self._work.wait()
-            if self.config.batch_window > 0:
-                await asyncio.sleep(self.config.batch_window)
-            self._shed_expired()
-            picked = self._dequeue_tick()
-            if not picked:
-                if not len(self._queue):
-                    self._work.clear()
-                continue
-            groups: dict[tuple, list[Job]] = {}
-            for job in picked:
-                groups.setdefault(job.spec.job_key, []).append(job)
-            await asyncio.gather(
-                *(self._run_group(jobs) for jobs in groups.values())
-            )
-            self._set_depth_gauge()
+            picked: list[Job] = []
+            try:
+                if self.config.batch_window > 0:
+                    await asyncio.sleep(self.config.batch_window)
+                self._shed_expired()
+                picked = self._dequeue_tick()
+                self._notify_space()
+                if not picked:
+                    if not len(self._queue):
+                        self._work.clear()
+                    continue
+                groups: dict[tuple, list[Job]] = {}
+                for job in picked:
+                    groups.setdefault(job.spec.job_key, []).append(job)
+                outcomes = await asyncio.gather(
+                    *(self._run_group(jobs) for jobs in groups.values()),
+                    return_exceptions=True,
+                )
+                for jobs, outcome in zip(groups.values(), outcomes):
+                    if isinstance(outcome, asyncio.CancelledError):
+                        raise outcome
+                    if isinstance(outcome, BaseException):
+                        self._fail_jobs(jobs, outcome)
+                self._set_depth_gauge()
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - the loop must survive
+                # a wedged loop would admit jobs forever without dispatching
+                # them; resolve this tick's jobs and keep serving, using the
+                # raw future API in case metrics/events are what broke
+                for job in picked:
+                    if not job.future.done():
+                        job.future.set_exception(exc)
+                try:
+                    obs.emit("serve.loop_error", error=repr(exc))
+                except Exception:  # noqa: BLE001, S110 - best-effort telemetry
+                    pass
 
     def _dequeue_tick(self) -> list[Job]:
         """Fair-pop jobs up to the tick's mesh budget."""
@@ -358,11 +415,17 @@ class Server:
         token = CancelToken()
         group = _InflightGroup(jobs, token)
         self._inflight.add(group)
+        probe = False
         try:
-            engine, probe = self._pick_engine()
-            specs = [job.spec for job in jobs if not job.future.done()]
-            if not specs:
+            # jobs resolved between the dequeue tick and this task body
+            # (client cancels land in that gap) are excluded from the
+            # dispatch — and from result slicing, which must account only
+            # the specs actually executed
+            live = [job for job in jobs if not job.future.done()]
+            if not live:
                 return
+            engine, probe = self._pick_engine()
+            specs = [job.spec for job in live]
             obs.emit(
                 "serve.group_dispatch",
                 spec=specs[0].describe(),
@@ -381,8 +444,11 @@ class Server:
             except ExecutionCancelled:
                 # deadline monitor / client cancels resolved every member;
                 # anything left alive (a token raced the last resolution)
-                # is a cancel
-                for job in jobs:
+                # is a cancel. The backend was never judged: a held probe
+                # slot must be released, not left dangling in half-open.
+                if probe:
+                    self.breaker.abort_probe()
+                for job in live:
                     job.future.cancel()
                 return
             except ParallelExecutionError as exc:
@@ -393,14 +459,22 @@ class Server:
                     error=repr(exc),
                     breaker=self.breaker.state,
                 )
-                await self._rerun_serial(jobs, specs, token)
+                await self._rerun_serial(live, specs, token)
                 return
             except Exception as exc:  # noqa: BLE001 - resolve, don't crash the loop
-                self._fail_jobs(jobs, exc)
+                if probe:
+                    self.breaker.abort_probe()
+                self._fail_jobs(live, exc)
                 return
             if engine == "parallel":
                 self.breaker.record_success()
-            self._resolve_group(jobs, run)
+            self._resolve_group(live, run)
+        except Exception as exc:  # noqa: BLE001 - an internal error (metrics,
+            # result slicing, breaker bookkeeping) must resolve the jobs,
+            # not escape into the batching loop
+            if probe:
+                self.breaker.abort_probe()
+            self._fail_jobs(jobs, exc)
         finally:
             self._inflight.discard(group)
 
@@ -498,10 +572,13 @@ class Server:
         if self._loop is None:
             return
         now = self._loop.time()
-        for job in self._queue.shed(
+        shed = self._queue.shed(
             lambda j: j.deadline is not None and now >= j.deadline
-        ):
+        )
+        for job in shed:
             self._deadline_fail(job, queued=True)
+        if shed:
+            self._notify_space()
         self._set_depth_gauge()
 
     def _deadline_fail(self, job: Job, queued: bool) -> None:
@@ -589,6 +666,7 @@ class Server:
         if self._state == "closed":
             return
         self._state = "draining"
+        self._notify_space()  # blocked submitters must wake and see the close
         obs.emit("serve.drain_begin", drain=drain, queued=len(self._queue))
         interval = self.config.monitor_interval
         if self._loop is not None:

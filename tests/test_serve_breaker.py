@@ -103,6 +103,30 @@ class TestStateMachine:
         breaker.record_success()
         assert not breaker.begin_probe()  # closed: probes are meaningless
 
+    def test_abort_probe_releases_slot_without_judging(self):
+        """A probe whose dispatch ended without a verdict (cancelled
+        mid-flight) must free the slot, not wedge half-open forever."""
+        breaker, clock = _breaker(threshold=1, timeout=1.0)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.begin_probe()
+        assert not breaker.begin_probe()
+        breaker.abort_probe()
+        assert breaker.state == "half_open"  # state unjudged, unchanged
+        assert breaker.trips == 1
+        assert breaker.begin_probe()  # the slot is claimable again
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_abort_probe_is_harmless_when_not_probing(self):
+        breaker, clock = _breaker(threshold=1, timeout=1.0)
+        breaker.abort_probe()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        breaker.abort_probe()
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+
     def test_trips_counter_accumulates(self):
         breaker, clock = _breaker(threshold=1, timeout=1.0)
         for expected in (1, 2, 3):

@@ -19,7 +19,7 @@ from hypothesis import given, settings, strategies as st
 from repro import observability as obs
 from repro.dataflow.scheduler import MixScheduler
 from repro.parallel.shm import live_segments
-from repro.resilience import FaultPlan, RetryPolicy
+from repro.resilience import ExecutionCancelled, FaultPlan, RetryPolicy
 from repro.serve import (
     DeadlineExceeded,
     QueueFullError,
@@ -273,6 +273,153 @@ class TestAdmissionBlock:
         assert health["jobs"]["admitted"] == 2
         assert health["jobs"]["rejected"] == 0
         assert health["jobs"]["completed"] == 2
+
+    def test_blocked_submit_wakes_on_close(self):
+        """A submitter parked for queue space is event-woken by close —
+        no poll cadence — and raises ServerClosedError."""
+
+        async def _run():
+            config = ServerConfig(
+                engine="compiled",
+                queue_depth=1,
+                admission="block",
+                batch_window=5.0,  # the queued job never dispatches
+            )
+            server = Server(config)
+            first = await server.submit("poisson2d:12x10:6")
+            blocked = asyncio.ensure_future(server.submit("poisson2d:12x10:6"))
+            await asyncio.sleep(0.05)
+            assert not blocked.done()
+            await asyncio.wait_for(server.close(drain=False), timeout=2.0)
+            with pytest.raises(ServerClosedError):
+                await blocked
+            with pytest.raises(asyncio.CancelledError):
+                await first
+
+        _serve(_run())
+
+    def test_blocked_submit_is_bounded_by_its_deadline(self):
+        """A blocked submitter whose deadline passes while it waits for
+        space resolves DeadlineExceeded at the deadline, not at the next
+        space signal."""
+
+        async def _run():
+            config = ServerConfig(
+                engine="compiled",
+                queue_depth=1,
+                admission="block",
+                batch_window=5.0,
+            )
+            server = Server(config)
+            try:
+                await server.submit("poisson2d:12x10:6")
+                with pytest.raises(DeadlineExceeded):
+                    await asyncio.wait_for(
+                        server.submit("poisson2d:12x10:6", deadline=0.05),
+                        timeout=2.0,
+                    )
+                return server.health()
+            finally:
+                await server.close(drain=False)
+
+        health = _serve(_run())
+        assert health["jobs"]["shed"] == 1
+
+
+class TestDispatchRaces:
+    def test_cancel_in_dequeue_gap_keeps_sibling_slices_aligned(self):
+        """A cancel landing between the dequeue tick and the group body
+        must not shift sibling jobs' result slices: offsets are accounted
+        over the specs actually dispatched, not the original group."""
+        spec = "poisson2d:16x12:12"
+
+        async def _run():
+            config = ServerConfig(
+                engine="compiled", batch_window=0.2, validate=True
+            )
+            async with Server(config) as server:
+                handles = [await server.submit(spec) for _ in range(3)]
+                # reproduce the gap: pull the tick ourselves while the
+                # batching loop sleeps its window, cancel a picked job,
+                # then run the group body exactly as the loop would
+                jobs = server._dequeue_tick()
+                assert len(jobs) == 3
+                assert handles[0].cancel("raced the dispatch")
+                await server._run_group(jobs)
+                with pytest.raises(asyncio.CancelledError):
+                    await handles[0]
+                return [await h for h in handles[1:]]
+
+        per_job = _serve(_run())
+        merged = WorkloadSpec.of("poisson2d", (16, 12), 12, batch=2)
+        golden = MixScheduler(engine="compiled", seed=0).run([merged])
+        want = list(golden.groups[0].results)
+        assert [len(chunk) for chunk in per_job] == [1, 1]
+        for index, chunk in enumerate(per_job):
+            _assert_envs_equal(chunk[0], want[index])
+
+    def test_cancelled_probe_dispatch_releases_the_probe_slot(self):
+        """A probe whose dispatch dies ExecutionCancelled must release the
+        half-open slot; otherwise the breaker wedges and the parallel
+        backend can never recover."""
+
+        class _CancelledScheduler:
+            def run(self, specs, validate, cancel):
+                raise ExecutionCancelled("every member job died mid-probe")
+
+        async def _run():
+            config = ServerConfig(
+                engine="parallel",
+                batch_window=0.005,
+                failure_threshold=1,
+                reset_timeout=0.01,
+            )
+            server = Server(config)
+            try:
+                server._schedulers["parallel"] = _CancelledScheduler()
+                server.breaker.record_failure()  # threshold 1: trips open
+                await asyncio.sleep(0.02)  # past reset_timeout
+                assert server.breaker.state == "half_open"
+                handle = await server.submit("poisson2d:12x10:6")
+                with pytest.raises(asyncio.CancelledError):
+                    await handle
+                assert server.breaker.state == "half_open"
+                assert server.breaker.begin_probe()  # slot free, not leaked
+                server.breaker.abort_probe()
+            finally:
+                await server.close(drain=False)
+
+        _serve(_run())
+
+    def test_internal_error_fails_the_tick_and_the_loop_survives(self):
+        """An exception escaping a group dispatch resolves that tick's
+        jobs with the error instead of wedging the batching loop; the
+        next submit is served normally."""
+
+        async def _run():
+            config = ServerConfig(engine="compiled", batch_window=0.005)
+            async with Server(config) as server:
+                real = server._run_group
+
+                async def _broken_group(jobs):
+                    raise RuntimeError("injected dispatch bug")
+
+                server._run_group = _broken_group
+                handle = await server.submit("poisson2d:12x10:6")
+                with pytest.raises(RuntimeError, match="injected dispatch bug"):
+                    await asyncio.wait_for(handle.result(), timeout=5.0)
+                server._run_group = real
+                result = await asyncio.wait_for(
+                    (await server.submit("poisson2d:12x10:6")).result(),
+                    timeout=5.0,
+                )
+                assert len(result) == 1
+                return server.health()
+
+        health = _serve(_run())
+        assert health["jobs"]["failed"] == 1
+        assert health["jobs"]["completed"] == 1
+        assert health["outstanding_jobs"] == 0
 
 
 class TestLifecycle:
