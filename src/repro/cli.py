@@ -661,9 +661,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument(
         "--engine",
         default="compiled",
-        choices=("compiled", "parallel"),
+        choices=("compiled", "parallel", "native"),
         help="execution engine for --validate-mix (parallel fans chunks "
-        "out over a worker pool; results stay bit-identical)",
+        "out over a worker pool, native runs generated steady-loop code; "
+        "results stay bit-identical)",
     )
     p_dse.add_argument(
         "--max-workers", type=int, default=None,
@@ -687,9 +688,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_mix.add_argument(
         "--engine",
         default="compiled",
-        choices=("compiled", "parallel", "interpreter"),
+        choices=("compiled", "parallel", "native", "interpreter"),
         help="execution engine (parallel overlaps chunks of all groups "
-        "on a worker pool)",
+        "on a worker pool, native runs generated steady-loop code)",
     )
     p_mix.add_argument(
         "--max-workers", type=int, default=None,
@@ -756,7 +757,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--engine",
         default="parallel",
-        choices=("compiled", "parallel", "interpreter"),
+        choices=("compiled", "parallel", "native", "interpreter"),
         help="engine while the breaker is closed (open degrades to compiled)",
     )
     p_srv.add_argument(
@@ -825,7 +826,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_met.add_argument(
         "--engine",
         default="compiled",
-        choices=("compiled", "parallel", "interpreter"),
+        choices=("compiled", "parallel", "native", "interpreter"),
         help="execution engine to instrument",
     )
     p_met.add_argument(

@@ -54,7 +54,8 @@ class StencilModule:
         # single-mesh single-iteration step has nothing to fan out
         if self.engine != "interpreter":
             return run_program_compiled(
-                self.program, fields, 1, coefficients, cache=self.plan_cache
+                self.program, fields, 1, coefficients, cache=self.plan_cache,
+                engine=self.engine,
             )
         env: dict[str, Field] = dict(fields)
         for unit in self.units:

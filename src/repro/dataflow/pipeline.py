@@ -32,8 +32,10 @@ class IterativePipeline:
     re-interpret the program. ``engine="interpreter"`` selects the golden
     tree-walking path; ``engine="parallel"`` keeps the compiled path for
     single meshes and fans batch chunks out over a worker pool of up to
-    ``max_workers`` lanes (:mod:`repro.parallel`). Results are
-    bit-identical on every engine.
+    ``max_workers`` lanes (:mod:`repro.parallel`); ``engine="native"``
+    replays the steady tapes as generated fused code
+    (:mod:`repro.stencil.native`). Results are bit-identical on every
+    engine.
     """
 
     def __init__(
@@ -61,12 +63,15 @@ class IterativePipeline:
         fields: Mapping[str, Field],
         niter: int,
         coefficients: Mapping[str, float] | None,
+        copy: bool = True,
     ) -> dict[str, Field]:
         if self.engine != "interpreter":
             # a single mesh has no chunks to fan out: the parallel engine
-            # and the compiled engine are the same path here
+            # and the compiled engine are the same path here (the native
+            # engine swaps in the generated steady-loop replay)
             return run_program_compiled(
-                self.program, fields, niter, coefficients, cache=self.plan_cache
+                self.program, fields, niter, coefficients,
+                cache=self.plan_cache, engine=self.engine, copy=copy,
             )
         env: dict[str, Field] = dict(fields)
         for _ in range(niter):
@@ -77,9 +82,16 @@ class IterativePipeline:
         self,
         fields: Mapping[str, Field],
         coefficients: Mapping[str, float] | None = None,
+        copy: bool = True,
     ) -> dict[str, Field]:
-        """One pass = ``p`` chained iterations."""
-        return self._run_iterations(fields, self.p, coefficients)
+        """One pass = ``p`` chained iterations.
+
+        ``copy=False`` lets compiled-engine callers that immediately copy
+        the produced arrays themselves (the tiler's write-back) skip the
+        per-field result copies; the returned arrays then alias the cached
+        instance's buffers until its next run.
+        """
+        return self._run_iterations(fields, self.p, coefficients, copy=copy)
 
     def run(
         self,
@@ -139,10 +151,11 @@ class IterativePipeline:
                 cache=self.plan_cache, max_stack_bytes=stacked_bytes_limit,
                 max_workers=self.max_workers,
             )
-        if self.engine == "compiled":
+        if self.engine in ("compiled", "native"):
             return run_program_stacked(
                 self.program, batch_fields, niter, coefficients,
                 cache=self.plan_cache, max_stack_bytes=stacked_bytes_limit,
+                engine=self.engine,
             )
         return [
             dict(self._run_iterations(env, niter, coefficients))

@@ -318,7 +318,7 @@ class MixScheduler:
             batch=spec.batch,
             engine=self.engine,
         ):
-            if self.engine == "compiled":
+            if self.engine in ("compiled", "native"):
                 results = run_program_stacked(
                     program,
                     envs,
@@ -328,6 +328,7 @@ class MixScheduler:
                     max_stack_bytes=self.stacked_bytes_limit,
                     stats=stats,
                     cancel=cancel,
+                    engine=self.engine,
                 )
             else:
                 stats = per_mesh_stats(len(envs))

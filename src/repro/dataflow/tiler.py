@@ -107,7 +107,9 @@ class SpatialTiler:
             combos = [(bm, bn) for bm in axis_plans[0] for bn in axis_plans[1]]
         for combo in combos:
             block_env = self._extract_block(env, mesh, combo)
-            result = self.pipeline.run_pass(block_env, coefficients)
+            # copy=False: _write_back copies the valid region out before
+            # the next block reuses the cached compiled instance
+            result = self.pipeline.run_pass(block_env, coefficients, copy=False)
             self._write_back(state_out, result, combo)
         out = dict(env)
         out.update(state_out)

@@ -41,6 +41,7 @@ submit-and-wait convenience with the same signature as
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 import warnings
@@ -221,6 +222,8 @@ class PendingBatch:
     ready: list[dict[str, Field]] | None = None
     #: worker backend the chunks were dispatched on ("process"/"thread")
     backend: str = ""
+    #: workers bind NativeProgram instances (generated steady loops)
+    native: bool = False
     #: the caller's ``stats=`` dict, so collection can append the
     #: worker-measured ``chunk_seconds`` once results land
     stats: dict | None = None
@@ -485,6 +488,7 @@ class PendingBatch:
         return run_chunk_fields(
             self.token, self.plan, chunk.size, self.niter, chunk.members,
             trace=self.ctx.trace if self.ctx is not None else None,
+            native=self.native,
         )
 
     def _verify(self, chunk: _PendingChunk, out: dict) -> None:
@@ -610,7 +614,7 @@ def _dispatch(batch: PendingBatch, chunk: _PendingChunk, backend: str) -> None:
         chunk.submitted_at = time.perf_counter()
         chunk.future = pool.submit(
             run_chunk_shm, batch.token, plan, chunk.size, batch.niter,
-            stack.handle, ctx.trace, fault, ctx.checksum,
+            stack.handle, ctx.trace, fault, ctx.checksum, batch.native,
         )
     else:
         fault = _draw_fault(batch, chunk, backend)
@@ -618,6 +622,7 @@ def _dispatch(batch: PendingBatch, chunk: _PendingChunk, backend: str) -> None:
         chunk.future = pool.submit(
             run_chunk_fields, batch.token, batch.plan, chunk.size,
             batch.niter, chunk.members, ctx.trace, fault, ctx.checksum,
+            batch.native,
         )
 
 
@@ -651,8 +656,18 @@ def submit_stacked(
     policy: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,
     cancel: CancelToken | None = None,
+    native: bool | None = None,
 ) -> PendingBatch:
     """Fan a stacked batch's chunks out over a worker pool; non-blocking.
+
+    ``native=True`` makes every worker bind a
+    :class:`~repro.stencil.native.NativeProgram` for its chunks — the
+    generated steady-loop replay composes with the fan-out, and the
+    content-addressed on-disk artifact cache means the pool pays one cc
+    build total, not one per worker. Defaults to the
+    ``REPRO_PARALLEL_NATIVE=1`` environment toggle, so existing
+    ``engine="parallel"`` callers can opt whole deployments in without a
+    signature change.
 
     Mirrors :func:`~repro.stencil.compiled.run_program_stacked` — same
     validation, same chunk schedule, same ``stats`` accounting — but
@@ -687,6 +702,8 @@ def submit_stacked(
         raise ValidationError(f"niter must be non-negative, got {niter}")
     if cancel is not None:
         cancel.raise_if_set("parallel submit")
+    if native is None:
+        native = os.environ.get("REPRO_PARALLEL_NATIVE") == "1"
 
     workers = max_workers if max_workers else default_workers()
 
@@ -730,6 +747,7 @@ def submit_stacked(
         results = run_program_stacked(
             program, batch_fields, niter, coefficients,
             cache=cache, max_stack_bytes=limit, stats=stats, cancel=cancel,
+            engine="native" if native else "compiled",
         )
         _account(chunks, "serial")
         return PendingBatch(batch_fields, plan, niter, ready=results)
@@ -746,7 +764,8 @@ def submit_stacked(
         faults=fault_plan if fault_plan is not None else FaultPlan.from_env(),
     )
     batch = PendingBatch(
-        batch_fields, plan, niter, token=token, stats=stats, ctx=ctx
+        batch_fields, plan, niter, token=token, stats=stats, ctx=ctx,
+        native=native,
     )
     if cancel is not None:
         batch.cancel_token = cancel
@@ -830,6 +849,7 @@ def run_program_parallel(
     policy: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,
     cancel: CancelToken | None = None,
+    native: bool | None = None,
 ) -> list[dict[str, Field]]:
     """Solve ``B`` same-spec meshes with chunks fanned across the pool.
 
@@ -844,5 +864,5 @@ def run_program_parallel(
         program, batch_fields, niter, coefficients,
         cache=cache, max_stack_bytes=max_stack_bytes, stats=stats,
         max_workers=max_workers, backend=backend, pool=pool,
-        policy=policy, fault_plan=fault_plan, cancel=cancel,
+        policy=policy, fault_plan=fault_plan, cancel=cancel, native=native,
     ).result()

@@ -60,20 +60,29 @@ def _cache() -> OrderedDict:
     return cache
 
 
-def bind_instance(token: str, plan: ProgramPlan, batch: int) -> CompiledProgram:
-    """The worker-local compiled instance for ``(token, batch)``.
+def bind_instance(
+    token: str, plan: ProgramPlan, batch: int, native: bool = False
+) -> CompiledProgram:
+    """The worker-local compiled instance for ``(token, batch, native)``.
 
     Binds (allocates buffers for) the plan on first sight, then reuses the
     warm instance — the per-worker analogue of
     :meth:`repro.stencil.compiled.CompiledPlanCache.get`, keyed by the
     parent's plan token so equal bindings share work without re-hashing
-    the program structure worker-side.
+    the program structure worker-side. ``native=True`` binds a
+    :class:`~repro.stencil.native.NativeProgram` instead — the worker pays
+    the one-time lowering (the cc artifact is shared on disk across
+    workers), then every repeat chunk rides the generated steady loop.
     """
     cache = _cache()
-    key = (token, batch)
+    key = (token, batch, native)
     instance = cache.get(key)
     if instance is None:
-        instance = CompiledProgram(plan, batch=batch)
+        if native:
+            from repro.stencil.native import NativeProgram as _cls
+        else:
+            _cls = CompiledProgram
+        instance = _cls(plan, batch=batch)
         cache[key] = instance
         while len(cache) > _MAX_INSTANCES:
             cache.popitem(last=False)
@@ -148,6 +157,7 @@ def run_chunk_shm(
     trace: TraceContext | None = None,
     fault: Fault | None = None,
     checksum: bool = False,
+    native: bool = False,
 ) -> dict[str, Any]:
     """Execute one chunk against shared-memory buffers (process backend).
 
@@ -178,7 +188,7 @@ def run_chunk_shm(
             else nullcontext()
         )
         with ctx:
-            instance = bind_instance(token, plan, batch)
+            instance = bind_instance(token, plan, batch, native=native)
             _load_and_run(
                 instance, plan, batch, niter, lambda n: stack.array(f"i:{n}")
             )
@@ -212,6 +222,7 @@ def run_chunk_fields(
     trace: TraceContext | None = None,
     fault: Fault | None = None,
     checksum: bool = False,
+    native: bool = False,
 ) -> dict[str, Any]:
     """Execute one chunk on in-process field environments (thread backend).
 
@@ -243,7 +254,7 @@ def run_chunk_fields(
         else nullcontext()
     )
     with ctx:
-        instance = bind_instance(token, plan, batch)
+        instance = bind_instance(token, plan, batch, native=native)
         if batch == 1:
             instance.load(envs[0])
         else:

@@ -69,7 +69,8 @@ ADMISSIONS = ("reject", "block")
 class ServerConfig:
     """Tuning of one :class:`Server` instance."""
 
-    #: engine while the breaker is closed ("parallel" | "compiled" | "interpreter")
+    #: engine while the breaker is closed
+    #: ("parallel" | "compiled" | "native" | "interpreter")
     engine: str = "parallel"
     #: worker-pool width for the parallel engine (None: one per core)
     max_workers: int | None = None

@@ -41,6 +41,7 @@ from repro.stencil.compiled import (
     run_program_compiled,
     run_program_stacked,
 )
+from repro.stencil.native import NativeProgram
 
 __all__ = [
     "Expr",
@@ -80,4 +81,5 @@ __all__ = [
     "DEFAULT_CACHE",
     "run_program_compiled",
     "run_program_stacked",
+    "NativeProgram",
 ]

@@ -1,0 +1,569 @@
+"""Source-level lowering of bound op tapes to fused native kernels.
+
+The compiled engine (:mod:`repro.stencil.compiled`) replays a plan's tapes
+as a flat list of ``ufunc(a, b, out)`` calls — allocation-free, but every
+op still pays NumPy's fixed dispatch cost and writes its intermediate to a
+full scratch register. This module lowers a **bound** tape one level
+further, to straight-line source code specialized for one
+``(plan, batch)`` binding:
+
+1. :func:`build_ir` walks the bound steady tapes and normalizes every op
+   into a strided-access form: each operand becomes ``(base array, element
+   offset, per-axis element strides)`` over the op's loop shape, read
+   straight off the NumPy views the executor itself binds (broadcast axes
+   become stride 0), so the IR can never drift from the replay semantics.
+   Folded scalars stay literals.
+2. A fusion pass turns single-use register chains into nested expressions:
+   a register write whose value has exactly one in-tape consumer (with a
+   bitwise-identical access pattern, no intervening hazard writes, and a
+   live range closed by a later write to the same register) is inlined
+   into the consumer and its store elided. The classic
+   ``mul/mul/add/add...`` stencil chains collapse into one loop nest per
+   produced window — memory is touched once, exactly the dataflow fusion
+   the paper realizes in hardware.
+3. :func:`emit_c` / :func:`emit_numba` render the fused statements as C
+   (built once with the system compiler, driven through ``ctypes``) or as
+   per-lane Python loops for ``numba.njit``. Both flavors evaluate the
+   same expression trees in the same association order with contraction
+   disabled (``-ffp-contract=off`` / ``fastmath=False``), so results stay
+   **bit-identical** to the tape replay — and :mod:`repro.stencil.native`
+   verifies that bitwise at bind time before trusting either backend.
+4. :func:`make_tape_callable` generates the always-available fused-NumPy
+   flavor: one specialized Python function per tape with every bound
+   ``ufunc(a, b, out)`` call unrolled into a closure (no per-op tuple
+   unpacking, no tape loop), used when neither JIT backend is available.
+
+The generated sources embed only plan-derived geometry (shapes, strides,
+offsets, folded constants) — never data pointers — so one compiled
+artifact is shared by every instance of the same ``(plan token, batch)``
+and survives on disk across processes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+#: ops renderable as infix/prefix expressions; "copy" is the identity
+_EXPR_OPS = {"add", "sub", "mul", "div", "neg", "copy", "fill"}
+
+#: cap on loads folded into one fused expression — past this the chain is
+#: materialized to keep generated statements (and compile times) bounded
+_MAX_FUSED_LOADS = 48
+
+
+@dataclass(frozen=True)
+class Access:
+    """One strided operand: ``base[offset + sum(i_k * strides[k])]``.
+
+    ``base`` indexes :attr:`NativeIR.bases`; ``shape`` is the owning op's
+    loop shape and ``strides`` are element strides per loop axis (0 on
+    broadcast axes). Equality is exact — two accesses are interchangeable
+    only when they address the very same elements in the same order.
+    """
+
+    base: int
+    offset: int
+    shape: tuple[int, ...]
+    strides: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Load:
+    access: Access
+
+
+@dataclass(frozen=True)
+class Const:
+    value: float  # exact: python floats hold any f32/f64 bit pattern
+
+
+@dataclass(frozen=True)
+class OpExpr:
+    op: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class Statement:
+    """``dest[...] = expr`` over ``shape``, the unit of code emission."""
+
+    dest: Access
+    shape: tuple[int, ...]
+    expr: object
+
+
+@dataclass
+class NativeIR:
+    """Fused steady tapes of one bound instance, ready for emission.
+
+    ``bases`` are the instance's live buffer/register arrays in pointer-
+    table order; the emitted code addresses them only through the indices
+    the accesses carry, so the source itself is instance-independent.
+    """
+
+    bases: list[np.ndarray]
+    steady: tuple[list[Statement], list[Statement]]
+    dtype: np.dtype
+
+
+def _expr_loads(expr) -> list[Access]:
+    if isinstance(expr, Load):
+        return [expr.access]
+    if isinstance(expr, OpExpr):
+        out: list[Access] = []
+        for a in expr.args:
+            out.extend(_expr_loads(a))
+        return out
+    return []
+
+
+def _read_bases(expr) -> set[int]:
+    return {a.base for a in _expr_loads(expr)}
+
+
+@dataclass(frozen=True)
+class _RawOp:
+    op: str
+    dest: Access
+    shape: tuple[int, ...]
+    args: tuple  # Access | Const
+
+
+def _base_table(compiled) -> tuple[list[np.ndarray], dict[int, int]]:
+    bases: list[np.ndarray] = []
+    index: dict[int, int] = {}
+    for arr in list(compiled._buffers.values()) + list(
+        compiled._registers.values()
+    ):
+        index[id(arr)] = len(bases)
+        bases.append(arr)
+    return bases, index
+
+
+def _owner(compiled, ref) -> np.ndarray:
+    """The base array owning a tape-op operand reference."""
+    from repro.stencil.plan import FlatView, Reg, RegWindow, View
+
+    if isinstance(ref, (View, FlatView)):
+        return compiled._buffers[ref.slot]
+    if isinstance(ref, Reg):
+        return compiled._registers[(ref.shape, ref.span, ref.idx)]
+    if isinstance(ref, RegWindow):
+        reg = ref.reg
+        return compiled._registers[(reg.shape, reg.span, reg.idx)]
+    raise TypeError(f"not an array reference: {ref!r}")
+
+
+def _access_of(
+    arr: np.ndarray, base: np.ndarray, base_idx: int, shape: tuple[int, ...]
+) -> Access:
+    view = np.broadcast_to(arr, shape) if arr.shape != shape else arr
+    itemsize = base.itemsize
+    offset = (
+        view.__array_interface__["data"][0]
+        - base.__array_interface__["data"][0]
+    )
+    if offset % itemsize:
+        raise ValueError("operand is not element-aligned with its base")
+    strides = tuple(s // itemsize for s in view.strides)
+    return Access(base_idx, offset // itemsize, shape, strides)
+
+
+def build_ir(compiled) -> NativeIR | None:
+    """The fused steady-tape IR of a bound instance, or None if unsupported.
+
+    Declines bindings the native backends cannot reproduce bit-exactly:
+    non-float32/float64 dtypes and non-finite folded constants. Warm tapes
+    are not lowered — they run once each via the ordinary tape replay,
+    while the steady pair carries the whole iteration loop.
+    """
+    dtype = np.dtype(compiled.plan.mesh.dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        return None
+    bases, base_index = _base_table(compiled)
+    steady: list[list[Statement]] = []
+    try:
+        for tape in compiled.plan.steady:
+            raw = [_lower_op(compiled, base_index, op) for op in tape]
+            steady.append(_fuse(raw, _register_bases(compiled, base_index)))
+    except (ValueError, KeyError, TypeError):
+        return None
+    return NativeIR(bases=bases, steady=(steady[0], steady[1]), dtype=dtype)
+
+
+def _register_bases(compiled, base_index) -> set[int]:
+    return {base_index[id(a)] for a in compiled._registers.values()}
+
+
+def _lower_op(compiled, base_index, op) -> _RawOp:
+    dest_arr = compiled._bind_arg(op.dest)
+    dest_base = _owner(compiled, op.dest)
+    shape = dest_arr.shape
+    dest = _access_of(dest_arr, dest_base, base_index[id(dest_base)], shape)
+    args = []
+    for a in op.args:
+        if isinstance(a, np.generic):
+            value = float(a)
+            if not math.isfinite(value):
+                raise ValueError("non-finite folded constant")
+            args.append(Const(value))
+        else:
+            arr = compiled._bind_arg(a)
+            base = _owner(compiled, a)
+            args.append(
+                _access_of(arr, base, base_index[id(base)], shape)
+            )
+    name = op.op if op.op in ("add", "sub", "mul", "div", "neg") else (
+        "fill" if isinstance(op.args[0], np.generic) else "copy"
+    )
+    return _RawOp(name, dest, shape, tuple(args))
+
+
+def _fuse(ops: Sequence[_RawOp], register_bases: set[int]) -> list[Statement]:
+    """Fuse single-use register chains; every other op keeps its own loop.
+
+    A store to register base ``b`` at position ``k`` is elided iff
+
+    * its value has exactly one consumer before the next in-tape write to
+      ``b``, reading with an access equal to the store's (same elements,
+      same order),
+    * there **is** a later write to ``b`` in the same tape (the live range
+      closes inside the tape — the elided value can never leak into the
+      partner tape, a warm tape, or the next iteration),
+    * no op between store and consumer writes any base the stored
+      expression reads (the deferred loads still see the stored-time
+      values), and
+    * the consumer's own destination base is not read by the expression
+      (fused evaluation interleaves its stores with the deferred loads).
+    """
+    next_write: dict[int, list[int]] = {}
+    writes_at: list[int] = [op.dest.base for op in ops]
+    stmts: list[Statement] = []
+    #: base -> (expr, dest access, read bases, writes seen since store)
+    pending: dict[int, list] = {}
+
+    def flush(base: int) -> None:
+        entry = pending.pop(base, None)
+        if entry is not None:
+            expr, dest = entry[0], entry[1]
+            stmts.append(Statement(dest, dest.shape, expr))
+
+    for k, op in enumerate(ops):
+        # inline or load each operand
+        args = []
+        for a in op.args:
+            if isinstance(a, Const):
+                args.append(a)
+                continue
+            entry = pending.get(a.base)
+            if (
+                entry is not None
+                and entry[1] == a
+                and entry[3] == k  # pre-scanned single consumer is this op
+                and op.dest.base not in entry[2]
+            ):
+                args.append(entry[0])
+                del pending[a.base]
+            else:
+                if entry is not None and entry[3] == k:
+                    # the consumer we planned for reads differently than
+                    # expected (access mismatch surfaced late): materialize
+                    flush(a.base)
+                args.append(Load(a))
+        expr = args[0] if op.op in ("copy", "fill") else OpExpr(op.op, tuple(args))
+        reads = _read_bases(expr)
+
+        # a write to any base a pending expression reads forces it out first
+        for base in [b for b, e in pending.items() if op.dest.base in e[2]]:
+            flush(base)
+        # overwriting a register with an unconsumed pending value: the old
+        # value's live range ended unread by anything downstream we could
+        # see — materialize it (it may be read by an access pattern we
+        # bailed on)
+        if op.dest.base in pending:
+            flush(op.dest.base)
+
+        consumer = _single_consumer(ops, k, reads, register_bases)
+        if (
+            consumer is not None
+            and len(_expr_loads(expr)) <= _MAX_FUSED_LOADS
+        ):
+            pending[op.dest.base] = [expr, op.dest, reads, consumer]
+        else:
+            stmts.append(Statement(op.dest, op.shape, expr))
+    for base in list(pending):
+        flush(base)
+    return stmts
+
+
+def _single_consumer(
+    ops: Sequence[_RawOp], k: int, reads: set[int], register_bases: set[int]
+) -> int | None:
+    """The index of op ``k``'s unique safe consumer, or None."""
+    dest = ops[k].dest
+    if dest.base not in register_bases:
+        return None
+    consumer: int | None = None
+    closed = False
+    for j in range(k + 1, len(ops)):
+        op = ops[j]
+        for a in op.args:
+            if isinstance(a, Access) and a.base == dest.base:
+                if consumer is not None:
+                    return None  # second read: value must exist in memory
+                if a != dest:
+                    return None  # different access: need the real array
+                consumer = j
+        if op.dest.base == dest.base:
+            closed = True
+            break
+        if consumer is None and op.dest.base in reads:
+            return None  # hazard: a source is overwritten before the use
+    if consumer is None or not closed:
+        return None
+    return consumer
+
+
+# -- loop-shape normalization -------------------------------------------------
+def _normalize(stmt: Statement) -> tuple[tuple[int, ...], list[list[int]], list]:
+    """(loop shape, per-term strides, terms) with unit axes dropped and
+    contiguous axes merged — fewer, longer loops vectorise better.
+
+    ``terms[0]`` is the destination access; the rest are the loads in
+    expression order.
+    """
+    terms = [stmt.dest] + _expr_loads(stmt.expr)
+    shape = list(stmt.shape)
+    strides = [list(t.strides) for t in terms]
+    # drop extent-1 axes (their stride never multiplies a nonzero index)
+    keep = [i for i, extent in enumerate(shape) if extent != 1]
+    shape = [shape[i] for i in keep]
+    strides = [[s[i] for i in keep] for s in strides]
+    # merge axis i into i+1 when every term is contiguous across the pair
+    i = len(shape) - 2
+    while i >= 0:
+        if all(s[i] == shape[i + 1] * s[i + 1] for s in strides):
+            shape[i + 1] = shape[i] * shape[i + 1]
+            del shape[i]
+            for s in strides:
+                del s[i]
+        i -= 1
+    return tuple(shape), strides, terms
+
+
+# -- C emission ---------------------------------------------------------------
+def _c_const(value: float, dtype: np.dtype) -> str:
+    if dtype == np.dtype(np.float32):
+        return f"{float(np.float32(value)).hex()}f"
+    return float(value).hex()
+
+
+def _c_index(offset: int, strides: Sequence[int]) -> str:
+    parts = [str(offset)] if offset else []
+    for axis, stride in enumerate(strides):
+        if stride:
+            parts.append(f"i{axis}*{stride}" if stride != 1 else f"i{axis}")
+    return " + ".join(parts) if parts else "0"
+
+
+def _c_expr(expr, dtype, strides_of) -> str:
+    if isinstance(expr, Const):
+        return _c_const(expr.value, dtype)
+    if isinstance(expr, Load):
+        a = expr.access
+        return f"b{a.base}[{_c_index(a.offset, strides_of(a))}]"
+    sym = {"add": "+", "sub": "-", "mul": "*", "div": "/"}
+    if expr.op == "neg":
+        return f"(-{_c_expr(expr.args[0], dtype, strides_of)})"
+    lhs, rhs = expr.args
+    return (
+        f"({_c_expr(lhs, dtype, strides_of)} {sym[expr.op]} "
+        f"{_c_expr(rhs, dtype, strides_of)})"
+    )
+
+
+def _independent_iterations(stmt: Statement) -> bool:
+    """True when no loop iteration can depend on an earlier one's store.
+
+    Base arrays are separate allocations, so a load from a *different*
+    base can never alias the destination; a load from the destination's
+    own base is only safe when it reads the exact same elements in the
+    same order (plain in-place updates). Shifted self-reads — the one
+    pattern with a genuine loop-carried dependency — veto the assertion.
+    """
+    return all(
+        a.base != stmt.dest.base or a == stmt.dest
+        for a in _expr_loads(stmt.expr)
+    )
+
+
+def _emit_stmt_c(stmt: Statement, dtype: np.dtype, lines: list[str]) -> None:
+    shape, strides, _terms = _normalize(stmt)
+    # strides are positional: [dest] then the loads in expression order,
+    # the same order the recursive renderer visits them
+    load_iter = {"i": 0}
+
+    def strides_for_next(access: Access) -> list[int]:
+        load_iter["i"] += 1
+        return strides[load_iter["i"]]
+
+    indent = "  "
+    ivdep = _independent_iterations(stmt)
+    for axis, extent in enumerate(shape):
+        if ivdep:
+            lines.append(f"{indent * (axis + 1)}#pragma GCC ivdep")
+        lines.append(
+            f"{indent * (axis + 1)}for (int64_t i{axis} = 0; "
+            f"i{axis} < {extent}; ++i{axis})"
+        )
+    body_indent = indent * (len(shape) + 1)
+    dest_idx = _c_index(stmt.dest.offset, strides[0])
+    expr = _c_expr(stmt.expr, dtype, strides_for_next)
+    lines.append(f"{body_indent}b{stmt.dest.base}[{dest_idx}] = {expr};")
+
+
+def emit_c(ir: NativeIR) -> str:
+    """C source for the steady pair: one static function per tape plus a
+    ``repro_run(void**, k0, n)`` driver that ping-pongs between them, so a
+    whole ``run_iterations`` stretch is one foreign call.
+    """
+    ctype = "float" if ir.dtype == np.dtype(np.float32) else "double"
+    lines = [
+        "#include <stdint.h>",
+        "",
+        f"typedef {ctype} real_t;",
+        "",
+    ]
+    for t, stmts in enumerate(ir.steady):
+        used = sorted(
+            {s.dest.base for s in stmts}
+            | {a.base for s in stmts for a in _expr_loads(s.expr)}
+        )
+        lines.append(f"static void tape{t}(void** P) {{")
+        for b in used:
+            lines.append(f"  real_t* b{b} = (real_t*)P[{b}];")
+        for stmt in stmts:
+            lines.append("  {")
+            _emit_stmt_c(stmt, ir.dtype, lines)
+            lines.append("  }")
+        lines.append("}")
+        lines.append("")
+    lines += [
+        "void repro_run(void** P, int64_t k0, int64_t n) {",
+        "  int64_t end = k0 + n;",
+        "  for (int64_t k = k0; k < end; ++k) {",
+        "    if (k & 1) tape1(P); else tape0(P);",
+        "  }",
+        "}",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+# -- numba emission -----------------------------------------------------------
+def _nb_const(value: float, dtype: np.dtype) -> str:
+    # repr round-trips python floats exactly; the dtype wrap keeps numba's
+    # type inference from promoting f32 expressions to f64
+    name = "np.float32" if dtype == np.dtype(np.float32) else "np.float64"
+    return f"{name}({float(value)!r})"
+
+
+def _nb_expr(expr, dtype, strides_for_next) -> str:
+    if isinstance(expr, Const):
+        return _nb_const(expr.value, dtype)
+    if isinstance(expr, Load):
+        a = expr.access
+        return f"b{a.base}[{_c_index(a.offset, strides_for_next(a))}]"
+    sym = {"add": "+", "sub": "-", "mul": "*", "div": "/"}
+    if expr.op == "neg":
+        return f"(-{_nb_expr(expr.args[0], dtype, strides_for_next)})"
+    lhs, rhs = expr.args
+    return (
+        f"({_nb_expr(lhs, dtype, strides_for_next)} {sym[expr.op]} "
+        f"{_nb_expr(rhs, dtype, strides_for_next)})"
+    )
+
+
+def _emit_stmt_nb(
+    stmt: Statement, dtype: np.dtype, lines: list[str], depth: int
+) -> None:
+    shape, strides, _terms = _normalize(stmt)
+    pos = {i: strides[i] for i in range(len(strides))}
+    load_iter = {"i": 0}
+
+    def strides_for_next(access: Access) -> list[int]:
+        load_iter["i"] += 1
+        return pos[load_iter["i"]]
+
+    indent = "    " * depth
+    for axis, extent in enumerate(shape):
+        lines.append(f"{indent}{'    ' * axis}for i{axis} in range({extent}):")
+    body = f"{indent}{'    ' * len(shape)}"
+    dest_idx = _c_index(stmt.dest.offset, pos[0])
+    expr = _nb_expr(stmt.expr, dtype, strides_for_next)
+    lines.append(f"{body}b{stmt.dest.base}[{dest_idx}] = {expr}")
+
+
+def emit_numba(ir: NativeIR) -> str:
+    """Python loop-nest source for ``numba.njit``: same statements, same
+    association order as the C flavor, arrays passed as flat 1-D views.
+    """
+    args = ", ".join(f"b{i}" for i in range(len(ir.bases)))
+    lines = [
+        "import numpy as np",
+        "",
+        "",
+        f"def repro_run(k0, n, {args}):",
+        "    for k in range(k0, k0 + n):",
+        "        if k & 1:",
+    ]
+    for t in (1, 0):
+        if t == 0:
+            lines.append("        else:")
+        stmts = ir.steady[t]
+        if not stmts:
+            lines.append("            pass")
+            continue
+        for stmt in stmts:
+            _emit_stmt_nb(stmt, ir.dtype, lines, depth=3)
+    return "\n".join(lines) + "\n"
+
+
+# -- fused-NumPy emission -----------------------------------------------------
+def make_tape_callable(tape: Sequence[tuple[Callable, tuple]]) -> Callable[[], None]:
+    """One specialized zero-arg Python function replaying a bound tape.
+
+    Generates (and ``exec``-compiles) a function whose body is the tape
+    fully unrolled — every ``ufunc(a, b, out)`` call a direct invocation on
+    closure variables. No per-op tuple unpacking, no loop bookkeeping, no
+    global lookups: the cheapest replay pure NumPy allows, and trivially
+    bit-identical to the generic replay since it issues the very same
+    calls on the very same arrays.
+    """
+    cells: list = []
+    names: list[str] = []
+    calls: list[str] = []
+    for i, (fn, args) in enumerate(tape):
+        fname = f"f{i}"
+        cells.append(fn)
+        names.append(fname)
+        argnames = []
+        for j, a in enumerate(args):
+            an = f"a{i}_{j}"
+            cells.append(a)
+            names.append(an)
+            argnames.append(an)
+        calls.append(f"        {fname}({', '.join(argnames)})")
+    body = "\n".join(calls) if calls else "        pass"
+    src = (
+        f"def _factory({', '.join(names)}):\n"
+        f"    def tape_fn():\n{body}\n"
+        f"    return tape_fn\n"
+    )
+    ns: dict = {}
+    exec(compile(src, "<repro-native-tape>", "exec"), ns)  # noqa: S102
+    return ns["_factory"](*cells)

@@ -61,8 +61,11 @@ from repro.util.errors import ValidationError
 #: execution engine names accepted across the dataflow layers. "parallel"
 #: shares the compiled plans and is bit-identical to "compiled"; it differs
 #: only in *dispatch* — batches fan their stacked chunks across a worker
-#: pool (:mod:`repro.parallel`) instead of replaying them back to back
-ENGINES = ("compiled", "interpreter", "parallel")
+#: pool (:mod:`repro.parallel`) instead of replaying them back to back.
+#: "native" also shares the plans and stays bit-identical; it differs only
+#: in *replay* — the steady tapes run as generated fused code
+#: (:mod:`repro.stencil.native`) instead of per-op Python dispatch
+ENGINES = ("compiled", "interpreter", "parallel", "native")
 
 _UFUNCS = {
     "add": np.add,
@@ -352,25 +355,47 @@ class CompiledProgram:
             self._iterate(n)
 
     def _iterate(self, n: int) -> None:
+        # warm prefix and steady ping-pong as two flat loops: the steady
+        # path does no per-iteration branch or modulo bookkeeping
         done = self._iterations_done
+        end = done + n
         warm, steady = self._warm, self._steady
         warm_count = len(warm)
-        for i in range(done, done + n):
-            if i < warm_count:
-                tape = warm[i]
-            else:
-                tape = steady[(i - warm_count) % 2]
-            for fn, args in tape:
+        i = done
+        while i < warm_count and i < end:
+            for fn, args in warm[i]:
                 fn(*args)
-        self._iterations_done = done + n
+            i += 1
+        if i < end:
+            first, second = steady
+            if (i - warm_count) & 1:
+                first, second = second, first
+            while i + 1 < end:
+                for fn, args in first:
+                    fn(*args)
+                for fn, args in second:
+                    fn(*args)
+                i += 2
+            if i < end:
+                for fn, args in first:
+                    fn(*args)
+        self._iterations_done = end
 
-    def result(self, fields: Mapping[str, Field]) -> dict[str, Field]:
+    def result(
+        self, fields: Mapping[str, Field], copy: bool = True
+    ) -> dict[str, Field]:
         """The field environment after the iterations run so far.
 
         Mirrors the interpreter: the caller's bindings, with every produced
         field replaced by a fresh copy of its final buffer. Batched
         instances materialize per-mesh environments via
         :meth:`result_stacked` instead.
+
+        ``copy=False`` skips the per-buffer copies: produced fields alias
+        the live ping-pong buffers. For callers that immediately re-copy
+        the data themselves (the tiler's write-back, the parallel workers'
+        shared-memory marshalling) — the aliases are invalidated by the
+        instance's next :meth:`load` or iteration.
         """
         if self.batch > 1:
             raise ValidationError(
@@ -379,16 +404,19 @@ class CompiledProgram:
         env: dict[str, Field] = dict(fields)
         for fname, slot in self.plan.final_env(self._iterations_done).items():
             spec = self.plan.produced_specs[fname]
-            env[fname] = Field(fname, spec, self._buffers[slot].copy())
+            buf = self._buffers[slot]
+            env[fname] = Field(fname, spec, buf.copy() if copy else buf)
         return env
 
     def result_stacked(
-        self, batch_fields: Sequence[Mapping[str, Field]]
+        self, batch_fields: Sequence[Mapping[str, Field]], copy: bool = True
     ) -> list[dict[str, Field]]:
         """Per-mesh field environments after the iterations run so far.
 
         Element ``b`` mirrors what an independent single-mesh run on
-        ``batch_fields[b]`` would have returned.
+        ``batch_fields[b]`` would have returned. ``copy=False`` returns
+        per-mesh *views* of the stacked buffers (same aliasing caveats as
+        :meth:`result`).
         """
         if len(batch_fields) != self.batch:
             raise ValidationError(
@@ -399,7 +427,8 @@ class CompiledProgram:
             spec = self.plan.produced_specs[fname]
             stack = self._stacked_view(self._buffers[slot])
             for b in range(self.batch):
-                envs[b][fname] = Field(fname, spec, stack[b].copy())
+                mesh = stack[b]
+                envs[b][fname] = Field(fname, spec, mesh.copy() if copy else mesh)
         return envs
 
     def final_arrays(self) -> dict[str, np.ndarray]:
@@ -418,7 +447,7 @@ class CompiledProgram:
 
     # -- one-call API ---------------------------------------------------------
     def run(
-        self, fields: Mapping[str, Field], niter: int
+        self, fields: Mapping[str, Field], niter: int, copy: bool = True
     ) -> dict[str, Field]:
         """Run the full solve: load, iterate ``niter`` times, materialize."""
         if niter < 0:
@@ -428,10 +457,13 @@ class CompiledProgram:
         with self._lock:
             self.load(fields)
             self.run_iterations(niter)
-            return self.result(fields)
+            return self.result(fields, copy=copy)
 
     def run_stacked(
-        self, batch_fields: Sequence[Mapping[str, Field]], niter: int
+        self,
+        batch_fields: Sequence[Mapping[str, Field]],
+        niter: int,
+        copy: bool = True,
     ) -> list[dict[str, Field]]:
         """Solve ``B`` same-spec meshes in one tape replay over the stack."""
         if niter < 0:
@@ -445,7 +477,7 @@ class CompiledProgram:
         with self._lock:
             self.load_stacked(batch_fields)
             self.run_iterations(niter)
-            return self.result_stacked(batch_fields)
+            return self.result_stacked(batch_fields, copy=copy)
 
 
 class CompiledPlanCache:
@@ -560,6 +592,7 @@ class CompiledPlanCache:
         fields: Mapping[str, Field],
         coefficients: Mapping[str, float] | None = None,
         batch: int = 1,
+        native: bool = False,
     ) -> CompiledProgram:
         """The compiled program for this binding, compiling on first use.
 
@@ -567,8 +600,13 @@ class CompiledPlanCache:
         ``batch`` same-spec meshes on a leading axis (``fields`` is one
         representative mesh environment); the plan is shared across batch
         sizes via :meth:`plan_for`, only the bound buffers differ.
+
+        ``native=True`` yields a :class:`~repro.stencil.native.NativeProgram`
+        — same plan, same buffers, generated steady-loop code — cached
+        under its own key next to the plain instance, so the one-time
+        lowering/JIT cost is paid per (binding, batch), not per run.
         """
-        key = self._key(program, fields, coefficients) + (batch,)
+        key = self._key(program, fields, coefficients) + (batch, native)
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
@@ -576,7 +614,11 @@ class CompiledPlanCache:
                 self.hits += 1
                 obs.inc("plan.cache_hits")
                 return entry
-        compiled = CompiledProgram(
+        if native:
+            from repro.stencil.native import NativeProgram as _cls
+        else:
+            _cls = CompiledProgram
+        compiled = _cls(
             self.plan_for(program, fields, coefficients), batch=batch
         )
         with self._lock:
@@ -661,12 +703,20 @@ def run_program_compiled(
     niter: int,
     coefficients: Mapping[str, float] | None = None,
     cache: CompiledPlanCache | None = None,
+    engine: str = "compiled",
+    copy: bool = True,
 ) -> dict[str, Field]:
     """Drop-in replacement for the interpreter's ``run_program``.
 
     Compiles (or reuses) the plan for this binding and replays it. Returns
     the same environment shape as the golden interpreter, with bit-identical
     field contents.
+
+    ``engine="native"`` replays through a
+    :class:`~repro.stencil.native.NativeProgram` (generated fused steady
+    loop, still bit-identical); every other value uses the plain tape
+    replay. ``copy=False`` returns buffer-aliasing results (see
+    :meth:`CompiledProgram.result`).
 
     Plans compute every op in one dtype, while the interpreter applies
     NumPy's promotion rules to the fields' native dtypes — so a binding
@@ -692,8 +742,8 @@ def run_program_compiled(
 
         return run_program(program, fields, niter, coefficients, engine="interpreter")
     cache = cache if cache is not None else DEFAULT_CACHE
-    compiled = cache.get(program, fields, coefficients)
-    return compiled.run(fields, niter)
+    compiled = cache.get(program, fields, coefficients, native=engine == "native")
+    return compiled.run(fields, niter, copy=copy)
 
 
 def check_stacked_batch(
@@ -769,8 +819,13 @@ def run_program_stacked(
     max_stack_bytes: float | None = None,
     stats: dict | None = None,
     cancel: CancelToken | None = None,
+    engine: str = "compiled",
 ) -> list[dict[str, Field]]:
     """Solve ``B`` independent same-spec meshes in stacked tape dispatches.
+
+    ``engine="native"`` runs every chunk through the generated steady-loop
+    replay (:class:`~repro.stencil.native.NativeProgram`); results stay
+    bit-identical either way.
 
     The batch members are stacked batch-major — a true leading axis, so
     meshes can never couple across the stacking boundary — and every tape
@@ -854,7 +909,7 @@ def run_program_stacked(
             _timed(
                 chunk_seconds, 0, 1,
                 lambda: run_program_compiled(
-                    program, first, niter, coefficients, cache
+                    program, first, niter, coefficients, cache, engine=engine
                 ),
             )
         ]
@@ -886,12 +941,15 @@ def run_program_stacked(
                     _timed(
                         chunk_seconds, index, 1,
                         lambda m=members[0]: run_program_compiled(
-                            program, m, niter, coefficients, cache
+                            program, m, niter, coefficients, cache, engine=engine
                         ),
                     )
                 )
             else:
-                compiled = cache.get(program, first, coefficients, batch=size)
+                compiled = cache.get(
+                    program, first, coefficients, batch=size,
+                    native=engine == "native",
+                )
                 results.extend(
                     _timed(
                         chunk_seconds, index, size,

@@ -1,0 +1,353 @@
+"""``engine="native"``: JIT-lowered steady tapes with a verified fallback.
+
+:class:`NativeProgram` is a drop-in :class:`~repro.stencil.compiled.CompiledProgram`
+whose steady-state loop runs generated code instead of the per-op tape
+replay (warm iterations — one replay each — keep the ordinary tape path).
+At bind time it lowers the bound steady tapes through
+:mod:`repro.stencil.codegen` and picks the fastest available backend:
+
+``numba``
+    The generated per-lane loop nests ``njit``-compiled
+    (``fastmath=False`` — no reassociation, no contraction). Optional:
+    import-guarded, disabled outright by ``REPRO_NO_NUMBA=1``.
+``cc``
+    The generated C compiled once with the system compiler
+    (``-O3 -march=native -ffp-contract=off``) into a shared object loaded via
+    ``ctypes``; one foreign call covers a whole ``run_iterations``
+    stretch. Artifacts are content-addressed on disk
+    (``~/.cache/repro/native``), so equal ``(plan, batch)`` bindings —
+    including parallel worker processes — reuse one build.
+``python``
+    The fused-NumPy flavor (:func:`codegen.make_tape_callable`): one
+    specialized, fully unrolled Python function per tape. Always
+    available; this is what runs when neither JIT backend is.
+
+Every JIT candidate is **verified at bind time**: the instance runs a few
+iterations on seeded pseudo-random inputs through both the tape replay and
+the candidate and compares every buffer bitwise. A mismatch (or a build
+failure) falls back transparently down the ladder — numba, then cc, then
+the fused-Python tapes — so ``engine="native"`` can never return anything
+the interpreter would not. ``REPRO_NATIVE_JIT`` pins a backend
+(``auto``/``numba``/``cc``/``python``); ``REPRO_NATIVE_VERIFY=0`` skips
+the bind-time check (trusted repeat binds).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro import observability as obs
+from repro.stencil.codegen import (
+    NativeIR,
+    build_ir,
+    emit_c,
+    emit_numba,
+    make_tape_callable,
+)
+from repro.stencil.compiled import _FLAT_ERRSTATE, CompiledProgram
+
+#: set to "1" to pretend numba is not installed (the fallback-path test
+#: hook, and an operational escape hatch)
+NO_NUMBA_ENV = "REPRO_NO_NUMBA"
+#: pin the backend ladder: "auto" (default), "numba", "cc" or "python"
+JIT_ENV = "REPRO_NATIVE_JIT"
+#: "0" skips the bind-time bitwise self-check
+VERIFY_ENV = "REPRO_NATIVE_VERIFY"
+#: overrides the on-disk artifact cache directory
+CACHE_DIR_ENV = "REPRO_NATIVE_CACHE_DIR"
+
+#: compile flags shared by every cc build. -ffp-contract=off is load-
+#: bearing: a contracted mul+add rounds once where NumPy rounds twice,
+#: which would break bit-identity with the interpreter. -march=native is
+#: safe for the same reason the bind-time verify gate exists: artifacts
+#: are per-host (content-addressed under ~/.cache) and every bind is
+#: bitwise-checked before use.
+_CC_FLAGS = ("-O3", "-march=native", "-ffp-contract=off", "-fPIC", "-shared")
+
+_lock = threading.Lock()
+#: source sha -> loaded shared library (or None after a failed build)
+_libs: dict[str, ctypes.CDLL | None] = {}
+#: source sha -> njit-wrapped entry point
+_numba_fns: dict[str, Callable] = {}
+#: memoized "the system compiler is unusable" verdict
+_cc_broken = False
+
+
+def _backend_order() -> tuple[str, ...]:
+    pin = os.environ.get(JIT_ENV, "auto").strip().lower()
+    if pin == "numba":
+        order: tuple[str, ...] = ("numba", "python")
+    elif pin == "cc":
+        order = ("cc", "python")
+    elif pin == "python":
+        order = ("python",)
+    else:
+        order = ("numba", "cc", "python")
+    if os.environ.get(NO_NUMBA_ENV) == "1":
+        order = tuple(b for b in order if b != "numba")
+    return order or ("python",)
+
+
+def _cache_dir() -> Path:
+    root = os.environ.get(CACHE_DIR_ENV)
+    if root:
+        path = Path(root)
+    else:
+        path = Path.home() / ".cache" / "repro" / "native"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _find_cc() -> str | None:
+    from shutil import which
+
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and which(cand):
+            return cand
+    return None
+
+
+def _compiled_lib(source: str) -> ctypes.CDLL | None:
+    """Build (or reuse) the shared object for one generated C source.
+
+    Content-addressed: the key is the sha of source + flags, so equal
+    bindings across instances, threads and worker processes share one
+    artifact; concurrent builders race benignly through atomic renames.
+    """
+    global _cc_broken
+    sha = hashlib.sha256(
+        (source + "\x00" + " ".join(_CC_FLAGS)).encode()
+    ).hexdigest()[:32]
+    with _lock:
+        if sha in _libs:
+            return _libs[sha]
+        if _cc_broken:
+            return None
+    lib: ctypes.CDLL | None = None
+    try:
+        so_path = _cache_dir() / f"{sha}.so"
+        if not so_path.exists():
+            cc = _find_cc()
+            if cc is None:
+                with _lock:
+                    _cc_broken = True
+                return None
+            with tempfile.TemporaryDirectory(dir=so_path.parent) as tmp:
+                c_path = Path(tmp) / f"{sha}.c"
+                c_path.write_text(source)
+                out = Path(tmp) / f"{sha}.so"
+                proc = subprocess.run(
+                    [cc, *_CC_FLAGS, "-o", str(out), str(c_path)],
+                    capture_output=True,
+                    timeout=120,
+                )
+                if proc.returncode != 0:
+                    raise OSError(
+                        f"native build failed: {proc.stderr.decode(errors='replace')[:500]}"
+                    )
+                os.replace(out, so_path)
+        lib = ctypes.CDLL(str(so_path))
+        lib.repro_run.argtypes = [
+            ctypes.c_void_p, ctypes.c_int64, ctypes.c_int64,
+        ]
+        lib.repro_run.restype = None
+    except Exception as exc:  # noqa: BLE001 - any build problem means fallback
+        obs.emit("native.cc_build_failed", error=repr(exc))
+        lib = None
+    with _lock:
+        _libs[sha] = lib
+    return lib
+
+
+def _bind_cc(ir: NativeIR) -> Callable[[int, int], None] | None:
+    lib = _compiled_lib(emit_c(ir))
+    if lib is None:
+        return None
+    # the pointer table is rebuilt per instance (same source, different
+    # buffers); base data pointers are stable for the instance's lifetime
+    ptrs = np.array(
+        [b.__array_interface__["data"][0] for b in ir.bases], dtype=np.uint64
+    )
+    addr = ptrs.ctypes.data
+    run = lib.repro_run
+
+    def runner(k0: int, n: int, _run=run, _addr=addr, _keep=ptrs) -> None:
+        _run(_addr, k0, n)
+
+    return runner
+
+
+def _bind_numba(ir: NativeIR) -> Callable[[int, int], None] | None:
+    if os.environ.get(NO_NUMBA_ENV) == "1":
+        return None
+    try:
+        import numba
+    except ImportError:
+        return None
+    source = emit_numba(ir)
+    sha = hashlib.sha256(source.encode()).hexdigest()[:32]
+    with _lock:
+        fn = _numba_fns.get(sha)
+    if fn is None:
+        try:
+            ns: dict = {}
+            exec(compile(source, "<repro-native-numba>", "exec"), ns)  # noqa: S102
+            fn = numba.njit(cache=False, fastmath=False)(ns["repro_run"])
+        except Exception as exc:  # noqa: BLE001 - fallback, not failure
+            obs.emit("native.numba_build_failed", error=repr(exc))
+            return None
+        with _lock:
+            _numba_fns.setdefault(sha, fn)
+    flats = tuple(b.reshape(-1) for b in ir.bases)
+
+    def runner(k0: int, n: int, _fn=fn, _flats=flats) -> None:
+        _fn(k0, n, *_flats)
+
+    return runner
+
+
+class NativeProgram(CompiledProgram):
+    """A compiled program whose steady loop runs generated native code.
+
+    Identical public surface and bit-identical results; only
+    :meth:`_iterate` differs. :attr:`native_backend` names what actually
+    runs the steady tapes: ``"numba"``, ``"cc"``, ``"python"`` (the
+    fused-NumPy generated functions) or ``"tape"`` when even lowering was
+    declined (unsupported dtype) and the instance degraded to the plain
+    replay.
+    """
+
+    def __init__(self, plan, batch: int = 1):
+        super().__init__(plan, batch)
+        self.native_backend = "tape"
+        self._steady_runner: Callable[[int, int], None] | None = None
+        self._bind_native()
+
+    # -- backend selection -----------------------------------------------------
+    def _bind_native(self) -> None:
+        order = _backend_order()
+        ir: NativeIR | None = None
+        if any(b in ("numba", "cc") for b in order):
+            ir = build_ir(self)
+        for backend in order:
+            if backend == "numba":
+                runner = _bind_numba(ir) if ir is not None else None
+            elif backend == "cc":
+                runner = _bind_cc(ir) if ir is not None else None
+            else:
+                runner = self._bind_python()
+            if runner is None:
+                continue
+            if backend == "python" or self._verify(runner):
+                self._steady_runner = runner
+                self.native_backend = backend
+                obs.emit(
+                    "native.bound",
+                    backend=backend,
+                    batch=self.batch,
+                    tapes=len(self.plan.steady),
+                )
+                return
+            obs.emit("native.verify_failed", backend=backend)
+        # no backend usable (e.g. unsupported dtype with a pinned JIT):
+        # stay on the inherited tape replay — still correct, never fast
+        obs.emit("native.fallback_tape", batch=self.batch)
+
+    def _bind_python(self) -> Callable[[int, int], None]:
+        tape0 = make_tape_callable(self._steady[0])
+        tape1 = make_tape_callable(self._steady[1])
+
+        def runner(k0: int, n: int) -> None:
+            end = k0 + n
+            k = k0
+            if k & 1 and k < end:
+                tape1()
+                k += 1
+            while k + 1 < end:
+                tape0()
+                tape1()
+                k += 2
+            if k < end:
+                tape0()
+
+        return runner
+
+    def _verify(self, runner: Callable[[int, int], None]) -> bool:
+        """Bitwise self-check: candidate vs tape replay on seeded inputs.
+
+        Runs ``warm + 4`` iterations (both steady parities twice) twice
+        over identical pseudo-random inputs — once through the inherited
+        replay, once through the warm replay + candidate steady runner —
+        and compares every buffer bit for bit. Buffers are zeroed after,
+        so a fresh instance is indistinguishable from an unverified one.
+        """
+        if os.environ.get(VERIFY_ENV) == "0":
+            return True
+        iters = len(self._warm) + 4
+
+        def _seed_inputs() -> None:
+            for name in self.plan.inputs:
+                buf = self._buffers[f"in:{name}"]
+                rng = np.random.default_rng(
+                    abs(hash((name, buf.shape))) % (2**32)
+                )
+                # values in [0.5, 1.5): safely away from zero so division
+                # ops cannot manufacture infs the replay would also see
+                buf[...] = rng.random(buf.shape).astype(buf.dtype) * 0.5 + 0.5
+            self._load_expansions()
+            self._iterations_done = 0
+
+        try:
+            _seed_inputs()
+            with np.errstate(**_FLAT_ERRSTATE):
+                CompiledProgram._iterate(self, iters)
+            reference = {
+                slot: buf.copy() for slot, buf in self._buffers.items()
+            }
+            _seed_inputs()
+            with np.errstate(**_FLAT_ERRSTATE):
+                warm = len(self._warm)
+                for i in range(warm):
+                    for fn, args in self._warm[i]:
+                        fn(*args)
+                runner(0, iters - warm)
+            ok = all(
+                self._buffers[slot].tobytes() == ref.tobytes()
+                for slot, ref in reference.items()
+            )
+        except Exception as exc:  # noqa: BLE001 - a crashing candidate is a veto
+            obs.emit("native.verify_error", error=repr(exc))
+            ok = False
+        finally:
+            for buf in self._buffers.values():
+                buf.fill(0)
+            self._iterations_done = 0
+        return ok
+
+    # -- execution -------------------------------------------------------------
+    def _iterate(self, n: int) -> None:
+        runner = self._steady_runner
+        if runner is None:
+            super()._iterate(n)
+            return
+        done = self._iterations_done
+        end = done + n
+        i = done
+        warm = self._warm
+        warm_count = len(warm)
+        while i < warm_count and i < end:
+            for fn, args in warm[i]:
+                fn(*args)
+            i += 1
+        if i < end:
+            runner(i - warm_count, end - i)
+        self._iterations_done = end

@@ -206,7 +206,9 @@ def run_program(
         from repro.stencil.compiled import check_engine, run_program_compiled
 
         check_engine(engine)
-        return run_program_compiled(program, fields, niter, coefficients)
+        return run_program_compiled(
+            program, fields, niter, coefficients, engine=engine
+        )
     env: dict[str, Field] = dict(fields)
     for _ in range(niter):
         for group in program.groups:

@@ -1,0 +1,365 @@
+"""``engine="native"``: bit-identity, backend ladder, caching, copy fast path.
+
+The contract mirrors the compiled engine's: the generated steady-loop code
+(numba / cc / fused-NumPy, whichever bound) must be bit-identical
+(``tobytes`` equality, no tolerance) to the golden interpreter on every
+registered application — across niter, batch, dtype, the mixed-radius
+``init_from`` and flat-mode lowering corners, and with every JIT backend
+disabled (``REPRO_NO_NUMBA=1`` / ``REPRO_NATIVE_JIT=python``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.registry import all_apps, app_by_name
+from repro.mesh.mesh import Field, MeshSpec
+from repro.stencil.compiled import (
+    CompiledPlanCache,
+    CompiledProgram,
+    run_program_compiled,
+    run_program_stacked,
+)
+from repro.stencil.expr import Const, FieldAccess
+from repro.stencil.kernel import KernelOutput, StencilKernel
+from repro.stencil.native import NativeProgram, _backend_order
+from repro.stencil.numpy_eval import run_program
+from repro.stencil.program import FusedGroup, StencilLoop, StencilProgram
+
+#: small-but-representative functional meshes per registered app
+APP_MESHES = {
+    "poisson2d": (24, 18),
+    "jacobi3d": (16, 14, 8),
+    "rtm": (12, 12, 10),
+}
+
+#: module-local cache so native instances built here never collide with
+#: (or warm) the process-wide DEFAULT_CACHE other test modules rely on
+CACHE = CompiledPlanCache()
+
+
+def _assert_env_equal(gold, got):
+    assert set(gold) == set(got)
+    for name in gold:
+        assert gold[name].data.tobytes() == got[name].data.tobytes(), name
+
+
+def _cast_env(env, dtype):
+    dt = np.dtype(dtype)
+    return {
+        name: Field(
+            name, MeshSpec(f.spec.shape, f.spec.components, dt),
+            f.data.astype(dt),
+        )
+        for name, f in env.items()
+    }
+
+
+# --------------------------------------------------------------------------- #
+# property: native == interpreter on every app x niter x batch x dtype
+# --------------------------------------------------------------------------- #
+@st.composite
+def native_case(draw):
+    name = draw(st.sampled_from(sorted(APP_MESHES)))
+    grow = draw(st.integers(min_value=0, max_value=2))
+    mesh = tuple(d + grow for d in APP_MESHES[name])
+    niter = draw(st.integers(min_value=1, max_value=8))
+    batch = draw(st.integers(min_value=1, max_value=3))
+    dtype = draw(st.sampled_from([np.float32, np.float64]))
+    seed = draw(st.integers(min_value=0, max_value=999))
+    return name, mesh, niter, batch, dtype, seed
+
+
+@given(native_case())
+@settings(max_examples=25, deadline=None)
+def test_native_bit_identical_to_interpreter(case):
+    name, mesh, niter, batch, dtype, seed = case
+    app = app_by_name(name)
+    dt = np.dtype(dtype)
+    program = app.program.with_mesh(
+        MeshSpec(mesh, app.program.mesh.components, dt)
+    )
+    envs = [
+        _cast_env(app.fields(mesh, seed=seed + b), dt) for b in range(batch)
+    ]
+    gold = [
+        run_program(program, env, niter, engine="interpreter") for env in envs
+    ]
+    # the stacked entry covers both the single-mesh path (batch == 1) and
+    # the batch-major NativeProgram binding
+    got = run_program_stacked(program, envs, niter, cache=CACHE, engine="native")
+    for g, o in zip(gold, got):
+        _assert_env_equal(g, o)
+
+
+def test_native_chunked_stacked_dispatch():
+    """A stack budget below the batch footprint still runs native chunks."""
+    app = app_by_name("jacobi3d")
+    mesh = APP_MESHES["jacobi3d"]
+    program = app.program_on(mesh)
+    envs = [app.fields(mesh, seed=s) for s in range(5)]
+    stats: dict = {}
+    plan = CACHE.plan_for(program, envs[0])
+    got = run_program_stacked(
+        program, envs, 4, cache=CACHE, engine="native",
+        max_stack_bytes=plan.nbytes * 2, stats=stats,
+    )
+    assert stats["dispatches"] > 1  # genuinely chunked
+    for env, o in zip(envs, got):
+        _assert_env_equal(run_program(program, env, 4, engine="interpreter"), o)
+
+
+def test_native_parallel_workers_bit_identical():
+    """Workers bind NativeProgram instances and stay bit-identical."""
+    from repro.parallel.executor import run_program_parallel
+
+    app = app_by_name("poisson2d")
+    mesh = APP_MESHES["poisson2d"]
+    program = app.program_on(mesh)
+    envs = [app.fields(mesh, seed=s) for s in range(4)]
+    got = run_program_parallel(
+        program, envs, 5, cache=CACHE, max_workers=2, backend="thread",
+        native=True,
+    )
+    for env, o in zip(envs, got):
+        _assert_env_equal(run_program(program, env, 5, engine="interpreter"), o)
+
+
+# --------------------------------------------------------------------------- #
+# lowering corners that bit PR 3: mixed-radius init_from, flat mode
+# --------------------------------------------------------------------------- #
+def _mixed_radius_program():
+    mesh = MeshSpec((12, 10))
+    U = lambda dx, dy: FieldAccess("U", (dx, dy))
+    G = lambda dx, dy: FieldAccess("G", (dx, dy))
+    k1 = StencilKernel(
+        "mk_g",
+        (
+            KernelOutput(
+                "G", (Const(0.25) * (U(-1, 0) + U(1, 0) + U(0, -1) + U(0, 1)),)
+            ),
+        ),
+    )
+    k2 = StencilKernel(
+        "mk_u",
+        (
+            KernelOutput(
+                "U",
+                (Const(0.25) * (G(-2, 0) + G(2, 0) + G(0, -2) + G(0, 2)),),
+                init_from="G",
+            ),
+        ),
+    )
+    return StencilProgram(
+        "mixed_radius",
+        mesh,
+        (FusedGroup((StencilLoop(k1), StencilLoop(k2))),),
+        state_fields=("U",),
+    )
+
+
+def test_mixed_radius_init_from_native_bit_identical():
+    """The never-settling boundary ring survives the native lowering."""
+    program = _mixed_radius_program()
+    fields = {"U": Field.random("U", program.mesh, seed=1)}
+    for niter in range(1, 10):
+        gold = run_program(program, fields, niter, engine="interpreter")
+        got = run_program_compiled(
+            program, fields, niter, cache=CACHE, engine="native"
+        )
+        _assert_env_equal(gold, got)
+
+
+def test_flat_mode_vector_kernel_native_bit_identical():
+    """Multi-component flat-mode lanes (RTM-style lowering) stay identical."""
+    mesh = MeshSpec((14, 12), components=3)
+
+    def stencil(c):
+        U = lambda dx, dy: FieldAccess("U", (dx, dy), c)
+        return (
+            Const(0.2) * (U(-1, 0) + U(1, 0) + U(0, -1) + U(0, 1))
+            + Const(0.1) * U(0, 0)
+        ) * FieldAccess("G", (0, 0), 0)
+
+    kernel = StencilKernel(
+        "vec_smooth",
+        (
+            KernelOutput("W", tuple(stencil(c) for c in range(3))),
+            KernelOutput(
+                "U",
+                tuple(
+                    FieldAccess("U", (0, 0), c)
+                    + Const(0.5) * FieldAccess("W", (0, 0), c)
+                    for c in range(3)
+                ),
+                init_from="U",
+            ),
+        ),
+    )
+    program = StencilProgram(
+        "vec_smooth",
+        mesh,
+        (FusedGroup((StencilLoop(kernel),)),),
+        state_fields=("U",),
+        constant_fields=("G",),
+    )
+    fields = {
+        "U": Field.random("U", mesh, seed=4, lo=-1.0, hi=1.0),
+        "G": Field.random("G", MeshSpec(mesh.shape, 1), seed=5),
+    }
+    for niter in (1, 2, 5, 6):
+        gold = run_program(program, fields, niter, engine="interpreter")
+        got = run_program_compiled(
+            program, fields, niter, cache=CACHE, engine="native"
+        )
+        _assert_env_equal(gold, got)
+
+
+# --------------------------------------------------------------------------- #
+# backend ladder and the numba-optional story
+# --------------------------------------------------------------------------- #
+def _fresh_instance(batch=1):
+    app = app_by_name("jacobi3d")
+    mesh = (10, 10, 6)
+    program = app.program_on(mesh)
+    env = app.fields(mesh, seed=0)
+    plan = CACHE.plan_for(program, env)
+    return NativeProgram(plan, batch=batch), program, env
+
+
+def test_backend_order_no_numba(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_NUMBA", "1")
+    assert "numba" not in _backend_order()
+    monkeypatch.setenv("REPRO_NATIVE_JIT", "numba")
+    # a numba pin with numba disabled degrades to the always-there rung
+    assert _backend_order() == ("python",)
+
+
+def test_no_numba_run_is_fully_supported(monkeypatch):
+    """REPRO_NO_NUMBA=1 binds a non-numba backend and stays bit-identical."""
+    monkeypatch.setenv("REPRO_NO_NUMBA", "1")
+    inst, program, env = _fresh_instance()
+    assert inst.native_backend in ("cc", "python")
+    gold = run_program(program, env, 6, engine="interpreter")
+    _assert_env_equal(gold, inst.run(env, 6))
+
+
+def test_python_fallback_exercised(monkeypatch):
+    """The fused-NumPy rung runs and matches when every JIT is pinned off."""
+    monkeypatch.setenv("REPRO_NATIVE_JIT", "python")
+    inst, program, env = _fresh_instance()
+    assert inst.native_backend == "python"
+    assert inst._steady_runner is not None
+    gold = run_program(program, env, 7, engine="interpreter")
+    _assert_env_equal(gold, inst.run(env, 7))
+
+
+def test_verify_gate_rejects_wrong_runner():
+    """A runner that computes nothing must fail the bind-time self-check."""
+    inst, _, _ = _fresh_instance()
+    assert inst._verify(lambda k0, n: None) is False
+
+
+def test_unsupported_dtype_degrades_to_tape():
+    """Non-float dtypes decline lowering but still run via tape replay."""
+    mesh = MeshSpec((8, 8), dtype=np.dtype(np.int32))
+    U = lambda dx, dy: FieldAccess("U", (dx, dy))
+    kernel = StencilKernel(
+        "intsum",
+        (KernelOutput("U", (U(-1, 0) + U(1, 0) + U(0, 0),), init_from="U"),),
+    )
+    program = StencilProgram(
+        "intsum", mesh, (FusedGroup((StencilLoop(kernel),)),),
+        state_fields=("U",),
+    )
+    env = {
+        "U": Field(
+            "U", mesh,
+            np.arange(64, dtype=np.int32).reshape(8, 8) % 7,
+        )
+    }
+    plan = CACHE.plan_for(program, env)
+    inst = NativeProgram(plan)
+    assert inst.native_backend in ("tape", "python")
+    gold = run_program(program, env, 4, engine="interpreter")
+    _assert_env_equal(gold, inst.run(env, 4))
+
+
+def test_iterations_split_across_calls_keeps_parity():
+    """run_iterations in ragged chunks matches a one-shot run exactly."""
+    inst, program, env = _fresh_instance()
+    one_shot = inst.run(env, 7)
+    inst.load(env)
+    for step in (1, 2, 3, 1):
+        inst.run_iterations(step)
+    _assert_env_equal(one_shot, inst.result(env))
+
+
+# --------------------------------------------------------------------------- #
+# cache keying and the copy fast path
+# --------------------------------------------------------------------------- #
+def test_cache_keys_native_separately():
+    cache = CompiledPlanCache()
+    app = app_by_name("poisson2d")
+    mesh = (12, 10)
+    program = app.program_on(mesh)
+    env = app.fields(mesh, seed=0)
+    plain = cache.get(program, env)
+    native = cache.get(program, env, native=True)
+    assert type(plain) is CompiledProgram
+    assert isinstance(native, NativeProgram)
+    assert plain is not native
+    # repeat gets are cache hits, not new bindings
+    assert cache.get(program, env, native=True) is native
+    assert cache.get(program, env) is plain
+
+
+def test_result_copy_false_aliases_buffers():
+    inst, program, env = _fresh_instance()
+    inst.load(env)
+    inst.run_iterations(3)
+    copied = inst.result(env)
+    aliased = inst.result(env, copy=False)
+    _assert_env_equal(copied, aliased)
+    # aliased results share memory with the live buffers; copies do not
+    for name, slot in inst.plan.final_env(inst._iterations_done).items():
+        buf = inst._buffers[slot]
+        assert aliased[name].data is buf
+        assert copied[name].data is not buf
+
+
+def test_result_stacked_copy_false_views():
+    inst, program, _ = _fresh_instance(batch=2)
+    app = app_by_name("jacobi3d")
+    envs = [app.fields((10, 10, 6), seed=s) for s in range(2)]
+    inst.load_stacked(envs)
+    inst.run_iterations(3)
+    copied = inst.result_stacked(envs)
+    aliased = inst.result_stacked(envs, copy=False)
+    for c, a in zip(copied, aliased):
+        _assert_env_equal(c, a)
+    for name in inst.plan.final_env(inst._iterations_done):
+        assert aliased[0][name].data.base is not None  # a view, not a copy
+
+
+def test_run_copy_false_matches_copy_true():
+    inst, program, env = _fresh_instance()
+    gold = inst.run(env, 5)
+    fast = inst.run(env, 5, copy=False)
+    _assert_env_equal(gold, fast)
+
+
+# --------------------------------------------------------------------------- #
+# every registered app through the one-call native entry
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", sorted(all_apps()))
+def test_every_app_native_entry(name):
+    app = app_by_name(name)
+    mesh = APP_MESHES[name]
+    program = app.program_on(mesh)
+    env = app.fields(mesh, seed=11)
+    gold = run_program(program, env, 5, engine="interpreter")
+    got = run_program(program, env, 5, engine="native")
+    _assert_env_equal(gold, got)
